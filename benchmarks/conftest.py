@@ -1,0 +1,79 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+written as plain-text tables under ``results/`` (one file per figure) so they
+can be inspected after a ``pytest benchmarks/ --benchmark-only`` run, and the
+headline numbers are also attached to the pytest-benchmark records through
+``benchmark.extra_info``.
+
+The simulations use the full Table I system configuration but simulate a
+capped number of bytes per transfer (the steady-state throughput is what the
+figures compare); see ``repro.workloads.microbench`` for the extrapolation
+rule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.sim.config import DesignPoint, SystemConfig
+from repro.transfer.descriptor import TransferDirection
+from repro.workloads.microbench import TransferExperiment, run_transfer_experiment
+
+# Bytes actually simulated per transfer experiment; larger requested sizes are
+# extrapolated from this steady-state window.
+SIM_CAP_BYTES = 512 * 1024
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_figure(results_dir: Path, name: str, text: str) -> Path:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> SystemConfig:
+    return SystemConfig.paper_baseline()
+
+
+class ExperimentCache:
+    """Memoises transfer experiments so figures can share simulation runs."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self._cache: Dict[Tuple, TransferExperiment] = {}
+
+    def get(
+        self,
+        design_point: DesignPoint,
+        direction: TransferDirection,
+        total_bytes: int,
+        sim_cap_bytes: int = SIM_CAP_BYTES,
+    ) -> TransferExperiment:
+        key = (design_point, direction, total_bytes, sim_cap_bytes)
+        if key not in self._cache:
+            self._cache[key] = run_transfer_experiment(
+                design_point,
+                direction,
+                total_bytes=total_bytes,
+                config=self.config,
+                sim_cap_bytes=sim_cap_bytes,
+            )
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def experiments(paper_config) -> ExperimentCache:
+    return ExperimentCache(paper_config)

@@ -1,0 +1,87 @@
+"""Figure 15 -- ablation of PIM-MMU's three components (throughput & energy).
+
+Design points (additive): Base, Base+D (vanilla DCE, a proxy for conventional
+DMA engines), Base+D+H (adds HetMap), Base+D+H+P (adds PIM-MS -- the full
+PIM-MMU).  The paper's key shapes:
+
+* Base+D alone does not improve (and often slightly degrades) throughput;
+* Base+D+H improves the DRAM side but end-to-end transfer gains stay marginal;
+* the full design unlocks a multi-x throughput gain in both directions;
+* energy follows transfer time: Base+D / Base+D+H cost at least as much energy
+  as Base, while the full PIM-MMU is several times more energy-efficient.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table, geometric_mean
+from repro.sim.config import DesignPoint
+from repro.transfer.descriptor import TransferDirection
+from benchmarks.conftest import write_figure
+
+MIB = 1024 * 1024
+SIZES = (1 * MIB, 16 * MIB, 256 * MIB)
+DIRECTIONS = (TransferDirection.DRAM_TO_PIM, TransferDirection.PIM_TO_DRAM)
+
+
+def test_fig15_ablation_throughput_and_energy(benchmark, experiments, results_dir):
+    def run():
+        rows = []
+        for direction in DIRECTIONS:
+            for size in SIZES:
+                base = experiments.get(DesignPoint.BASELINE, direction, size)
+                for point in DesignPoint:
+                    experiment = experiments.get(point, direction, size)
+                    rows.append(
+                        {
+                            "direction": direction.value,
+                            "size_MB": size // MIB,
+                            "design": point.label,
+                            "throughput_gbps": experiment.throughput_gbps,
+                            "throughput_norm": experiment.throughput_gbps / base.throughput_gbps,
+                            "energy_J": experiment.energy_joules,
+                            "energy_norm": experiment.energy_joules / base.energy_joules,
+                        }
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        columns=[
+            "direction", "size_MB", "design",
+            "throughput_gbps", "throughput_norm", "energy_J", "energy_norm",
+        ],
+        title="Figure 15: ablation of DCE (D), HetMap (H) and PIM-MS (P)",
+        float_format="{:.3f}",
+    )
+    write_figure(results_dir, "fig15_ablation.txt", table)
+
+    def select(design, direction=None):
+        return [
+            row for row in rows
+            if row["design"] == design and (direction is None or row["direction"] == direction)
+        ]
+
+    # (a) throughput shapes
+    full = [row["throughput_norm"] for row in select("Base+D+H+P")]
+    vanilla_dma = [row["throughput_norm"] for row in select("Base+D")]
+    hetmap_only = [row["throughput_norm"] for row in select("Base+D+H")]
+    assert geometric_mean(full) > 2.5              # multi-x average gain (paper: 4.1x)
+    assert max(vanilla_dma) < 1.15                 # Base+D never meaningfully helps
+    assert max(hetmap_only) < 1.5                  # HetMap alone stays marginal
+    assert min(full) > max(hetmap_only)            # PIM-MS is what unlocks the gain
+
+    # (b) energy shapes: energy tracks transfer time.  The full PIM-MMU saves
+    # several x; the vanilla DCE saves essentially nothing (in the paper it
+    # even costs *more* energy than Base because its transfers run longer).
+    assert geometric_mean([row["energy_norm"] for row in select("Base+D+H+P")]) < 0.5
+    assert min(row["energy_norm"] for row in select("Base+D")) > 0.65
+    assert min(row["energy_norm"] for row in select("Base+D")) > 2.0 * max(
+        row["energy_norm"] for row in select("Base+D+H+P")
+    )
+
+    benchmark.extra_info["avg_throughput_gain"] = geometric_mean(full)
+    benchmark.extra_info["max_throughput_gain"] = max(full)
+    benchmark.extra_info["avg_energy_gain"] = 1.0 / geometric_mean(
+        [row["energy_norm"] for row in select("Base+D+H+P")]
+    )

@@ -1,0 +1,29 @@
+"""Table I -- baseline system and PIM-MMU configuration.
+
+Regenerates the configuration table and checks that the encoded system
+matches the paper's numbers (8-core 3.2 GHz host, 4+4 DDR4-2400 channels,
+512 PIM cores, 16 KB/64 KB DCE buffers).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from benchmarks.conftest import write_figure
+
+
+def test_table1_configuration(benchmark, paper_config, results_dir):
+    def render() -> str:
+        rows = [
+            {"parameter": key, "value": value}
+            for key, value in paper_config.describe().items()
+        ]
+        return format_table(rows, columns=["parameter", "value"], title="Table I")
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_figure(results_dir, "table1_config.txt", table)
+
+    assert paper_config.num_pim_cores == 512
+    assert paper_config.dram.peak_bandwidth_gbps == 76.8
+    assert paper_config.pim.peak_bandwidth_gbps == 76.8
+    assert "512 PIM cores" in table
+    benchmark.extra_info["pim_cores"] = paper_config.num_pim_cores

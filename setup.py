@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is offline: ``pip`` cannot create an isolated build
+environment (it would need to download setuptools/wheel), and the pre-installed
+setuptools lacks the external ``wheel`` package that PEP 660 editable wheels
+require.  Keeping a classic ``setup.py`` lets ``pip install -e .`` fall back to
+the legacy ``setup.py develop`` code path, which works fully offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro -- a reproduction of "PIM-MMU: A Memory Management Unit for
+Accelerating Data Transfers in Commercial PIM Systems" (MICRO 2024).
+
+The package contains a cycle-approximate simulator of a memory-bus-integrated
+PIM server (UPMEM-style), the baseline software data-transfer stack, and the
+PIM-MMU hardware/software co-design (Data Copy Engine, PIM-aware Memory
+Scheduler and Heterogeneous Memory Mapping Unit), together with the workloads
+and harnesses that regenerate every table and figure of the paper's
+evaluation.
+
+Quickstart
+----------
+>>> from repro import build_system, DesignPoint
+>>> from repro.core import PimMmuRuntime
+>>> from repro.transfer import TransferDirection
+>>> system = build_system(design_point=DesignPoint.BASE_DHP)
+>>> runtime = PimMmuRuntime(system)
+>>> op = runtime.build_contiguous_op(
+...     TransferDirection.DRAM_TO_PIM, size_per_pim=4096,
+...     pim_core_ids=range(64))
+>>> result = runtime.pim_mmu_transfer(op)
+>>> result.throughput_gbps > 0
+True
+"""
+
+from repro.sim.config import (
+    CpuConfig,
+    DcePolicy,
+    DesignPoint,
+    DramTimingConfig,
+    MemoryDomainConfig,
+    PimMmuConfig,
+    SystemConfig,
+)
+from repro.system import PimSystem, build_system
+from repro.transfer import TransferDescriptor, TransferDirection, TransferResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CpuConfig",
+    "DcePolicy",
+    "DesignPoint",
+    "DramTimingConfig",
+    "MemoryDomainConfig",
+    "PimMmuConfig",
+    "PimSystem",
+    "SystemConfig",
+    "TransferDescriptor",
+    "TransferDirection",
+    "TransferResult",
+    "__version__",
+    "build_system",
+]

@@ -1,0 +1,54 @@
+"""Small helpers for rendering benchmark output as the paper's tables/figures."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0.0 for an empty sequence)."""
+    values = [value for value in values]
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def normalise(values: Sequence[float], reference: float) -> List[float]:
+    """Normalise a series to a reference value (the paper's 'normalized' axes)."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return [value / reference for value in values]
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows (list of dicts) as a fixed-width text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(row[index]) for row in rendered)) if rendered else len(column)
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+__all__ = ["format_table", "geometric_mean", "normalise"]

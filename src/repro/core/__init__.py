@@ -1,0 +1,32 @@
+"""PIM-MMU: the paper's primary contribution.
+
+The PIM-MMU architecture (Figure 9) is a hardware/software co-design with
+three hardware components and a thin software stack:
+
+* :mod:`repro.core.hetmap` -- the Heterogeneous Memory Mapping Unit, which
+  keeps the PIM address space locality-centric while restoring an MLP-centric
+  mapping for the DRAM address space.
+* :mod:`repro.core.pim_ms` -- the PIM-aware Memory Scheduler implementing
+  Algorithm 1's channel-parallel, bank-group-interleaved issue order.
+* :mod:`repro.core.dce` -- the Data Copy Engine: address buffer, data buffer,
+  address generation unit and on-the-fly transpose preprocessing, driving the
+  7-step dataflow of Figure 11.
+* :mod:`repro.core.driver` and :mod:`repro.core.runtime` -- the MMIO device
+  driver model and the user-level ``pim_mmu_transfer`` API (Figure 10b).
+"""
+
+from repro.core.dce import DataCopyEngine
+from repro.core.driver import PimMmuDevice
+from repro.core.hetmap import HeterogeneousMapper
+from repro.core.pim_ms import PimAwareScheduler, ScheduledAccess
+from repro.core.runtime import PimMmuOp, PimMmuRuntime
+
+__all__ = [
+    "DataCopyEngine",
+    "HeterogeneousMapper",
+    "PimAwareScheduler",
+    "PimMmuDevice",
+    "PimMmuOp",
+    "PimMmuRuntime",
+    "ScheduledAccess",
+]

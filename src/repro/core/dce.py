@@ -1,0 +1,326 @@
+"""Data Copy Engine (DCE, paper §IV-C, Figure 11).
+
+The DCE is the hardware unit that performs DRAM<->PIM transfers without any
+CPU involvement.  Its dataflow for a DRAM->PIM transfer follows the seven
+steps of Figure 11:
+
+1. PIM-MS reads an entry from the **address buffer** (the per-PIM-core source
+   base address, destination core id and offset counter).
+2. The entry goes to the **AGU**, which produces the source physical address.
+3. The read request enters the memory controller's read queue and is serviced.
+4. The returned cache line is parked in the **data buffer**.
+5. The **preprocessing unit** transposes it on the fly (chip interleaving,
+   Figure 3).
+6. The AGU produces the destination PIM address.
+7. The write request enters the write queue and completes the transfer of
+   that chunk; the entry's offset counter advances.
+
+The engine's parallelism is bounded by the data buffer (16 KB = 256 in-flight
+cache lines) when PIM-MS drives it, or by a shallow descriptor-at-a-time
+window when it emulates a conventional DMA engine (the ``Base+D`` ablation
+point, :class:`~repro.sim.config.DcePolicy`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, Optional
+
+from repro.core.pim_ms import PimAwareScheduler, ScheduledAccess
+from repro.memctrl.request import MemoryRequest, RequestStream
+from repro.sim.config import CACHE_LINE_BYTES, DcePolicy
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+from repro.transfer.result import TransferResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (system imports HetMap)
+    from repro.system import PimSystem
+
+
+class DataCopyEngine:
+    """Hardware transfer engine with PIM-MS or conventional-DMA issue policy."""
+
+    def __init__(self, system: "PimSystem", policy: DcePolicy = DcePolicy.PIM_MS) -> None:
+        self.system = system
+        self.policy = policy
+        self.config = system.config.pim_mmu
+        self.scheduler = PimAwareScheduler(system.config.pim)
+        # Transfer-in-progress state.
+        self._iterator: Optional[Iterator[ScheduledAccess]] = None
+        self._descriptor: Optional[TransferDescriptor] = None
+        self._in_flight = 0
+        self._writes_outstanding = 0
+        self._completed_chunks = 0
+        self._total_chunks = 0
+        # Parked work, stored as (access, target_key) pairs so retries can skip
+        # channels that are already known to be full.
+        self._pending_writes: Deque[tuple] = deque()
+        self._deferred_reads: Deque[tuple] = deque()
+        self._retry_channels: set = set()
+        self._done = False
+        self._finish_ns = 0.0
+        self.offsets: Dict[int, int] = {}
+
+    # --------------------------------------------------------------- capacity
+    @property
+    def max_in_flight(self) -> int:
+        """How many chunks the engine keeps in flight.
+
+        With PIM-MS the data buffer is the only limit; the conventional-DMA
+        policy processes descriptors serially with a shallow window, which is
+        what makes ``Base+D`` *lose* to the multi-threaded AVX baseline in
+        most Figure 15 configurations.
+        """
+        if self.policy is DcePolicy.PIM_MS:
+            return self.config.data_buffer_entries
+        return self.config.serial_outstanding
+
+    def address_buffer_capacity_ok(self, descriptor: TransferDescriptor) -> bool:
+        """True if the descriptor fits the 64 KB address buffer in one shot."""
+        return descriptor.num_cores <= self.config.address_buffer_entries
+
+    # -------------------------------------------------------------- addressing
+    def _source_addr(self, access: ScheduledAccess) -> int:
+        assert self._descriptor is not None
+        offset = access.chunk_index * CACHE_LINE_BYTES
+        if self._descriptor.direction is TransferDirection.DRAM_TO_PIM:
+            return self._descriptor.dram_base_addrs[access.descriptor_index] + offset
+        return self.system.pim_heap_addr(
+            access.pim_core_id, self._descriptor.pim_heap_offset + offset
+        )
+
+    def _dest_addr(self, access: ScheduledAccess) -> int:
+        assert self._descriptor is not None
+        offset = access.chunk_index * CACHE_LINE_BYTES
+        if self._descriptor.direction is TransferDirection.DRAM_TO_PIM:
+            return self.system.pim_heap_addr(
+                access.pim_core_id, self._descriptor.pim_heap_offset + offset
+            )
+        return self._descriptor.dram_base_addrs[access.descriptor_index] + offset
+
+    # ----------------------------------------------------------------- execute
+    def execute(self, descriptor: TransferDescriptor) -> TransferResult:
+        """Run one offloaded transfer to completion and return its result."""
+        if self._descriptor is not None:
+            raise RuntimeError("the DCE is already executing a transfer")
+        if not self.address_buffer_capacity_ok(descriptor):
+            raise ValueError(
+                f"descriptor names {descriptor.num_cores} PIM cores but the "
+                f"address buffer holds {self.config.address_buffer_entries} entries"
+            )
+        system = self.system
+        self._descriptor = descriptor
+        self._total_chunks = descriptor.num_cores * descriptor.chunks_per_core
+        self._completed_chunks = 0
+        self._in_flight = 0
+        self._writes_outstanding = 0
+        self._pending_writes.clear()
+        self._deferred_reads.clear()
+        self._retry_channels.clear()
+        self._done = False
+        self.offsets = {core: 0 for core in descriptor.pim_core_ids}
+        if self.policy is DcePolicy.PIM_MS:
+            self._iterator = self.scheduler.schedule(descriptor)
+        else:
+            self._iterator = self.scheduler.schedule_serial(descriptor)
+
+        start_ns = system.now
+        start_cpu_busy = system.cpu.total_core_busy_ns()
+        dram_read0, dram_write0 = system.dram.read_bytes(), system.dram.write_bytes()
+        pim_read0, pim_write0 = system.pim.read_bytes(), system.pim.write_bytes()
+        pim_channel0 = system.pim.per_channel_bytes("all")
+        dram_channel0 = system.dram.per_channel_bytes("all")
+
+        # The single CPU thread writes the pim_mmu_op descriptor array through
+        # the device driver and rings the MMIO doorbell, then sleeps.
+        setup_ns = self._descriptor_setup_ns(descriptor)
+        system.cpu.record_busy_interval(start_ns, start_ns + setup_ns)
+        system.engine.schedule_after(setup_ns, self._pump)
+
+        events = 0
+        while not self._done:
+            if not system.engine.step():
+                raise RuntimeError("simulation ran dry before the DCE transfer completed")
+            events += 1
+
+        end_ns = self._finish_ns + self.config.interrupt_latency_ns
+        # Interrupt handling wakes the sleeping user thread briefly; advance
+        # the clock so a subsequent transfer cannot start before the interrupt
+        # of this one has been delivered.
+        system.cpu.record_busy_interval(self._finish_ns, end_ns)
+        system.engine.run(until=end_ns)
+
+        pim_channel1 = system.pim.per_channel_bytes("all")
+        dram_channel1 = system.dram.per_channel_bytes("all")
+        result = TransferResult(
+            descriptor=descriptor,
+            design_label=system.design_point.label,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            cpu_core_busy_ns=system.cpu.total_core_busy_ns() - start_cpu_busy,
+            dce_busy_ns=end_ns - start_ns,
+            dram_read_bytes=system.dram.read_bytes() - dram_read0,
+            dram_write_bytes=system.dram.write_bytes() - dram_write0,
+            pim_read_bytes=system.pim.read_bytes() - pim_read0,
+            pim_write_bytes=system.pim.write_bytes() - pim_write0,
+            per_channel_pim_bytes={
+                channel: pim_channel1[channel] - pim_channel0.get(channel, 0)
+                for channel in pim_channel1
+            },
+            per_channel_dram_bytes={
+                channel: dram_channel1[channel] - dram_channel0.get(channel, 0)
+                for channel in dram_channel1
+            },
+        )
+        result.extra["llc_accesses"] = 0.0  # the DCE bypasses the cache hierarchy
+        result.extra["dce_chunks"] = float(self._total_chunks)
+        self._descriptor = None
+        self._iterator = None
+        return result
+
+    def _descriptor_setup_ns(self, descriptor: TransferDescriptor) -> float:
+        """CPU time spent filling the address buffer and ringing the doorbell."""
+        per_entry_ns = self.system.config.cpu.cycles_to_ns(16)
+        return self.config.mmio_doorbell_latency_ns + per_entry_ns * descriptor.num_cores
+
+    # --------------------------------------------------------------- dataflow
+    def _pump(self) -> None:
+        """Advance the dataflow as far as queue space and the data buffer allow.
+
+        Unlike a software thread (which processes its chunks strictly in
+        order), PIM-MS keeps visibility over *all* pending work and never lets
+        a single full queue stall the rest of the transfer: blocked writes and
+        blocked reads are parked per target channel and the engine keeps
+        issuing work to the channels that still have room.  This skip-ahead
+        behaviour is the "fine-grained hardware scheduling" of §IV-D.
+        """
+        if self._done:
+            return
+        # Channels observed full during this pass; parked entries targeting
+        # them are skipped instead of re-attempted, keeping the pass O(queue).
+        full_targets: set = set()
+        # 1. Drain data-buffer entries whose write can now be enqueued.
+        for _ in range(len(self._pending_writes)):
+            access, key = self._pending_writes.popleft()
+            if key in full_targets:
+                self._pending_writes.append((access, key))
+                continue
+            submitted, key = self._submit_write(access)
+            if not submitted:
+                full_targets.add(key)
+                self._pending_writes.append((access, key))
+        # 2. Retry reads that were previously blocked on a full read queue.
+        for _ in range(len(self._deferred_reads)):
+            if self._in_flight >= self.max_in_flight:
+                return
+            access, key = self._deferred_reads.popleft()
+            if key in full_targets:
+                self._deferred_reads.append((access, key))
+                continue
+            submitted, key = self._submit_read(access)
+            if not submitted:
+                full_targets.add(key)
+                self._deferred_reads.append((access, key))
+        # 3. Pull new accesses from the PIM-MS schedule.
+        while (
+            self._in_flight < self.max_in_flight
+            and len(self._deferred_reads) < self.max_in_flight
+        ):
+            assert self._iterator is not None
+            access = next(self._iterator, None)
+            if access is None:
+                return
+            submitted, key = self._submit_read(access, skip_targets=full_targets)
+            if not submitted:
+                full_targets.add(key)
+                self._deferred_reads.append((access, key))
+
+    def _build_request(self, access: ScheduledAccess, is_write: bool) -> MemoryRequest:
+        """Create and pre-decode one request so its target channel is known."""
+        if is_write:
+            phys_addr = self._dest_addr(access)
+            on_complete = lambda req, a=access: self._on_write_complete(a)  # noqa: E731
+            stream = RequestStream.TRANSFER_WRITE
+        else:
+            phys_addr = self._source_addr(access)
+            on_complete = lambda req, a=access: self._on_read_complete(a)  # noqa: E731
+            stream = RequestStream.TRANSFER_READ
+        request = MemoryRequest(
+            phys_addr=phys_addr,
+            is_write=is_write,
+            stream=stream,
+            pim_core_id=access.pim_core_id,
+            on_complete=on_complete,
+        )
+        request.domain, request.dram_addr = self.system.decode(phys_addr)
+        return request
+
+    @staticmethod
+    def _target_key(request: MemoryRequest) -> tuple:
+        assert request.dram_addr is not None
+        return (request.domain, request.dram_addr.channel, request.is_write)
+
+    def _submit_read(
+        self, access: ScheduledAccess, skip_targets: Optional[set] = None
+    ) -> tuple:
+        """Try to issue the read of ``access``; returns ``(submitted, target_key)``."""
+        request = self._build_request(access, is_write=False)
+        key = self._target_key(request)
+        if skip_targets and key in skip_targets:
+            return False, key
+        if not self.system.submit(request):
+            self._register_retry(request, key)
+            return False, key
+        self._in_flight += 1
+        return True, key
+
+    def _register_retry(self, request: MemoryRequest, key: tuple) -> None:
+        """Ask for a wake-up when the full queue that rejected ``request`` drains."""
+        if key in self._retry_channels:
+            return
+        self._retry_channels.add(key)
+
+        def retry() -> None:
+            self._retry_channels.discard(key)
+            self._pump()
+
+        self.system.retry_when_possible(request, retry)
+
+    def _on_read_complete(self, access: ScheduledAccess) -> None:
+        # Step 5: the preprocessing unit transposes the line on the fly.
+        self.system.engine.schedule_after(
+            self.config.transpose_latency_ns, lambda: self._after_preprocess(access)
+        )
+
+    def _after_preprocess(self, access: ScheduledAccess) -> None:
+        submitted, key = self._submit_write(access)
+        if submitted:
+            self._pump()
+        else:
+            self._pending_writes.append((access, key))
+
+    def _submit_write(self, access: ScheduledAccess) -> tuple:
+        """Try to issue the write of ``access``; returns ``(submitted, target_key)``."""
+        request = self._build_request(access, is_write=True)
+        key = self._target_key(request)
+        if not self.system.submit(request):
+            self._register_retry(request, key)
+            return False, key
+        # The chunk has left the data buffer for the controller's write queue
+        # (step 7 of Figure 11): its data-buffer slot frees immediately --
+        # writes are posted -- so the read pipeline keeps streaming.
+        self._in_flight -= 1
+        self._writes_outstanding += 1
+        return True, key
+
+    def _on_write_complete(self, access: ScheduledAccess) -> None:
+        self._writes_outstanding -= 1
+        self._completed_chunks += 1
+        self.offsets[access.pim_core_id] = self.offsets.get(access.pim_core_id, 0) + CACHE_LINE_BYTES
+        if self._completed_chunks >= self._total_chunks:
+            self._done = True
+            self._finish_ns = self.system.now
+        else:
+            self._pump()
+
+
+__all__ = ["DataCopyEngine"]

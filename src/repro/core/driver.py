@@ -1,0 +1,107 @@
+"""PIM-MMU device driver / MMIO model (paper §IV-B).
+
+The DCE is exposed to software as an MMIO device: its Base Address Register
+maps a small register file into the physical address space, the kernel-level
+driver writes the ``pim_mmu_op`` descriptor information into that region,
+rings a doorbell, puts the calling user process to sleep and wakes it on the
+completion interrupt.  :class:`PimMmuDevice` models that contract -- register
+reads/writes, doorbell, busy/complete status and interrupt delivery -- so the
+user-level runtime (:mod:`repro.core.runtime`) can be written against the same
+interface the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.dce import DataCopyEngine
+from repro.transfer.descriptor import TransferDescriptor
+from repro.transfer.result import TransferResult
+
+# Register offsets within the MMIO window (byte offsets from the BAR).
+REG_DOORBELL = 0x00
+REG_STATUS = 0x08
+REG_COMPLETED_OPS = 0x10
+REG_DESCRIPTOR_COUNT = 0x18
+
+STATUS_IDLE = 0
+STATUS_BUSY = 1
+
+
+@dataclass
+class PimMmuDevice:
+    """The DCE as seen by the kernel driver: a small MMIO register file."""
+
+    dce: DataCopyEngine
+    bar_base: int = 0xFED0_0000
+    _registers: Dict[int, int] = field(default_factory=dict)
+    _interrupt_handlers: List[Callable[[TransferResult], None]] = field(default_factory=list)
+    completed_ops: int = 0
+    last_result: Optional[TransferResult] = None
+
+    def __post_init__(self) -> None:
+        self._registers = {
+            REG_DOORBELL: 0,
+            REG_STATUS: STATUS_IDLE,
+            REG_COMPLETED_OPS: 0,
+            REG_DESCRIPTOR_COUNT: 0,
+        }
+
+    # ----------------------------------------------------------------- MMIO
+    def mmio_read(self, offset: int) -> int:
+        if offset not in self._registers:
+            raise ValueError(f"read from unmapped MMIO offset {offset:#x}")
+        return self._registers[offset]
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        if offset not in self._registers:
+            raise ValueError(f"write to unmapped MMIO offset {offset:#x}")
+        self._registers[offset] = value
+
+    # ------------------------------------------------------------ interrupts
+    def register_interrupt_handler(self, handler: Callable[[TransferResult], None]) -> None:
+        """The driver registers its completion handler here."""
+        self._interrupt_handlers.append(handler)
+
+    def _raise_interrupt(self, result: TransferResult) -> None:
+        for handler in self._interrupt_handlers:
+            handler(result)
+
+    # -------------------------------------------------------------- offloading
+    def submit(self, descriptor: TransferDescriptor) -> TransferResult:
+        """Kernel-driver entry point: offload one transfer and wait for the interrupt.
+
+        The calling user process sleeps for the duration; from the simulation's
+        point of view the call is synchronous and returns the transfer result
+        once the completion interrupt has been delivered.
+        """
+        if self._registers[REG_STATUS] == STATUS_BUSY:
+            raise RuntimeError("PIM-MMU device is busy; concurrent offloads are not supported")
+        self._registers[REG_STATUS] = STATUS_BUSY
+        self._registers[REG_DESCRIPTOR_COUNT] = descriptor.num_cores
+        self._registers[REG_DOORBELL] += 1
+        try:
+            result = self.dce.execute(descriptor)
+        finally:
+            self._registers[REG_STATUS] = STATUS_IDLE
+        self.completed_ops += 1
+        self._registers[REG_COMPLETED_OPS] = self.completed_ops
+        self.last_result = result
+        self._raise_interrupt(result)
+        return result
+
+    @property
+    def is_busy(self) -> bool:
+        return self._registers[REG_STATUS] == STATUS_BUSY
+
+
+__all__ = [
+    "PimMmuDevice",
+    "REG_COMPLETED_OPS",
+    "REG_DESCRIPTOR_COUNT",
+    "REG_DOORBELL",
+    "REG_STATUS",
+    "STATUS_BUSY",
+    "STATUS_IDLE",
+]

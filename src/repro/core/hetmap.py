@@ -1,0 +1,75 @@
+"""Heterogeneous Memory Mapping Unit (HetMap, paper §IV-E).
+
+HetMap maintains *two* memory mapping functions and dispatches per request on
+the physical address:
+
+* requests inside the DRAM region use an MLP-centric mapping (channel bits
+  near the LSB plus XOR hashing), restoring the memory-level parallelism that
+  the PIM-specific BIOS update destroyed (Figure 8, Figure 14); and
+* requests inside the PIM region use the locality-centric ``ChRaBgBkRoCo``
+  mapping, preserving the invariant that each PIM core's data stays inside its
+  own bank (Figure 2e).
+
+During system bootstrapping the BIOS determines the DRAM/PIM capacity split
+and hands the partition to the memory controller; :meth:`HeterogeneousMapper.build`
+models that step by deriving the partition from the two domain geometries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.mapping.address import DramAddress
+from repro.mapping.base import AddressMapping
+from repro.mapping.locality import locality_centric_mapping
+from repro.mapping.mlp import mlp_centric_mapping
+from repro.mapping.partition import AddressSpacePartition
+from repro.mapping.system_mapper import DRAM_DOMAIN, PIM_DOMAIN
+from repro.sim.config import MemoryDomainConfig
+
+
+@dataclass
+class HeterogeneousMapper:
+    """Dual-mapping dispatch between the DRAM and PIM address spaces."""
+
+    partition: AddressSpacePartition
+    dram_mapping: AddressMapping
+    pim_mapping: AddressMapping
+
+    @classmethod
+    def build(
+        cls,
+        dram_geometry: MemoryDomainConfig,
+        pim_geometry: MemoryDomainConfig,
+        enable_xor_hash: bool = True,
+    ) -> "HeterogeneousMapper":
+        """Build HetMap for a system: MLP-centric DRAM side, ChRaBgBkRoCo PIM side."""
+        partition = AddressSpacePartition.from_domains(dram_geometry, pim_geometry)
+        return cls(
+            partition=partition,
+            dram_mapping=mlp_centric_mapping(dram_geometry, enable_xor_hash=enable_xor_hash),
+            pim_mapping=locality_centric_mapping(pim_geometry),
+        )
+
+    def decode(self, phys_addr: int) -> Tuple[str, DramAddress]:
+        """Dispatch on the address range and decode with the matching mapping."""
+        if self.partition.is_pim(phys_addr):
+            offset = self.partition.domain_offset(phys_addr)
+            return PIM_DOMAIN, self.pim_mapping.map(offset)
+        return DRAM_DOMAIN, self.dram_mapping.map(phys_addr)
+
+    def mapping_for(self, domain: str) -> AddressMapping:
+        if domain == PIM_DOMAIN:
+            return self.pim_mapping
+        if domain == DRAM_DOMAIN:
+            return self.dram_mapping
+        raise ValueError(f"unknown domain '{domain}'")
+
+    def describe(self) -> str:
+        return (
+            f"DRAM: {self.dram_mapping.describe()} | PIM: {self.pim_mapping.describe()}"
+        )
+
+
+__all__ = ["HeterogeneousMapper"]

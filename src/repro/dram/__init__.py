@@ -1,0 +1,17 @@
+"""DDR4 device timing model.
+
+This package models one memory domain (the DRAM DIMMs or the PIM DIMMs) at
+command-level fidelity: banks with row-buffer state machines, bank groups with
+``tCCD_L`` constraints, ranks with ``tRRD``/``tFAW`` activation windows and
+periodic refresh, and a shared per-channel data bus with read/write turnaround
+penalties.  The model is "as fast as possible": it never steps idle cycles,
+it only computes the earliest legal time of each command, which is what the
+memory controller (:mod:`repro.memctrl`) needs to serialize requests.
+"""
+
+from repro.dram.bank import BankState
+from repro.dram.channel import AccessTiming, DdrChannel
+from repro.dram.rank import RankState
+from repro.dram.timing import DerivedTiming
+
+__all__ = ["AccessTiming", "BankState", "DdrChannel", "DerivedTiming", "RankState"]

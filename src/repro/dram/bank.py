@@ -1,0 +1,71 @@
+"""Per-bank row-buffer state machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.timing import DerivedTiming
+
+
+@dataclass
+class BankState:
+    """Timing state of one DRAM bank under an open-page policy.
+
+    The bank tracks which row its row buffer currently holds and the earliest
+    times at which the next PRE / ACT / CAS commands may be issued.  The
+    channel model updates these fields as it issues commands; it never steps
+    cycles, so the fields are simply "not before" timestamps in nanoseconds.
+    """
+
+    open_row: Optional[int] = None
+    ready_act: float = 0.0
+    ready_pre: float = 0.0
+    ready_cas: float = 0.0
+    activations: int = field(default=0)
+    row_hits: int = field(default=0)
+    row_misses: int = field(default=0)
+    row_conflicts: int = field(default=0)
+
+    def classify(self, row: int) -> str:
+        """Classify an access to ``row``: ``hit``, ``closed`` or ``conflict``."""
+        if self.open_row is None:
+            return "closed"
+        if self.open_row == row:
+            return "hit"
+        return "conflict"
+
+    def precharge(self, time_ns: float, timing: DerivedTiming) -> float:
+        """Issue a PRE at or after ``time_ns``; returns when ACT becomes legal."""
+        pre_time = max(time_ns, self.ready_pre)
+        self.open_row = None
+        self.ready_act = max(self.ready_act, pre_time + timing.tRP)
+        return self.ready_act
+
+    def activate(self, time_ns: float, row: int, timing: DerivedTiming) -> float:
+        """Issue an ACT for ``row`` at or after ``time_ns``; returns the ACT time."""
+        act_time = max(time_ns, self.ready_act)
+        self.open_row = row
+        self.ready_cas = max(self.ready_cas, act_time + timing.tRCD)
+        self.ready_pre = max(self.ready_pre, act_time + timing.tRAS)
+        self.ready_act = max(self.ready_act, act_time + timing.tRC)
+        self.activations += 1
+        return act_time
+
+    def record_read(self, cas_time: float, timing: DerivedTiming) -> None:
+        """Account a column-read's impact on the earliest legal precharge."""
+        self.ready_pre = max(self.ready_pre, cas_time + timing.tRTP)
+
+    def record_write(self, data_end: float, timing: DerivedTiming) -> None:
+        """Account a column-write's write-recovery impact on precharge."""
+        self.ready_pre = max(self.ready_pre, data_end + timing.tWR)
+
+    def block_until(self, time_ns: float) -> None:
+        """Force the bank idle until ``time_ns`` (used for refresh)."""
+        self.open_row = None
+        self.ready_act = max(self.ready_act, time_ns)
+        self.ready_cas = max(self.ready_cas, time_ns)
+        self.ready_pre = max(self.ready_pre, time_ns)
+
+
+__all__ = ["BankState"]

@@ -1,0 +1,202 @@
+"""Command-level DDR4 channel model.
+
+The channel owns the bank, bank-group, rank and data-bus state of one memory
+channel and answers a single question for the memory controller: *given a
+request and the earliest time it may start, when would its column command
+issue and when would its data burst occupy the bus?*
+
+Two entry points exist:
+
+* :meth:`DdrChannel.estimate` -- a read-only estimate used by the FR-FCFS
+  scheduler to rank queued requests (row hits first).
+* :meth:`DdrChannel.access` -- actually issues the implicit PRE/ACT plus the
+  column command, mutates all state, and returns the resulting
+  :class:`AccessTiming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dram.bank import BankState
+from repro.dram.rank import RankState
+from repro.dram.timing import DerivedTiming
+from repro.mapping.address import DramAddress
+from repro.sim.config import CACHE_LINE_BYTES, MemoryDomainConfig
+
+
+@dataclass(frozen=True)
+class AccessTiming:
+    """Timing outcome of one 64 B column access."""
+
+    cas_time: float
+    data_start: float
+    data_end: float
+    row_state: str  # "hit", "closed" or "conflict"
+    is_write: bool
+
+    @property
+    def is_row_hit(self) -> bool:
+        return self.row_state == "hit"
+
+
+class DdrChannel:
+    """Timing state of one DDR4 channel (all ranks, bank groups and banks)."""
+
+    def __init__(self, geometry: MemoryDomainConfig, channel_id: int) -> None:
+        self.geometry = geometry
+        self.channel_id = channel_id
+        self.timing = DerivedTiming.from_config(geometry.timing)
+        self._banks: Dict[int, BankState] = {}
+        self._ranks: List[RankState] = [
+            RankState(timing=self.timing) for _ in range(geometry.ranks_per_channel)
+        ]
+        # Per bank-group and channel-wide last column-command times, split by
+        # direction so the read/write turnaround penalties can be applied.
+        self._last_cas_bankgroup: Dict[int, float] = {}
+        self._last_cas_channel: float = float("-inf")
+        self._last_read_cas: float = float("-inf")
+        self._last_write_data_end: float = float("-inf")
+        self.bus_free_time: float = 0.0
+        self.busy_data_ns: float = 0.0
+
+    # ------------------------------------------------------------------ keys
+    def _bank_key(self, addr: DramAddress) -> int:
+        return addr.bank_id(self.geometry)
+
+    def _bankgroup_key(self, addr: DramAddress) -> int:
+        return addr.rank * self.geometry.bankgroups_per_rank + addr.bankgroup
+
+    def bank_state(self, addr: DramAddress) -> BankState:
+        key = self._bank_key(addr)
+        if key not in self._banks:
+            self._banks[key] = BankState()
+        return self._banks[key]
+
+    def rank_state(self, rank: int) -> RankState:
+        return self._ranks[rank]
+
+    # ------------------------------------------------------------- estimation
+    def row_state(self, addr: DramAddress) -> str:
+        return self.bank_state(addr).classify(addr.row)
+
+    def estimate(self, addr: DramAddress, is_write: bool, earliest: float) -> float:
+        """Estimate (without mutating state) when the column command could issue."""
+        bank = self.bank_state(addr)
+        state = bank.classify(addr.row)
+        candidate = earliest
+        if state == "hit":
+            cas_ready = bank.ready_cas
+        elif state == "closed":
+            act = max(candidate, bank.ready_act)
+            cas_ready = act + self.timing.tRCD
+        else:
+            pre = max(candidate, bank.ready_pre)
+            act = pre + self.timing.tRP
+            cas_ready = act + self.timing.tRCD
+        cas = max(candidate, cas_ready, self._cas_constraints(addr, is_write))
+        return cas
+
+    def _cas_constraints(self, addr: DramAddress, is_write: bool) -> float:
+        bg_key = self._bankgroup_key(addr)
+        constraint = max(
+            self._last_cas_bankgroup.get(bg_key, float("-inf")) + self.timing.tCCD_L,
+            self._last_cas_channel + self.timing.tCCD_S,
+        )
+        if is_write:
+            constraint = max(constraint, self._last_read_cas + self.timing.tRTW)
+        else:
+            constraint = max(
+                constraint, self._last_write_data_end + self.timing.tWTR_L
+            )
+        latency = self.timing.tCWL if is_write else self.timing.tCL
+        constraint = max(constraint, self.bus_free_time - latency)
+        return constraint
+
+    # ----------------------------------------------------------------- access
+    def access(
+        self, addr: DramAddress, is_write: bool, earliest: float
+    ) -> AccessTiming:
+        """Issue one 64 B access (implicit PRE/ACT as needed) and return its timing."""
+        addr.validate(self.geometry)
+        bank = self.bank_state(addr)
+        rank = self.rank_state(addr.rank)
+
+        # Lazily apply any refresh whose deadline has passed.
+        refreshed_until = rank.perform_due_refreshes(earliest)
+        if refreshed_until > earliest:
+            for key, state in self._banks.items():
+                if key // self.geometry.banks_per_rank == addr.rank:
+                    state.block_until(refreshed_until)
+
+        row_state = bank.classify(addr.row)
+        candidate = earliest
+        if row_state == "conflict":
+            bank.row_conflicts += 1
+            candidate = bank.precharge(candidate, self.timing)
+        elif row_state == "closed":
+            bank.row_misses += 1
+        else:
+            bank.row_hits += 1
+
+        if row_state != "hit":
+            act_candidate = rank.earliest_activate(
+                max(candidate, bank.ready_act), same_bankgroup=False
+            )
+            act_time = bank.activate(act_candidate, addr.row, self.timing)
+            rank.record_activate(act_time)
+
+        cas_time = max(earliest, bank.ready_cas, self._cas_constraints(addr, is_write))
+        latency = self.timing.tCWL if is_write else self.timing.tCL
+        data_start = max(cas_time + latency, self.bus_free_time)
+        data_end = data_start + self.timing.tBL
+
+        # Commit state updates.
+        bg_key = self._bankgroup_key(addr)
+        self._last_cas_bankgroup[bg_key] = max(
+            self._last_cas_bankgroup.get(bg_key, float("-inf")), cas_time
+        )
+        self._last_cas_channel = max(self._last_cas_channel, cas_time)
+        if is_write:
+            self._last_write_data_end = max(self._last_write_data_end, data_end)
+            bank.record_write(data_end, self.timing)
+        else:
+            self._last_read_cas = max(self._last_read_cas, cas_time)
+            bank.record_read(cas_time, self.timing)
+        self.bus_free_time = data_end
+        self.busy_data_ns += self.timing.tBL
+
+        return AccessTiming(
+            cas_time=cas_time,
+            data_start=data_start,
+            data_end=data_end,
+            row_state=row_state,
+            is_write=is_write,
+        )
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def total_row_hits(self) -> int:
+        return sum(bank.row_hits for bank in self._banks.values())
+
+    @property
+    def total_row_conflicts(self) -> int:
+        return sum(bank.row_conflicts for bank in self._banks.values())
+
+    @property
+    def total_activations(self) -> int:
+        return sum(bank.activations for bank in self._banks.values())
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Fraction of ``elapsed_ns`` during which the data bus carried data."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_data_ns / elapsed_ns)
+
+    @property
+    def bytes_per_burst(self) -> int:
+        return CACHE_LINE_BYTES
+
+
+__all__ = ["AccessTiming", "DdrChannel"]

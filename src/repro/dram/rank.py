@@ -1,0 +1,70 @@
+"""Per-rank activation-window and refresh bookkeeping."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.dram.timing import DerivedTiming
+
+
+@dataclass
+class RankState:
+    """Rank-level constraints: tRRD, the four-activate window (tFAW) and refresh.
+
+    Refresh is modelled deterministically: every ``tREFI`` the rank performs a
+    refresh that blocks all of its banks for ``tRFC``.  The channel applies
+    pending refreshes lazily the first time a command targets the rank after a
+    refresh deadline has passed, which keeps the model event-free while still
+    charging the bandwidth cost.
+    """
+
+    timing: DerivedTiming
+    last_act_time: float = field(default=float("-inf"))
+    act_window: Deque[float] = field(default_factory=deque)
+    next_refresh_due: float = 0.0
+    refreshes_performed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.next_refresh_due == 0.0:
+            self.next_refresh_due = self.timing.tREFI
+
+    def earliest_activate(self, candidate_time: float, same_bankgroup: bool) -> float:
+        """Earliest legal ACT time given tRRD and tFAW constraints."""
+        rrd = self.timing.tRRD_L if same_bankgroup else self.timing.tRRD_S
+        earliest = max(candidate_time, self.last_act_time + rrd)
+        if len(self.act_window) >= 4:
+            earliest = max(earliest, self.act_window[0] + self.timing.tFAW)
+        return earliest
+
+    def record_activate(self, act_time: float) -> None:
+        self.last_act_time = act_time
+        self.act_window.append(act_time)
+        while len(self.act_window) > 4:
+            self.act_window.popleft()
+
+    def pending_refreshes(self, now: float) -> int:
+        """Number of refresh deadlines that have passed and not been serviced."""
+        if now < self.next_refresh_due:
+            return 0
+        return int((now - self.next_refresh_due) // self.timing.tREFI) + 1
+
+    def perform_due_refreshes(self, now: float) -> float:
+        """Service all due refreshes; returns the time the rank becomes usable.
+
+        Returns ``now`` unchanged when no refresh is due.
+        """
+        count = self.pending_refreshes(now)
+        if count == 0:
+            return now
+        ready = now
+        for _ in range(count):
+            start = max(ready, self.next_refresh_due)
+            ready = start + self.timing.tRFC
+            self.next_refresh_due += self.timing.tREFI
+            self.refreshes_performed += 1
+        return ready
+
+
+__all__ = ["RankState"]

@@ -1,0 +1,72 @@
+"""DDR4 timing parameters converted to nanoseconds.
+
+:class:`repro.sim.config.DramTimingConfig` stores the JEDEC-style parameters
+in memory-clock cycles; the simulator works in nanoseconds, so this module
+performs the conversion once per channel instead of at every command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import DramTimingConfig
+
+
+@dataclass(frozen=True)
+class DerivedTiming:
+    """All DDR4 timing constraints in nanoseconds."""
+
+    tCL: float
+    tRCD: float
+    tRP: float
+    tRAS: float
+    tRC: float
+    tCCD_S: float
+    tCCD_L: float
+    tRRD_S: float
+    tRRD_L: float
+    tFAW: float
+    tWR: float
+    tWTR_S: float
+    tWTR_L: float
+    tRTP: float
+    tCWL: float
+    tBL: float
+    tRTW: float
+    tRFC: float
+    tREFI: float
+    tCK: float
+
+    @classmethod
+    def from_config(cls, config: DramTimingConfig) -> "DerivedTiming":
+        ns = config.ns
+        return cls(
+            tCL=ns(config.tCL),
+            tRCD=ns(config.tRCD),
+            tRP=ns(config.tRP),
+            tRAS=ns(config.tRAS),
+            tRC=ns(config.tRC),
+            tCCD_S=ns(config.tCCD_S),
+            tCCD_L=ns(config.tCCD_L),
+            tRRD_S=ns(config.tRRD_S),
+            tRRD_L=ns(config.tRRD_L),
+            tFAW=ns(config.tFAW),
+            tWR=ns(config.tWR),
+            tWTR_S=ns(config.tWTR_S),
+            tWTR_L=ns(config.tWTR_L),
+            tRTP=ns(config.tRTP),
+            tCWL=ns(config.tCWL),
+            tBL=ns(config.tBL),
+            tRTW=ns(config.tRTW),
+            tRFC=ns(config.tRFC),
+            tREFI=ns(config.tREFI),
+            tCK=config.tCK_ns,
+        )
+
+    @property
+    def burst_bytes_per_ns_limit(self) -> float:
+        """Upper bound on data-bus bandwidth implied by the burst timing (GB/s)."""
+        return 64.0 / self.tBL
+
+
+__all__ = ["DerivedTiming"]

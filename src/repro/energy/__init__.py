@@ -1,0 +1,25 @@
+"""Energy, power and area models (paper §V "Energy and area overhead estimation").
+
+The paper estimates energy with McPAT and SRAM area/energy with CACTI at
+32 nm; neither tool is available here, so this package provides analytical
+stand-ins with published per-event energies and per-component static powers.
+Absolute joules are not the point -- the Figure 15(b) comparison is relative
+and is dominated by (a) how long the transfer takes (static energy integrates
+over time) and (b) whether the CPU cores are actively orchestrating it
+(dynamic core energy), both of which the models capture.
+"""
+
+from repro.energy.cacti import SramEstimate, estimate_sram
+from repro.energy.mcpat import CorePowerModel, CachePowerModel
+from repro.energy.dram_power import DramPowerModel
+from repro.energy.system import EnergyBreakdown, SystemEnergyModel
+
+__all__ = [
+    "CachePowerModel",
+    "CorePowerModel",
+    "DramPowerModel",
+    "EnergyBreakdown",
+    "SramEstimate",
+    "SystemEnergyModel",
+    "estimate_sram",
+]

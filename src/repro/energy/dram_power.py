@@ -1,0 +1,39 @@
+"""DDR4 DRAM power model (Micron-style background + per-event energies)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import MemoryDomainConfig
+
+
+@dataclass(frozen=True)
+class DramPowerModel:
+    """Background power plus per-activation and per-burst energies for one domain."""
+
+    background_power_w_per_rank: float = 0.75
+    activate_energy_nj: float = 2.5
+    read_burst_energy_nj: float = 5.0
+    write_burst_energy_nj: float = 5.5
+
+    def static_energy_j(self, geometry: MemoryDomainConfig, duration_ns: float) -> float:
+        """Background (including refresh) energy of every rank over ``duration_ns``."""
+        ranks = geometry.channels * geometry.ranks_per_channel
+        return ranks * self.background_power_w_per_rank * duration_ns * 1e-9
+
+    def dynamic_energy_j(
+        self, read_bytes: int, write_bytes: int, activations: int = 0
+    ) -> float:
+        """Dynamic energy for the given traffic (64 B bursts) and activations."""
+        if read_bytes < 0 or write_bytes < 0 or activations < 0:
+            raise ValueError("traffic counters must be non-negative")
+        read_bursts = read_bytes / 64.0
+        write_bursts = write_bytes / 64.0
+        return (
+            read_bursts * self.read_burst_energy_nj
+            + write_bursts * self.write_burst_energy_nj
+            + activations * self.activate_energy_nj
+        ) * 1e-9
+
+
+__all__ = ["DramPowerModel"]

@@ -1,0 +1,65 @@
+"""McPAT-style host-processor power models.
+
+Two small models cover what Figure 15(b) and Figure 4 need:
+
+* :class:`CorePowerModel` -- per-core static power plus a dynamic power that
+  applies while a core is busy orchestrating transfers.  AVX-512 copy loops
+  are power hungry (the paper measures ~70 W of system power with all cores
+  busy, §III-B), which the default dynamic figure reflects.
+* :class:`CachePowerModel` -- LLC static power plus per-access dynamic energy;
+  baseline transfers stream every chunk through the cache hierarchy whereas
+  the DCE bypasses it entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorePowerModel:
+    """Static + active-dynamic power of the host cores."""
+
+    num_cores: int = 8
+    static_power_w_per_core: float = 2.0
+    dynamic_power_w_per_core: float = 3.0
+    uncore_static_power_w: float = 24.0
+
+    def static_energy_j(self, duration_ns: float) -> float:
+        """Static (leakage + uncore) energy over ``duration_ns``."""
+        total_static_w = self.num_cores * self.static_power_w_per_core + self.uncore_static_power_w
+        return total_static_w * duration_ns * 1e-9
+
+    def dynamic_energy_j(self, core_busy_ns: float) -> float:
+        """Dynamic energy for ``core_busy_ns`` of accumulated busy core-time."""
+        return self.dynamic_power_w_per_core * core_busy_ns * 1e-9
+
+    def system_power_w(self, active_cores: float) -> float:
+        """Instantaneous processor power with ``active_cores`` cores busy (Figure 4)."""
+        if active_cores < 0:
+            raise ValueError("active core count must be non-negative")
+        active = min(float(self.num_cores), active_cores)
+        return (
+            self.num_cores * self.static_power_w_per_core
+            + self.uncore_static_power_w
+            + active * self.dynamic_power_w_per_core
+        )
+
+
+@dataclass(frozen=True)
+class CachePowerModel:
+    """Shared LLC power: leakage plus per-access dynamic energy."""
+
+    static_power_w: float = 2.0
+    access_energy_nj: float = 0.6
+
+    def static_energy_j(self, duration_ns: float) -> float:
+        return self.static_power_w * duration_ns * 1e-9
+
+    def dynamic_energy_j(self, accesses: float) -> float:
+        if accesses < 0:
+            raise ValueError("access count must be non-negative")
+        return accesses * self.access_energy_nj * 1e-9
+
+
+__all__ = ["CachePowerModel", "CorePowerModel"]

@@ -1,0 +1,141 @@
+"""System-wide energy integration for one transfer (Figure 15b / Figure 4).
+
+:class:`SystemEnergyModel` turns a :class:`~repro.transfer.result.TransferResult`
+into the eight-way breakdown the paper plots: core / cache / DRAM / PIM-MMU,
+each split into dynamic and static energy.  The paper's observation that
+"energy consumed by the processor-side components dominates" and therefore
+"overall energy-efficiency is determined by how long the transfer takes"
+emerges directly: static terms integrate the transfer duration while dynamic
+core energy integrates CPU busy time (near zero once the DCE does the work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.energy.cacti import estimate_sram
+from repro.energy.dram_power import DramPowerModel
+from repro.energy.mcpat import CachePowerModel, CorePowerModel
+from repro.sim.config import SystemConfig
+from repro.transfer.result import TransferResult
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-component dynamic/static energy of one transfer, in joules."""
+
+    core_dynamic_j: float
+    core_static_j: float
+    cache_dynamic_j: float
+    cache_static_j: float
+    dram_dynamic_j: float
+    dram_static_j: float
+    pim_mmu_dynamic_j: float
+    pim_mmu_static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.core_dynamic_j
+            + self.core_static_j
+            + self.cache_dynamic_j
+            + self.cache_static_j
+            + self.dram_dynamic_j
+            + self.dram_static_j
+            + self.pim_mmu_dynamic_j
+            + self.pim_mmu_static_j
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "core_dynamic": self.core_dynamic_j,
+            "core_static": self.core_static_j,
+            "cache_dynamic": self.cache_dynamic_j,
+            "cache_static": self.cache_static_j,
+            "dram_dynamic": self.dram_dynamic_j,
+            "dram_static": self.dram_static_j,
+            "pim_mmu_dynamic": self.pim_mmu_dynamic_j,
+            "pim_mmu_static": self.pim_mmu_static_j,
+        }
+
+    def efficiency_gain_over(self, other: "EnergyBreakdown") -> float:
+        """How much more energy-efficient this transfer is than ``other``."""
+        if self.total_j <= 0:
+            return float("inf")
+        return other.total_j / self.total_j
+
+
+@dataclass
+class SystemEnergyModel:
+    """Evaluates the energy of a transfer on a given system configuration."""
+
+    config: SystemConfig
+    core_model: CorePowerModel = field(default=None)  # type: ignore[assignment]
+    cache_model: CachePowerModel = field(default_factory=CachePowerModel)
+    dram_model: DramPowerModel = field(default_factory=DramPowerModel)
+    dce_active_power_w: float = 0.35
+    dce_chunk_energy_nj: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.core_model is None:
+            self.core_model = CorePowerModel(num_cores=self.config.cpu.num_cores)
+
+    def evaluate(self, result: TransferResult, include_pim_mmu: bool = True) -> EnergyBreakdown:
+        """Compute the component breakdown for one completed transfer."""
+        duration = result.duration_ns
+        llc_accesses = result.extra.get("llc_accesses", 0.0)
+        dce_chunks = result.extra.get("dce_chunks", 0.0)
+
+        dram_dynamic = self.dram_model.dynamic_energy_j(
+            result.dram_read_bytes, result.dram_write_bytes
+        ) + self.dram_model.dynamic_energy_j(result.pim_read_bytes, result.pim_write_bytes)
+        dram_static = self.dram_model.static_energy_j(
+            self.config.dram, duration
+        ) + self.dram_model.static_energy_j(self.config.pim, duration)
+
+        if include_pim_mmu:
+            buffers = [
+                estimate_sram(self.config.pim_mmu.data_buffer_bytes),
+                estimate_sram(self.config.pim_mmu.address_buffer_bytes),
+            ]
+            leakage_w = sum(buffer.leakage_mw for buffer in buffers) / 1000.0
+            pim_mmu_static = leakage_w * duration * 1e-9
+            pim_mmu_dynamic = (
+                dce_chunks * self.dce_chunk_energy_nj * 1e-9
+                + self.dce_active_power_w * result.dce_busy_ns * 1e-9
+            )
+        else:
+            pim_mmu_static = 0.0
+            pim_mmu_dynamic = 0.0
+
+        return EnergyBreakdown(
+            core_dynamic_j=self.core_model.dynamic_energy_j(result.cpu_core_busy_ns),
+            core_static_j=self.core_model.static_energy_j(duration),
+            cache_dynamic_j=self.cache_model.dynamic_energy_j(llc_accesses),
+            cache_static_j=self.cache_model.static_energy_j(duration),
+            dram_dynamic_j=dram_dynamic,
+            dram_static_j=dram_static,
+            pim_mmu_dynamic_j=pim_mmu_dynamic,
+            pim_mmu_static_j=pim_mmu_static,
+        )
+
+    def system_power_during_transfer(self, result: TransferResult) -> float:
+        """Average system power (W) while the transfer ran (the Figure 4 right axis)."""
+        duration = result.duration_ns
+        if duration <= 0:
+            return 0.0
+        active_cores = result.cpu_core_busy_ns / duration
+        breakdown = self.evaluate(result)
+        non_core_w = (
+            breakdown.cache_static_j
+            + breakdown.dram_dynamic_j
+            + breakdown.dram_static_j
+            + breakdown.cache_dynamic_j
+            + breakdown.pim_mmu_dynamic_j
+            + breakdown.pim_mmu_static_j
+        ) / (duration * 1e-9)
+        return self.core_model.system_power_w(active_cores) + non_core_w
+
+
+__all__ = ["EnergyBreakdown", "SystemEnergyModel"]

@@ -1,0 +1,22 @@
+"""Host-processor substrate.
+
+The host side of the reproduction contains everything that executes on the
+CPU socket: a core/LLC model used for accounting and energy, software threads
+scheduled by a round-robin OS scheduler with a 1.5 ms quantum (the policy the
+paper uses to model the baseline's multi-threaded transfers, §V), and the
+compute-/memory-intensive contender workloads of Figure 13.
+"""
+
+from repro.host.cpu import HostCpu
+from repro.host.llc import LastLevelCache
+from repro.host.os_scheduler import RoundRobinScheduler, SchedulableThread
+from repro.host.contenders import ComputeContenderThread, MemoryContenderThread
+
+__all__ = [
+    "ComputeContenderThread",
+    "HostCpu",
+    "LastLevelCache",
+    "MemoryContenderThread",
+    "RoundRobinScheduler",
+    "SchedulableThread",
+]

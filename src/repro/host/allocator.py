@@ -1,0 +1,59 @@
+"""Simple bump allocator for the DRAM physical address region.
+
+Workloads, examples and benchmarks need host-side buffers that live at
+concrete physical addresses (the mapping function decides how much
+parallelism they get, so the addresses matter).  A bump allocator with 64 B
+alignment is all the reproduction needs -- buffers are never freed within one
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.mapping.partition import AddressSpacePartition
+from repro.sim.config import CACHE_LINE_BYTES
+
+
+@dataclass
+class HostAllocator:
+    """Allocates named, cache-line-aligned buffers inside the DRAM region."""
+
+    partition: AddressSpacePartition
+    _cursor: int = 0
+    _allocations: Dict[str, range] = field(default_factory=dict)
+
+    def allocate(self, nbytes: int, name: str = "") -> int:
+        """Reserve ``nbytes`` of DRAM and return the buffer's physical base address."""
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        aligned = (nbytes + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES * CACHE_LINE_BYTES
+        if self._cursor + aligned > self.partition.dram_capacity_bytes:
+            raise MemoryError(
+                f"DRAM region exhausted: requested {aligned} bytes at cursor "
+                f"{self._cursor:#x} of {self.partition.dram_capacity_bytes:#x}"
+            )
+        base = self.partition.dram_address(self._cursor)
+        self._cursor += aligned
+        if name:
+            self._allocations[name] = range(base, base + aligned)
+        return base
+
+    def allocation(self, name: str) -> range:
+        return self._allocations[name]
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor
+
+    @property
+    def free_bytes(self) -> int:
+        return self.partition.dram_capacity_bytes - self._cursor
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self._allocations.clear()
+
+
+__all__ = ["HostAllocator"]

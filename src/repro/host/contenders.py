@@ -1,0 +1,146 @@
+"""Co-located contender workloads used in the Figure 13 sensitivity study.
+
+Two families of contenders exist:
+
+* :class:`ComputeContenderThread` -- a spinlock-like thread whose memory
+  accesses are captured by the on-chip caches.  Its only effect on the system
+  is occupying a CPU core, which starves the baseline's multi-threaded
+  transfer of cores (Figure 13a).
+* :class:`MemoryContenderThread` -- a pointer-chasing / streaming thread that
+  continuously injects DRAM reads.  Its memory-access intensity is swept from
+  "low" to "very high" by shrinking the CPU think-time between requests
+  (Figure 13b), stealing memory bandwidth from the transfer in addition to a
+  core.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Protocol
+
+from repro.memctrl.request import MemoryRequest, RequestStream
+from repro.sim.engine import SimulationEngine
+
+
+class TrafficPort(Protocol):
+    """Minimal interface a traffic source needs from the memory hierarchy."""
+
+    def submit(self, request: MemoryRequest) -> bool:
+        """Decode and enqueue a request; returns False when the queue is full."""
+        ...
+
+    def retry_when_possible(self, request: MemoryRequest, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` when the request's target queue frees a slot."""
+        ...
+
+
+# Think time (ns of CPU work between successive memory requests) per intensity
+# level of Figure 13(b).  "Very high" is an almost pure memory stream.
+MEMORY_INTENSITY_THINK_NS = {
+    "low": 200.0,
+    "medium": 60.0,
+    "high": 20.0,
+    "very_high": 4.0,
+}
+
+
+class ComputeContenderThread:
+    """A cache-resident, compute-bound contender (spinlock-style)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._running = False
+
+    def on_scheduled(self, now_ns: float) -> None:
+        self._running = True
+
+    def on_preempted(self, now_ns: float) -> None:
+        self._running = False
+
+    def is_finished(self) -> bool:
+        # Contenders run for the whole experiment; the harness stops the
+        # scheduler when the measured transfer finishes.
+        return False
+
+
+class MemoryContenderThread:
+    """A memory-intensive contender issuing DRAM reads while it holds a core."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: SimulationEngine,
+        port: TrafficPort,
+        buffer_base: int,
+        buffer_bytes: int,
+        intensity: str = "high",
+        max_outstanding: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if intensity not in MEMORY_INTENSITY_THINK_NS:
+            raise ValueError(
+                f"unknown intensity '{intensity}'; expected one of "
+                f"{sorted(MEMORY_INTENSITY_THINK_NS)}"
+            )
+        if buffer_bytes < 64:
+            raise ValueError("contender buffer must hold at least one cache line")
+        self.name = name
+        self.engine = engine
+        self.port = port
+        self.buffer_base = buffer_base
+        self.buffer_bytes = buffer_bytes
+        self.intensity = intensity
+        self.think_time_ns = MEMORY_INTENSITY_THINK_NS[intensity]
+        self.max_outstanding = max_outstanding
+        self._rng = random.Random(seed)
+        self._running = False
+        self._outstanding = 0
+        self.requests_issued = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------- scheduling
+    def on_scheduled(self, now_ns: float) -> None:
+        self._running = True
+        self._pump()
+
+    def on_preempted(self, now_ns: float) -> None:
+        self._running = False
+
+    def is_finished(self) -> bool:
+        return False
+
+    # ----------------------------------------------------------------- traffic
+    def _random_address(self) -> int:
+        blocks = self.buffer_bytes // 64
+        return self.buffer_base + self._rng.randrange(blocks) * 64
+
+    def _pump(self) -> None:
+        while self._running and self._outstanding < self.max_outstanding:
+            request = MemoryRequest(
+                phys_addr=self._random_address(),
+                is_write=False,
+                stream=RequestStream.CONTENDER,
+                on_complete=self._on_complete,
+            )
+            if not self.port.submit(request):
+                self.port.retry_when_possible(request, self._pump)
+                return
+            self._outstanding += 1
+            self.requests_issued += 1
+
+    def _on_complete(self, request: MemoryRequest) -> None:
+        self._outstanding -= 1
+        self.bytes_transferred += request.size_bytes
+        if self._running:
+            if self.think_time_ns > 0:
+                self.engine.schedule_after(self.think_time_ns, self._pump)
+            else:
+                self._pump()
+
+
+__all__ = [
+    "ComputeContenderThread",
+    "MEMORY_INTENSITY_THINK_NS",
+    "MemoryContenderThread",
+    "TrafficPort",
+]

@@ -1,0 +1,78 @@
+"""Host CPU bookkeeping: core-time accounting and cycle conversions.
+
+The reproduction does not need an instruction-accurate out-of-order core; the
+paper itself drives Ramulator with instruction traces whose only relevant
+effect is the rate and width of memory accesses.  What the host model *must*
+provide is (1) how many cores are busy at any time -- this drives the Figure 4
+CPU-utilization and system-power curves -- and (2) how fast a single software
+thread can push copy chunks, which is captured by the per-chunk CPU cost in
+:class:`repro.sim.config.CpuConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.sim.config import CpuConfig
+
+
+@dataclass
+class HostCpu:
+    """Tracks busy-core intervals for utilization and energy accounting."""
+
+    config: CpuConfig
+    _busy_intervals: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def num_cores(self) -> int:
+        return self.config.num_cores
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return self.config.cycles_to_ns(cycles)
+
+    def record_busy_interval(self, start_ns: float, end_ns: float) -> None:
+        """Record that one core was busy during ``[start_ns, end_ns)``."""
+        if end_ns < start_ns:
+            raise ValueError("interval end precedes start")
+        if end_ns > start_ns:
+            self._busy_intervals.append((start_ns, end_ns))
+
+    def total_core_busy_ns(self) -> float:
+        """Sum of busy core-time (core-ns) over all recorded intervals."""
+        return sum(end - start for start, end in self._busy_intervals)
+
+    def average_active_cores(self, start_ns: float, end_ns: float) -> float:
+        """Average number of busy cores over ``[start_ns, end_ns)``."""
+        window = end_ns - start_ns
+        if window <= 0:
+            return 0.0
+        busy = 0.0
+        for interval_start, interval_end in self._busy_intervals:
+            overlap = min(interval_end, end_ns) - max(interval_start, start_ns)
+            if overlap > 0:
+                busy += overlap
+        return min(float(self.num_cores), busy / window)
+
+    def utilization(self, start_ns: float, end_ns: float) -> float:
+        """Fraction of core capacity used over the window (0..1)."""
+        return self.average_active_cores(start_ns, end_ns) / self.num_cores
+
+    def active_core_series(
+        self, window_ns: float, start_ns: float, end_ns: float
+    ) -> List[float]:
+        """Average active cores per time window (the Figure 4 left axis)."""
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        series: List[float] = []
+        cursor = start_ns
+        while cursor < end_ns:
+            series.append(self.average_active_cores(cursor, min(cursor + window_ns, end_ns)))
+            cursor += window_ns
+        return series
+
+    def reset(self) -> None:
+        self._busy_intervals.clear()
+
+
+__all__ = ["HostCpu"]

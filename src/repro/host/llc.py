@@ -1,0 +1,84 @@
+"""Shared last-level cache model (Table I: 8 MB, 16-way, 64 B lines).
+
+The LLC matters to the reproduction in two places: (1) memory requests that
+target the PIM address space are *non-cacheable* and always bypass it, while
+normal DRAM requests may hit; and (2) cache accesses contribute dynamic energy
+in the Figure 15(b) breakdown.  A set-associative LRU model is sufficient for
+both -- the baseline transfer's streaming reads miss essentially always, and
+the compute contenders of Figure 13(a) hit essentially always, which is what
+the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.config import CACHE_LINE_BYTES, CpuConfig
+
+
+@dataclass
+class LastLevelCache:
+    """Set-associative LRU last-level cache."""
+
+    capacity_bytes: int
+    associativity: int
+    hit_latency_ns: float = 12.0
+    _sets: Dict[int, "OrderedDict[int, bool]"] = field(default_factory=dict, repr=False)
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def __post_init__(self) -> None:
+        lines = self.capacity_bytes // CACHE_LINE_BYTES
+        if lines % self.associativity != 0:
+            raise ValueError("capacity must be divisible by associativity * line size")
+        self.num_sets = lines // self.associativity
+
+    @classmethod
+    def from_config(cls, config: CpuConfig) -> "LastLevelCache":
+        return cls(
+            capacity_bytes=config.llc_capacity_bytes,
+            associativity=config.llc_assoc,
+            hit_latency_ns=config.llc_hit_latency_ns,
+        )
+
+    def _set_index(self, phys_addr: int) -> int:
+        return (phys_addr // CACHE_LINE_BYTES) % self.num_sets
+
+    def _tag(self, phys_addr: int) -> int:
+        return phys_addr // CACHE_LINE_BYTES // self.num_sets
+
+    def access(self, phys_addr: int, is_write: bool = False) -> bool:
+        """Look up ``phys_addr``; allocate on miss.  Returns True on a hit."""
+        set_index = self._set_index(phys_addr)
+        tag = self._tag(phys_addr)
+        cache_set = self._sets.setdefault(set_index, OrderedDict())
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            cache_set[tag] = cache_set[tag] or is_write
+            self.hits += 1
+            return True
+        self.misses += 1
+        cache_set[tag] = is_write
+        if len(cache_set) > self.associativity:
+            cache_set.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+__all__ = ["LastLevelCache"]

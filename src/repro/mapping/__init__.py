@@ -1,0 +1,54 @@
+"""Physical-address to DRAM-address mapping functions (paper §II-A, §IV-E).
+
+The reproduction exposes three families of mapping functions:
+
+* locality-centric ``ChRaBgBkRoCo`` mapping -- the homogeneous mapping PIM
+  systems enforce today to keep DRAM and PIM addresses from sharing a bank
+  (Figure 7a),
+* MLP-centric mapping with XOR hashing and channel bits near the LSB -- what a
+  conventional, PIM-less server uses (Figure 7b), and
+* BIOS-style interleaving configurations (1-way / N-way IMC and channel
+  interleaving) that reproduce the Figure 1 examples.
+
+The :class:`~repro.mapping.partition.AddressSpacePartition` splits the
+physical address space into the DRAM region and the PIM region, which is the
+input HetMap (``repro.core.hetmap``) dispatches on.
+"""
+
+from repro.mapping.address import DramAddress
+from repro.mapping.base import AddressMapping, BitFieldMapping, FieldSlice, XorHash
+from repro.mapping.bios import BiosInterleaveConfig, bios_mapping
+from repro.mapping.locality import locality_centric_mapping
+from repro.mapping.mlp import mlp_centric_mapping
+from repro.mapping.partition import (
+    AddressSpacePartition,
+    pim_core_coordinates,
+    pim_core_id_from_coordinates,
+    pim_heap_physical_address,
+)
+from repro.mapping.system_mapper import (
+    DRAM_DOMAIN,
+    PIM_DOMAIN,
+    HomogeneousMapper,
+    SystemAddressMapper,
+)
+
+__all__ = [
+    "AddressMapping",
+    "AddressSpacePartition",
+    "BiosInterleaveConfig",
+    "BitFieldMapping",
+    "DRAM_DOMAIN",
+    "DramAddress",
+    "FieldSlice",
+    "HomogeneousMapper",
+    "PIM_DOMAIN",
+    "SystemAddressMapper",
+    "XorHash",
+    "bios_mapping",
+    "locality_centric_mapping",
+    "mlp_centric_mapping",
+    "pim_core_coordinates",
+    "pim_core_id_from_coordinates",
+    "pim_heap_physical_address",
+]

@@ -1,0 +1,64 @@
+"""DRAM address tuple shared by every mapping function and the DRAM model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import MemoryDomainConfig
+
+
+@dataclass(frozen=True, order=True)
+class DramAddress:
+    """A fully decoded DRAM location at cache-line (64 B) granularity.
+
+    ``column`` indexes 64 B blocks within a row, i.e. a row of 8 KB has
+    columns 0..127.  The byte offset within the block never influences timing
+    and is therefore not part of this tuple.
+    """
+
+    channel: int
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    column: int
+
+    def bank_id(self, geometry: MemoryDomainConfig) -> int:
+        """Flat bank index within the channel (rank-major, then bank group, then bank)."""
+        return (
+            self.rank * geometry.banks_per_rank
+            + self.bankgroup * geometry.banks_per_group
+            + self.bank
+        )
+
+    def global_bank_id(self, geometry: MemoryDomainConfig) -> int:
+        """Flat bank index across the whole domain (channel-major)."""
+        return self.channel * geometry.banks_per_channel + self.bank_id(geometry)
+
+    def validate(self, geometry: MemoryDomainConfig) -> None:
+        """Raise ``ValueError`` if any coordinate exceeds the geometry."""
+        checks = (
+            ("channel", self.channel, geometry.channels),
+            ("rank", self.rank, geometry.ranks_per_channel),
+            ("bankgroup", self.bankgroup, geometry.bankgroups_per_rank),
+            ("bank", self.bank, geometry.banks_per_group),
+            ("row", self.row, geometry.rows_per_bank),
+            ("column", self.column, geometry.columns_per_row),
+        )
+        for name, value, limit in checks:
+            if not 0 <= value < limit:
+                raise ValueError(
+                    f"{name}={value} outside [0, {limit}) for geometry '{geometry.name}'"
+                )
+
+    def same_bank(self, other: "DramAddress") -> bool:
+        """True if both addresses land in the same physical bank."""
+        return (
+            self.channel == other.channel
+            and self.rank == other.rank
+            and self.bankgroup == other.bankgroup
+            and self.bank == other.bank
+        )
+
+
+__all__ = ["DramAddress"]

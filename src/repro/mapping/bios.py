@@ -1,0 +1,109 @@
+"""BIOS interleaving configurations (Figure 1).
+
+Server BIOSes expose knobs that enable (``N-way``) or disable (``1-way``)
+address interleaving at each level of the DRAM hierarchy.  Figure 1 of the
+paper walks through three representative settings:
+
+* (b) 1-way IMC, 1-way channel: both the IMC bit and the channel bit sit near
+  the MSB -- the lower half of the address space only ever uses channels 0/1.
+* (c) 1-way IMC, N-way channel: the channel-within-IMC bit moves near the
+  LSB, but the IMC bit stays near the MSB.
+* (d) N-way IMC, N-way channel: both bits sit near the LSB, exposing the full
+  channel-level parallelism.
+
+The PIM-specific BIOS update corresponds to configuration (b) applied
+homogeneously, which is what :func:`repro.mapping.locality.locality_centric_mapping`
+models; this module exists so the Figure 1 / Figure 8 experiments can sweep
+the intermediate points as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.mapping.base import BitFieldMapping, XorHash
+from repro.sim.config import MemoryDomainConfig
+
+
+@dataclass(frozen=True)
+class BiosInterleaveConfig:
+    """State of the BIOS interleaving knobs.
+
+    ``imc_interleave`` and ``channel_interleave`` select N-way (True) or 1-way
+    (False) interleaving at the IMC and channel level respectively.
+    ``xor_hash`` additionally enables permutation-based bank/channel hashing,
+    which real MLP-centric mappings employ on top of N-way interleaving.
+    """
+
+    imc_interleave: bool = True
+    channel_interleave: bool = True
+    xor_hash: bool = True
+
+    @property
+    def label(self) -> str:
+        imc = "N-way" if self.imc_interleave else "1-way"
+        channel = "N-way" if self.channel_interleave else "1-way"
+        return f"IMC:{imc}/Ch:{channel}" + ("+XOR" if self.xor_hash else "")
+
+
+def bios_mapping(
+    geometry: MemoryDomainConfig, config: BiosInterleaveConfig
+) -> BitFieldMapping:
+    """Build the mapping selected by a BIOS interleaving configuration.
+
+    The channel bits are split into an IMC bit (the upper half of the channel
+    index) and a channel-within-IMC bit.  Each of the two knobs independently
+    places its bit either near the LSB (N-way) or near the MSB (1-way), which
+    reproduces the Figure 1(b)-(d) address layouts.  With a single channel (or
+    a two-channel system, where there is no separate IMC bit) the knobs
+    degrade gracefully.
+    """
+    channel_bits = geometry.channels.bit_length() - 1
+    imc_bits = channel_bits // 2
+    channel_low_bits = channel_bits - imc_bits
+
+    column_bits = geometry.columns_per_row.bit_length() - 1
+    column_low = min(2, column_bits)
+    column_high = column_bits - column_low
+
+    low_side: List[Tuple[str, int]] = []
+    high_side: List[Tuple[str, int]] = []
+
+    # Channel-within-IMC bits: LSB position if channel interleaving is N-way.
+    if config.channel_interleave:
+        low_side.append(("channel", channel_low_bits))
+    else:
+        high_side.append(("channel", channel_low_bits))
+    # IMC bits: LSB position only when IMC interleaving is N-way.
+    if config.imc_interleave:
+        low_side.append(("channel", imc_bits))
+    else:
+        high_side.append(("channel", imc_bits))
+
+    layout: List[Tuple[str, int]] = []
+    layout.extend(low_side)
+    layout.extend(
+        [
+            ("column", column_low),
+            ("bankgroup", geometry.bankgroups_per_rank.bit_length() - 1),
+            ("bank", geometry.banks_per_group.bit_length() - 1),
+            ("column", column_high),
+            ("rank", geometry.ranks_per_channel.bit_length() - 1),
+            ("row", geometry.rows_per_bank.bit_length() - 1),
+        ]
+    )
+    layout.extend(high_side)
+
+    hashes = ()
+    if config.xor_hash:
+        hashes = (
+            XorHash(target="bankgroup", source="row", source_lsb=2),
+            XorHash(target="bank", source="row", source_lsb=4),
+        )
+        if config.channel_interleave and config.imc_interleave:
+            hashes = (XorHash(target="channel", source="row", source_lsb=0),) + hashes
+    return BitFieldMapping(geometry, layout, xor_hashes=hashes, name=f"bios[{config.label}]")
+
+
+__all__ = ["BiosInterleaveConfig", "bios_mapping"]

@@ -1,0 +1,34 @@
+"""Locality-centric ``ChRaBgBkRoCo`` mapping (Figure 7a).
+
+This is the mapping function PIM-specific BIOS updates enforce homogeneously
+across the whole memory system today.  From the MSB: channel, rank, bank
+group, bank, row, column.  Contiguous physical addresses therefore walk the
+columns of a single row, then the rows of a single bank -- a whole multi-MB
+buffer stays inside one bank of one channel, which is exactly why normal DRAM
+traffic loses its memory-level parallelism (Challenge #3, Figure 8).
+"""
+
+from __future__ import annotations
+
+from repro.mapping.base import BitFieldMapping
+from repro.sim.config import MemoryDomainConfig
+
+
+def locality_centric_mapping(geometry: MemoryDomainConfig) -> BitFieldMapping:
+    """Build the ChRaBgBkRoCo mapping for ``geometry``.
+
+    The layout is given LSB -> MSB, so column comes first and channel last,
+    which renders (MSB -> LSB) as ``Ch Ra Bg Bk Ro Co``.
+    """
+    layout = [
+        ("column", geometry.columns_per_row.bit_length() - 1),
+        ("row", geometry.rows_per_bank.bit_length() - 1),
+        ("bank", geometry.banks_per_group.bit_length() - 1),
+        ("bankgroup", geometry.bankgroups_per_rank.bit_length() - 1),
+        ("rank", geometry.ranks_per_channel.bit_length() - 1),
+        ("channel", geometry.channels.bit_length() - 1),
+    ]
+    return BitFieldMapping(geometry, layout, xor_hashes=(), name="locality-centric")
+
+
+__all__ = ["locality_centric_mapping"]

@@ -1,0 +1,50 @@
+"""MLP-centric mapping with XOR hashing (Figure 7b).
+
+This reproduces the mapping a conventional (PIM-less) server employs: channel
+bits sit right above the cache-line offset so consecutive 64 B blocks rotate
+across channels, bank-group and bank bits sit below the row bits so streams
+also rotate across bank groups and banks, and channel/bank-group/bank bits are
+XOR-hashed with row bits (permutation-based interleaving) so strided patterns
+keep their parallelism as well.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.base import BitFieldMapping, XorHash
+from repro.sim.config import MemoryDomainConfig
+
+
+def mlp_centric_mapping(
+    geometry: MemoryDomainConfig, enable_xor_hash: bool = True
+) -> BitFieldMapping:
+    """Build the MLP-centric mapping for ``geometry``.
+
+    Layout (LSB -> MSB): channel | column[1:0] | bank group | bank |
+    column[rest] | rank | row.  Consecutive cache lines round-robin over the
+    channels, 256 B chunks round-robin over bank groups and banks, and the row
+    bits only change every few tens of KB.  With ``enable_xor_hash`` the
+    channel, bank-group and bank bits are additionally XORed with row bits.
+    """
+    column_bits = geometry.columns_per_row.bit_length() - 1
+    column_low = min(2, column_bits)
+    column_high = column_bits - column_low
+    layout = [
+        ("channel", geometry.channels.bit_length() - 1),
+        ("column", column_low),
+        ("bankgroup", geometry.bankgroups_per_rank.bit_length() - 1),
+        ("bank", geometry.banks_per_group.bit_length() - 1),
+        ("column", column_high),
+        ("rank", geometry.ranks_per_channel.bit_length() - 1),
+        ("row", geometry.rows_per_bank.bit_length() - 1),
+    ]
+    hashes = ()
+    if enable_xor_hash:
+        hashes = (
+            XorHash(target="channel", source="row", source_lsb=0),
+            XorHash(target="bankgroup", source="row", source_lsb=2),
+            XorHash(target="bank", source="row", source_lsb=4),
+        )
+    return BitFieldMapping(geometry, layout, xor_hashes=hashes, name="mlp-centric")
+
+
+__all__ = ["mlp_centric_mapping"]

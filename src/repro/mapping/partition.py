@@ -1,0 +1,175 @@
+"""Physical address-space partitioning between DRAM and PIM (paper §II-B).
+
+Memory-bus integrated PIM systems keep DRAM and PIM in mutually exclusive
+physical address ranges so the host memory controller never has to arbitrate
+between a host access and a PIM-core access to the same bank.  The BIOS
+establishes the partition at boot; HetMap later dispatches on it to pick a
+mapping function per request.
+
+The partition also provides the helpers the runtimes use to turn a
+``(PIM core id, heap offset)`` pair into a physical address, mirroring how the
+UPMEM SDK derives MRAM addresses from the DPU id and
+``DPU_MRAM_HEAP_POINTER_NAME``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.address import DramAddress
+from repro.mapping.base import AddressMapping
+from repro.sim.config import CACHE_LINE_BYTES, MemoryDomainConfig
+
+
+@dataclass(frozen=True)
+class AddressSpacePartition:
+    """Mutually exclusive DRAM and PIM physical address regions.
+
+    The DRAM region starts at physical address 0 and spans the DRAM capacity;
+    the PIM region starts right after it.  Real systems leave MMIO holes and
+    reserved ranges in between, but those never carry data-transfer traffic so
+    the reproduction omits them.
+    """
+
+    dram_capacity_bytes: int
+    pim_capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.dram_capacity_bytes <= 0 or self.pim_capacity_bytes <= 0:
+            raise ValueError("both regions must have positive capacity")
+
+    @property
+    def dram_base(self) -> int:
+        return 0
+
+    @property
+    def pim_base(self) -> int:
+        return self.dram_capacity_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dram_capacity_bytes + self.pim_capacity_bytes
+
+    @classmethod
+    def from_domains(
+        cls, dram: MemoryDomainConfig, pim: MemoryDomainConfig
+    ) -> "AddressSpacePartition":
+        return cls(
+            dram_capacity_bytes=dram.capacity_bytes,
+            pim_capacity_bytes=pim.capacity_bytes,
+        )
+
+    def is_pim(self, phys_addr: int) -> bool:
+        """True if ``phys_addr`` falls inside the PIM region."""
+        self._check_range(phys_addr)
+        return phys_addr >= self.pim_base
+
+    def is_dram(self, phys_addr: int) -> bool:
+        return not self.is_pim(phys_addr)
+
+    def domain_offset(self, phys_addr: int) -> int:
+        """Byte offset of ``phys_addr`` within its own region."""
+        self._check_range(phys_addr)
+        if phys_addr >= self.pim_base:
+            return phys_addr - self.pim_base
+        return phys_addr
+
+    def pim_address(self, offset: int) -> int:
+        """Physical address of byte ``offset`` inside the PIM region."""
+        if not 0 <= offset < self.pim_capacity_bytes:
+            raise ValueError(
+                f"PIM offset {offset:#x} outside capacity {self.pim_capacity_bytes:#x}"
+            )
+        return self.pim_base + offset
+
+    def dram_address(self, offset: int) -> int:
+        """Physical address of byte ``offset`` inside the DRAM region."""
+        if not 0 <= offset < self.dram_capacity_bytes:
+            raise ValueError(
+                f"DRAM offset {offset:#x} outside capacity {self.dram_capacity_bytes:#x}"
+            )
+        return offset
+
+    def _check_range(self, phys_addr: int) -> None:
+        if not 0 <= phys_addr < self.total_bytes:
+            raise ValueError(
+                f"physical address {phys_addr:#x} outside the populated "
+                f"{self.total_bytes:#x} bytes"
+            )
+
+
+def pim_core_coordinates(
+    geometry: MemoryDomainConfig, pim_core_id: int
+) -> DramAddress:
+    """Decode a PIM core id into its (channel, rank, bank group, bank) home.
+
+    The id enumeration follows Algorithm 1's ``get_pim_core_id``: within one
+    channel, ``id = rank * banks_per_rank + bankgroup * banks_per_group + bank``;
+    channels are enumerated in the most-significant position so consecutive
+    ids stay within a channel (which is also how the baseline runtime assigns
+    transfer jobs to software threads).
+    """
+    total = geometry.total_banks
+    if not 0 <= pim_core_id < total:
+        raise ValueError(f"PIM core id {pim_core_id} outside [0, {total})")
+    per_channel = geometry.banks_per_channel
+    channel, within = divmod(pim_core_id, per_channel)
+    rank, within = divmod(within, geometry.banks_per_rank)
+    bankgroup, bank = divmod(within, geometry.banks_per_group)
+    return DramAddress(
+        channel=channel, rank=rank, bankgroup=bankgroup, bank=bank, row=0, column=0
+    )
+
+
+def pim_core_id_from_coordinates(
+    geometry: MemoryDomainConfig, channel: int, rank: int, bankgroup: int, bank: int
+) -> int:
+    """Inverse of :func:`pim_core_coordinates`."""
+    within = (
+        rank * geometry.banks_per_rank
+        + bankgroup * geometry.banks_per_group
+        + bank
+    )
+    return channel * geometry.banks_per_channel + within
+
+
+def pim_heap_physical_address(
+    partition: AddressSpacePartition,
+    pim_mapping: AddressMapping,
+    pim_core_id: int,
+    byte_offset: int,
+) -> int:
+    """Physical address of ``byte_offset`` inside a PIM core's MRAM heap.
+
+    The PIM region always uses the locality-centric mapping, so a PIM core's
+    MRAM occupies a contiguous slice of rows inside its own bank; the address
+    of a given heap offset is obtained by encoding (channel, rank, bank group,
+    bank, row, column) back through the PIM mapping and adding the region base.
+    """
+    geometry = pim_mapping.geometry
+    home = pim_core_coordinates(geometry, pim_core_id)
+    if not 0 <= byte_offset < geometry.bank_capacity_bytes:
+        raise ValueError(
+            f"heap offset {byte_offset:#x} outside the per-core MRAM of "
+            f"{geometry.bank_capacity_bytes:#x} bytes"
+        )
+    block_offset = byte_offset % CACHE_LINE_BYTES
+    block_index = byte_offset // CACHE_LINE_BYTES
+    row, column = divmod(block_index, geometry.columns_per_row)
+    dram_addr = DramAddress(
+        channel=home.channel,
+        rank=home.rank,
+        bankgroup=home.bankgroup,
+        bank=home.bank,
+        row=row,
+        column=column,
+    )
+    return partition.pim_address(pim_mapping.inverse(dram_addr) + block_offset)
+
+
+__all__ = [
+    "AddressSpacePartition",
+    "pim_core_coordinates",
+    "pim_core_id_from_coordinates",
+    "pim_heap_physical_address",
+]

@@ -1,0 +1,79 @@
+"""System-level address mappers.
+
+A *system mapper* answers: given a physical address, which memory domain does
+it belong to and which DRAM coordinates does it decode to?  The baseline PIM
+system applies a single, homogeneous locality-centric mapping to both the
+DRAM and the PIM regions (this is Challenge #3 of the paper); HetMap -- the
+contribution, implemented in :mod:`repro.core.hetmap` -- keeps the PIM side
+locality-centric but restores an MLP-centric mapping for the DRAM side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Tuple
+
+from repro.mapping.address import DramAddress
+from repro.mapping.base import AddressMapping
+from repro.mapping.locality import locality_centric_mapping
+from repro.mapping.partition import AddressSpacePartition
+from repro.sim.config import MemoryDomainConfig
+
+DRAM_DOMAIN = "dram"
+PIM_DOMAIN = "pim"
+
+
+class SystemAddressMapper(Protocol):
+    """Protocol shared by the homogeneous baseline mapper and HetMap."""
+
+    partition: AddressSpacePartition
+
+    def decode(self, phys_addr: int) -> Tuple[str, DramAddress]:
+        """Return ``(domain, dram_address)`` for a physical address."""
+        ...
+
+    def mapping_for(self, domain: str) -> AddressMapping:
+        """Return the mapping function applied to ``domain``."""
+        ...
+
+
+@dataclass
+class HomogeneousMapper:
+    """Baseline mapper: one locality-centric function for DRAM *and* PIM.
+
+    This reproduces today's PIM-specific BIOS behaviour (Figure 2e / 7a): the
+    same ``ChRaBgBkRoCo`` function is enforced over the whole physical address
+    space so that DRAM and PIM addresses can never share a memory bank --
+    at the cost of destroying the MLP of normal DRAM traffic.
+    """
+
+    partition: AddressSpacePartition
+    dram_mapping: AddressMapping
+    pim_mapping: AddressMapping
+
+    @classmethod
+    def build(
+        cls, dram_geometry: MemoryDomainConfig, pim_geometry: MemoryDomainConfig
+    ) -> "HomogeneousMapper":
+        partition = AddressSpacePartition.from_domains(dram_geometry, pim_geometry)
+        return cls(
+            partition=partition,
+            dram_mapping=locality_centric_mapping(dram_geometry),
+            pim_mapping=locality_centric_mapping(pim_geometry),
+        )
+
+    def decode(self, phys_addr: int) -> Tuple[str, DramAddress]:
+        if self.partition.is_pim(phys_addr):
+            offset = self.partition.domain_offset(phys_addr)
+            return PIM_DOMAIN, self.pim_mapping.map(offset)
+        return DRAM_DOMAIN, self.dram_mapping.map(phys_addr)
+
+    def mapping_for(self, domain: str) -> AddressMapping:
+        if domain == PIM_DOMAIN:
+            return self.pim_mapping
+        if domain == DRAM_DOMAIN:
+            return self.dram_mapping
+        raise ValueError(f"unknown domain '{domain}'")
+
+
+__all__ = ["DRAM_DOMAIN", "HomogeneousMapper", "PIM_DOMAIN", "SystemAddressMapper"]

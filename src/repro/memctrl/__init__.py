@@ -1,0 +1,15 @@
+"""Host-side memory controllers.
+
+One :class:`~repro.memctrl.controller.ChannelController` exists per memory
+channel (DRAM and PIM alike).  Controllers hold 64-entry read and write
+request queues, schedule with FR-FCFS, drain writes with a high/low watermark
+policy, and drive the command-level DDR4 channel model in :mod:`repro.dram`.
+A :class:`~repro.memctrl.system.MemorySystem` groups the controllers of one
+memory domain and routes decoded requests to the right channel.
+"""
+
+from repro.memctrl.controller import ChannelController
+from repro.memctrl.request import MemoryRequest, RequestStream
+from repro.memctrl.system import MemorySystem
+
+__all__ = ["ChannelController", "MemoryRequest", "MemorySystem", "RequestStream"]

@@ -1,0 +1,172 @@
+"""FR-FCFS channel controller with write-drain and backpressure.
+
+The controller is fully event-driven: enqueueing a request schedules a service
+event, each service event issues exactly one column access through the DDR4
+channel model, and the next service event is scheduled at the issued command's
+CAS time so that requests arriving in the meantime still participate in the
+FR-FCFS decision (preserving the scheduler's reordering behaviour without
+stepping idle cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.dram.channel import DdrChannel
+from repro.memctrl.request import MemoryRequest
+from repro.sim.config import MemCtrlConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import StatsRegistry
+
+
+class ChannelController:
+    """One per-channel memory controller (Table I: 64-entry queues, FR-FCFS)."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        channel: DdrChannel,
+        config: MemCtrlConfig,
+        stats: StatsRegistry,
+        name: str,
+    ) -> None:
+        self.engine = engine
+        self.channel = channel
+        self.config = config
+        self.stats = stats
+        self.name = name
+        self._read_queue: List[MemoryRequest] = []
+        self._write_queue: List[MemoryRequest] = []
+        self._drain_mode: bool = False
+        self._service_pending: bool = False
+        self._next_decision_ns: float = 0.0
+        self._slot_listeners: List[Callable[[], None]] = []
+        self._read_bw = stats.bandwidth_tracker(f"{name}/read")
+        self._write_bw = stats.bandwidth_tracker(f"{name}/write")
+        self._served = stats.counter(f"{name}/served")
+        self._row_hit_counter = stats.counter(f"{name}/row_hits")
+        self._latency_hist = stats.histogram(f"{name}/latency_ns")
+
+    # --------------------------------------------------------------- queueing
+    @property
+    def read_queue_occupancy(self) -> int:
+        return len(self._read_queue)
+
+    @property
+    def write_queue_occupancy(self) -> int:
+        return len(self._write_queue)
+
+    def can_accept(self, is_write: bool) -> bool:
+        if is_write:
+            return len(self._write_queue) < self.config.write_queue_depth
+        return len(self._read_queue) < self.config.read_queue_depth
+
+    def enqueue(self, request: MemoryRequest) -> bool:
+        """Accept ``request`` if the target queue has room; schedule servicing."""
+        if not self.can_accept(request.is_write):
+            return False
+        request.arrival_ns = self.engine.now
+        request.channel_id = self.channel.channel_id
+        if request.is_write:
+            self._write_queue.append(request)
+        else:
+            self._read_queue.append(request)
+        self._schedule_service()
+        return True
+
+    def add_slot_listener(self, callback: Callable[[], None]) -> None:
+        """Register a one-shot callback fired the next time a queue slot frees."""
+        self._slot_listeners.append(callback)
+
+    def _notify_slot_listeners(self) -> None:
+        if not self._slot_listeners:
+            return
+        listeners, self._slot_listeners = self._slot_listeners, []
+        for callback in listeners:
+            callback()
+
+    # -------------------------------------------------------------- servicing
+    def _schedule_service(self) -> None:
+        if self._service_pending:
+            return
+        if not self._read_queue and not self._write_queue:
+            return
+        self._service_pending = True
+        when = max(self.engine.now, self._next_decision_ns)
+        self.engine.schedule_at(when, self._service)
+
+    def _update_drain_mode(self) -> None:
+        writes = len(self._write_queue)
+        if self._drain_mode:
+            if writes <= self.config.write_low_watermark:
+                self._drain_mode = False
+        else:
+            if writes >= self.config.write_high_watermark:
+                self._drain_mode = True
+
+    def _pick_queue(self) -> Optional[List[MemoryRequest]]:
+        self._update_drain_mode()
+        if self._drain_mode and self._write_queue:
+            return self._write_queue
+        if self._read_queue:
+            return self._read_queue
+        if self._write_queue:
+            return self._write_queue
+        return None
+
+    def _pick_request(self, queue: List[MemoryRequest]) -> MemoryRequest:
+        """FR-FCFS: oldest row hit first, otherwise the oldest request."""
+        for request in queue:
+            assert request.dram_addr is not None
+            if self.channel.row_state(request.dram_addr) == "hit":
+                return request
+        return queue[0]
+
+    def _service(self) -> None:
+        self._service_pending = False
+        queue = self._pick_queue()
+        if queue is None:
+            return
+        request = self._pick_request(queue)
+        queue.remove(request)
+        assert request.dram_addr is not None
+        timing = self.channel.access(
+            request.dram_addr, request.is_write, earliest=self.engine.now
+        )
+        request.issue_ns = timing.cas_time
+        request.row_state = timing.row_state
+        self._served.add(1)
+        if timing.is_row_hit:
+            self._row_hit_counter.add(1)
+        tracker = self._write_bw if request.is_write else self._read_bw
+        tracker.record(timing.data_end, request.size_bytes)
+        self.engine.schedule_at(
+            timing.data_end, lambda req=request, t=timing.data_end: self._finish(req, t)
+        )
+        self._notify_slot_listeners()
+        self._next_decision_ns = max(self.engine.now, timing.cas_time)
+        self._schedule_service()
+
+    def _finish(self, request: MemoryRequest, time_ns: float) -> None:
+        if request.arrival_ns is not None:
+            self._latency_hist.add(time_ns - request.arrival_ns)
+        request.complete(time_ns)
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def read_bytes(self) -> int:
+        return self._read_bw.total_bytes
+
+    @property
+    def write_bytes(self) -> int:
+        return self._write_bw.total_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def is_idle(self) -> bool:
+        return not self._read_queue and not self._write_queue and not self._service_pending
+
+
+__all__ = ["ChannelController"]

@@ -1,0 +1,68 @@
+"""Memory request objects exchanged between traffic sources and controllers."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.mapping.address import DramAddress
+
+_request_ids = itertools.count()
+
+
+class RequestStream(enum.Enum):
+    """Logical traffic stream a request belongs to (used for accounting only)."""
+
+    TRANSFER_READ = "transfer-read"
+    TRANSFER_WRITE = "transfer-write"
+    MEMCPY_READ = "memcpy-read"
+    MEMCPY_WRITE = "memcpy-write"
+    CONTENDER = "contender"
+    OTHER = "other"
+
+
+@dataclass
+class MemoryRequest:
+    """One 64 B memory access.
+
+    ``on_complete`` fires when the request's data burst finishes on the DRAM
+    data bus (reads and writes alike).  ``dram_addr``, ``domain`` and
+    ``channel_id`` are filled in by the system-level mapper before the request
+    reaches a controller.
+    """
+
+    phys_addr: int
+    is_write: bool
+    size_bytes: int = 64
+    stream: RequestStream = RequestStream.OTHER
+    source_id: int = 0
+    pim_core_id: Optional[int] = None
+    on_complete: Optional[Callable[["MemoryRequest"], None]] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # Filled by the mapper / controller.
+    domain: Optional[str] = None
+    dram_addr: Optional[DramAddress] = None
+    channel_id: Optional[int] = None
+    arrival_ns: Optional[float] = None
+    issue_ns: Optional[float] = None
+    completion_ns: Optional[float] = None
+    row_state: Optional[str] = None
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        """Queueing + service latency, available once the request completed."""
+        if self.arrival_ns is None or self.completion_ns is None:
+            return None
+        return self.completion_ns - self.arrival_ns
+
+    def complete(self, time_ns: float) -> None:
+        """Mark the request finished and invoke its completion callback."""
+        self.completion_ns = time_ns
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+
+__all__ = ["MemoryRequest", "RequestStream"]

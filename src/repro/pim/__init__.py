@@ -1,0 +1,31 @@
+"""UPMEM-like PIM device model (paper §II-C).
+
+The PIM device is modelled at the level the paper's evaluation needs:
+
+* :mod:`repro.pim.topology` -- the DIMM/chip/bank/DPU topology and the mapping
+  between PIM core ids and their home bank.
+* :mod:`repro.pim.mram` -- per-DPU MRAM storage used for functional
+  verification of transfers in tests and examples.
+* :mod:`repro.pim.transpose` -- the 8x8 byte transpose the runtime must apply
+  because a data word is striped one byte per chip across the DIMM (Figure 3).
+* :mod:`repro.pim.dpu` and :mod:`repro.pim.kernel` -- an analytical DPU
+  execution model (tasklet pipeline + MRAM bandwidth roofline) substituting
+  for the paper's wall-clock kernel-time measurements on real hardware.
+"""
+
+from repro.pim.dpu import DpuCore, DpuState
+from repro.pim.kernel import KernelProfile, estimate_kernel_time_ns
+from repro.pim.mram import Mram
+from repro.pim.topology import PimTopology
+from repro.pim.transpose import transpose_for_pim, transpose_from_pim
+
+__all__ = [
+    "DpuCore",
+    "DpuState",
+    "KernelProfile",
+    "Mram",
+    "PimTopology",
+    "estimate_kernel_time_ns",
+    "transpose_for_pim",
+    "transpose_from_pim",
+]

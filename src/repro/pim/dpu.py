@@ -1,0 +1,93 @@
+"""DPU (PIM core) model.
+
+A DPU is UPMEM's in-order multithreaded RISC core: 24 hardware tasklets, a
+14-stage pipeline clocked at ~350 MHz, a 64 KB WRAM scratchpad and a 64 MB
+MRAM bank it can stream at roughly 1 GB/s (§II-C).  The reproduction models a
+DPU analytically -- pipeline-throughput and MRAM-bandwidth rooflines -- which
+substitutes for the paper's wall-clock measurements of kernel execution on a
+real UPMEM server (the paper itself never simulates DPU internals either).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.pim.mram import Mram
+
+
+class DpuState(enum.Enum):
+    """Coarse execution state of a DPU.
+
+    The host may only access a DPU's MRAM while the DPU is idle (Figure 2b/2c)
+    -- the transfer engines assert this before touching the PIM address space.
+    """
+
+    IDLE = "idle"
+    RUNNING = "running"
+
+
+@dataclass
+class DpuCore:
+    """One bank-level PIM core and its MRAM."""
+
+    dpu_id: int
+    mram_capacity_bytes: int = 64 * 1024 * 1024
+    wram_capacity_bytes: int = 64 * 1024
+    frequency_mhz: float = 350.0
+    num_tasklets: int = 24
+    pipeline_depth: int = 14
+    mram_bandwidth_gbps: float = 1.0
+    state: DpuState = DpuState.IDLE
+    mram: Mram = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mram is None:
+            self.mram = Mram(capacity_bytes=self.mram_capacity_bytes)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state is DpuState.IDLE
+
+    def launch(self) -> None:
+        """Mark the DPU as executing a kernel; host MRAM access becomes illegal."""
+        if self.state is DpuState.RUNNING:
+            raise RuntimeError(f"DPU {self.dpu_id} is already running")
+        self.state = DpuState.RUNNING
+
+    def finish(self) -> None:
+        """Mark the kernel as complete; the host may access MRAM again."""
+        self.state = DpuState.IDLE
+
+    def host_write(self, offset: int, data: bytes) -> None:
+        """Host-side MRAM write; only legal while the DPU is idle."""
+        self._check_host_access()
+        self.mram.write(offset, data)
+
+    def host_read(self, offset: int, length: int) -> bytes:
+        """Host-side MRAM read; only legal while the DPU is idle."""
+        self._check_host_access()
+        return self.mram.read(offset, length)
+
+    def _check_host_access(self) -> None:
+        if not self.is_idle:
+            raise RuntimeError(
+                f"host access to DPU {self.dpu_id} MRAM while the PIM core is active "
+                "(structural hazard, Figure 2a)"
+            )
+
+    def compute_time_ns(self, instructions: int) -> float:
+        """Pipeline-roofline time to retire ``instructions`` (one per cycle peak)."""
+        if instructions < 0:
+            raise ValueError("instruction count must be non-negative")
+        cycles = instructions + self.pipeline_depth
+        return cycles * 1000.0 / self.frequency_mhz
+
+    def mram_stream_time_ns(self, nbytes: int) -> float:
+        """MRAM-bandwidth-roofline time to stream ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return nbytes / self.mram_bandwidth_gbps
+
+
+__all__ = ["DpuCore", "DpuState"]

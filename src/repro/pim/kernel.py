@@ -1,0 +1,59 @@
+"""Analytical DPU kernel execution model.
+
+The paper measures PIM kernel execution time on a real UPMEM server and only
+simulates the DRAM<->PIM transfers (§V, "hybrid evaluation methodology").  We
+do not have the hardware, so kernel time comes from a two-roofline model per
+DPU: the kernel is either bound by the DPU pipeline (instructions / IPC) or by
+its MRAM streaming bandwidth (~1 GB/s per DPU), whichever is slower.  All DPUs
+execute the same SPMD program on equal-sized partitions, so the kernel time of
+the slowest (i.e. any) DPU is the PIM phase of the end-to-end runtime.
+
+The PrIM workload descriptors (:mod:`repro.workloads.prim`) additionally carry
+a calibrated kernel-time fraction taken from the paper's Figure 16 breakdown;
+the Figure 16 benchmark uses those fractions, while examples and the ablation
+studies use this analytical model directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.dpu import DpuCore
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Per-byte cost profile of one PIM kernel.
+
+    ``instructions_per_byte`` captures the arithmetic intensity of the kernel
+    on the DPU (UPMEM DPUs retire roughly one instruction per cycle once all
+    tasklets are busy); ``mram_bytes_per_input_byte`` captures how many MRAM
+    bytes are streamed per input byte (e.g. >1 for multi-pass kernels).
+    """
+
+    name: str
+    instructions_per_byte: float
+    mram_bytes_per_input_byte: float = 1.0
+    fixed_overhead_ns: float = 20_000.0
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_byte < 0 or self.mram_bytes_per_input_byte < 0:
+            raise ValueError("kernel profile costs must be non-negative")
+
+
+def estimate_kernel_time_ns(
+    dpu: DpuCore, bytes_per_dpu: int, profile: KernelProfile
+) -> float:
+    """Roofline kernel time for one DPU processing ``bytes_per_dpu`` of input."""
+    if bytes_per_dpu < 0:
+        raise ValueError("bytes_per_dpu must be non-negative")
+    compute_ns = dpu.compute_time_ns(
+        int(bytes_per_dpu * profile.instructions_per_byte)
+    )
+    mram_ns = dpu.mram_stream_time_ns(
+        int(bytes_per_dpu * profile.mram_bytes_per_input_byte)
+    )
+    return profile.fixed_overhead_ns + max(compute_ns, mram_ns)
+
+
+__all__ = ["KernelProfile", "estimate_kernel_time_ns"]

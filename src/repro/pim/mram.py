@@ -1,0 +1,70 @@
+"""Sparse MRAM storage backing each DPU.
+
+Only the bytes that have actually been written are stored (in 64 B blocks), so
+instantiating 512 DPUs with 64 MB MRAM each costs nothing until data flows.
+The MRAM is used by the functional layer of the transfer engines, examples and
+tests to prove data integrity end to end (including the chip-interleaving
+transpose); the timing layer never touches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+_BLOCK = 64
+
+
+@dataclass
+class Mram:
+    """Byte-addressable sparse memory with bounds checking."""
+
+    capacity_bytes: int
+    _blocks: Dict[int, bytearray] = field(default_factory=dict, repr=False)
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        if offset + length > self.capacity_bytes:
+            raise ValueError(
+                f"access [{offset}, {offset + length}) exceeds MRAM capacity "
+                f"{self.capacity_bytes}"
+            )
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        position = offset
+        remaining = memoryview(bytes(data))
+        while remaining.nbytes:
+            block_index, block_offset = divmod(position, _BLOCK)
+            chunk = min(_BLOCK - block_offset, remaining.nbytes)
+            block = self._blocks.setdefault(block_index, bytearray(_BLOCK))
+            block[block_offset : block_offset + chunk] = remaining[:chunk]
+            remaining = remaining[chunk:]
+            position += chunk
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        out = bytearray(length)
+        position = offset
+        written = 0
+        while written < length:
+            block_index, block_offset = divmod(position, _BLOCK)
+            chunk = min(_BLOCK - block_offset, length - written)
+            block = self._blocks.get(block_index)
+            if block is not None:
+                out[written : written + chunk] = block[block_offset : block_offset + chunk]
+            written += chunk
+            position += chunk
+        return bytes(out)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Number of bytes currently backed by storage (block granular)."""
+        return len(self._blocks) * _BLOCK
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+
+__all__ = ["Mram"]

@@ -1,0 +1,80 @@
+"""PIM device topology: channels, ranks, chips, banks and DPUs.
+
+UPMEM-PIM ships DDR4-2400 DIMMs with eight PIM chips per rank and eight DPUs
+(one per bank) per chip, i.e. 64 DPUs per rank.  The Table I configuration of
+4 channels x 2 ranks therefore exposes 512 DPUs.  From the memory bus's point
+of view every DPU owns exactly one PIM bank, which is how the reproduction
+enumerates them (see :func:`repro.mapping.partition.pim_core_coordinates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.mapping.address import DramAddress
+from repro.mapping.partition import pim_core_coordinates, pim_core_id_from_coordinates
+from repro.pim.dpu import DpuCore
+from repro.sim.config import MemoryDomainConfig
+
+CHIPS_PER_RANK = 8
+
+
+@dataclass
+class PimTopology:
+    """The full set of DPUs of a PIM system plus id <-> bank translation."""
+
+    geometry: MemoryDomainConfig
+    dpus: List[DpuCore]
+
+    @classmethod
+    def build(cls, geometry: MemoryDomainConfig) -> "PimTopology":
+        dpus = [
+            DpuCore(dpu_id=dpu_id, mram_capacity_bytes=geometry.bank_capacity_bytes)
+            for dpu_id in range(geometry.total_banks)
+        ]
+        return cls(geometry=geometry, dpus=dpus)
+
+    @property
+    def num_dpus(self) -> int:
+        return len(self.dpus)
+
+    @property
+    def dpus_per_rank(self) -> int:
+        return self.geometry.banks_per_rank
+
+    @property
+    def dpus_per_chip(self) -> int:
+        return self.dpus_per_rank // CHIPS_PER_RANK
+
+    def dpu(self, dpu_id: int) -> DpuCore:
+        return self.dpus[dpu_id]
+
+    def home_bank(self, dpu_id: int) -> DramAddress:
+        """The (channel, rank, bank group, bank) that hosts this DPU's MRAM."""
+        return pim_core_coordinates(self.geometry, dpu_id)
+
+    def dpu_for_bank(self, addr: DramAddress) -> int:
+        """The DPU id owning the bank addressed by ``addr``."""
+        return pim_core_id_from_coordinates(
+            self.geometry, addr.channel, addr.rank, addr.bankgroup, addr.bank
+        )
+
+    def dpus_in_channel(self, channel: int) -> List[int]:
+        base = channel * self.geometry.banks_per_channel
+        return list(range(base, base + self.geometry.banks_per_channel))
+
+    def iter_dpu_ids(self) -> Iterator[int]:
+        return iter(range(self.num_dpus))
+
+    @property
+    def aggregate_mram_bytes(self) -> int:
+        return sum(dpu.mram_capacity_bytes for dpu in self.dpus)
+
+    @property
+    def aggregate_internal_bandwidth_gbps(self) -> float:
+        """Aggregate DPU-side MRAM bandwidth (~1 GB/s per DPU, §II-C)."""
+        return sum(dpu.mram_bandwidth_gbps for dpu in self.dpus)
+
+
+__all__ = ["CHIPS_PER_RANK", "PimTopology"]

@@ -1,0 +1,39 @@
+"""Simulation kernel for the PIM-MMU reproduction.
+
+This subpackage provides the building blocks every other substrate relies on:
+
+* :mod:`repro.sim.engine` -- a deterministic, event-driven simulation engine
+  whose time base is nanoseconds.
+* :mod:`repro.sim.config` -- configuration dataclasses mirroring Table I of
+  the paper (host processor, DRAM system, PIM system, PIM-MMU).
+* :mod:`repro.sim.stats` -- a lightweight statistics registry used by the
+  memory controllers, transfer engines and the energy model.
+"""
+
+from repro.sim.config import (
+    CpuConfig,
+    DcePolicy,
+    DesignPoint,
+    DramTimingConfig,
+    MemoryDomainConfig,
+    PimMmuConfig,
+    SystemConfig,
+)
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.stats import BandwidthTracker, Counter, Histogram, StatsRegistry
+
+__all__ = [
+    "BandwidthTracker",
+    "Counter",
+    "CpuConfig",
+    "DcePolicy",
+    "DesignPoint",
+    "DramTimingConfig",
+    "Event",
+    "Histogram",
+    "MemoryDomainConfig",
+    "PimMmuConfig",
+    "SimulationEngine",
+    "StatsRegistry",
+    "SystemConfig",
+]

@@ -1,0 +1,138 @@
+"""Deterministic event-driven simulation engine.
+
+The whole reproduction uses a single global time base expressed in
+**nanoseconds** (floats).  Components schedule callbacks on the engine and the
+engine fires them in time order.  Events scheduled for the same instant fire
+in the order they were scheduled, which keeps every run fully deterministic.
+
+The engine intentionally stays tiny: no processes, no channels, no implicit
+clocking.  Substrates that have a natural clock (the DDR4 channel model, the
+DCE) convert their cycle counts into nanoseconds before talking to the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, sequence)`` so that simultaneous events fire in
+    scheduling order.  ``cancelled`` events stay in the heap but are skipped
+    when popped, which makes cancellation O(1).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time comes."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Minimal event queue with a nanosecond time base.
+
+    Example
+    -------
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> _ = engine.schedule_at(5.0, lambda: fired.append(engine.now))
+    >>> _ = engine.schedule_after(1.0, lambda: fired.append(engine.now))
+    >>> engine.run()
+    >>> fired
+    [1.0, 5.0]
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._sequence: int = 0
+        self._queue: List[Event] = []
+        self._running: bool = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``time`` (ns).
+
+        Scheduling in the past raises ``ValueError`` -- it always indicates a
+        modelling bug and silently clamping it would hide ordering errors.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} ns; current time is {self._now} ns"
+            )
+        event = Event(time=time, sequence=self._sequence, callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Return the time of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns ``False`` if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the number of events that fired.  ``until`` is inclusive: an
+        event scheduled exactly at ``until`` still fires.  When ``until`` is
+        given, the clock always ends up at ``until`` (or later, if an event at
+        that exact time fired), even if the queue drained earlier -- callers
+        use this to model fixed delays such as interrupt delivery.
+        """
+        fired = 0
+        self._running = True
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self.peek_next_time()
+                if next_time is None or (until is not None and next_time > until):
+                    if until is not None:
+                        self._now = max(self._now, until)
+                    break
+                self.step()
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    def drain(self) -> None:
+        """Discard all pending events without firing them (used in tests)."""
+        self._queue.clear()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+__all__ = ["Event", "SimulationEngine"]

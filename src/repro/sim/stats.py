@@ -1,0 +1,193 @@
+"""Statistics collection used across the simulator.
+
+Three small primitives cover everything the reproduction needs:
+
+* :class:`Counter` -- a named scalar accumulator.
+* :class:`Histogram` -- bucketed samples with summary statistics.
+* :class:`BandwidthTracker` -- bytes-over-time tracking with support for
+  windowed (per-interval) breakdowns, used to regenerate the per-channel
+  throughput traces of Figure 6.
+
+All of them register themselves with a :class:`StatsRegistry` so experiment
+harnesses can dump everything at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Counter:
+    """Named scalar accumulator."""
+
+    name: str
+    value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Collects samples and reports count/mean/min/max/percentiles."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def add(self, sample: float) -> None:
+        self._samples.append(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self._samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the ``fraction`` percentile (0..1) using nearest-rank."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be within [0, 1], got {fraction}")
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class BandwidthTracker:
+    """Tracks transferred bytes over time for one traffic stream.
+
+    ``record(time_ns, nbytes)`` is called once per completed data-bus burst.
+    The tracker answers two questions:
+
+    * the average bandwidth over the full observation window, and
+    * a per-interval breakdown (``window_series``) used for the time-series
+      plots of Figure 4 and Figure 6.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_bytes: int = 0
+        self.first_time_ns: Optional[float] = None
+        self.last_time_ns: Optional[float] = None
+        self._events: List[Tuple[float, int]] = []
+
+    def record(self, time_ns: float, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.total_bytes += nbytes
+        if self.first_time_ns is None or time_ns < self.first_time_ns:
+            self.first_time_ns = time_ns
+        if self.last_time_ns is None or time_ns > self.last_time_ns:
+            self.last_time_ns = time_ns
+        self._events.append((time_ns, nbytes))
+
+    @property
+    def duration_ns(self) -> float:
+        if self.first_time_ns is None or self.last_time_ns is None:
+            return 0.0
+        return self.last_time_ns - self.first_time_ns
+
+    def average_bandwidth_gbps(self, duration_ns: Optional[float] = None) -> float:
+        """Average bandwidth in GB/s over ``duration_ns`` (default: observed span)."""
+        span = duration_ns if duration_ns is not None else self.duration_ns
+        if span <= 0.0:
+            return 0.0
+        return self.total_bytes / span  # bytes per ns == GB/s
+
+    def window_series(
+        self, window_ns: float, start_ns: Optional[float] = None, end_ns: Optional[float] = None
+    ) -> List[float]:
+        """Return per-window transferred bytes between ``start_ns`` and ``end_ns``."""
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        if not self._events:
+            return []
+        start = start_ns if start_ns is not None else (self.first_time_ns or 0.0)
+        end = end_ns if end_ns is not None else (self.last_time_ns or 0.0)
+        if end <= start:
+            return []
+        num_windows = int((end - start) / window_ns) + 1
+        buckets = [0.0] * num_windows
+        for time_ns, nbytes in self._events:
+            if time_ns < start or time_ns > end:
+                continue
+            index = min(num_windows - 1, int((time_ns - start) / window_ns))
+            buckets[index] += nbytes
+        return buckets
+
+    def reset(self) -> None:
+        self.total_bytes = 0
+        self.first_time_ns = None
+        self.last_time_ns = None
+        self._events.clear()
+
+
+@dataclass
+class StatsRegistry:
+    """Registry of named counters, histograms and bandwidth trackers."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    bandwidth: Dict[str, BandwidthTracker] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def bandwidth_tracker(self, name: str) -> BandwidthTracker:
+        if name not in self.bandwidth:
+            self.bandwidth[name] = BandwidthTracker(name)
+        return self.bandwidth[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten everything into a name -> value mapping (for reports)."""
+        snapshot: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            snapshot[f"counter/{name}"] = counter.value
+        for name, histogram in self.histograms.items():
+            snapshot[f"hist/{name}/count"] = float(histogram.count)
+            snapshot[f"hist/{name}/mean"] = histogram.mean
+        for name, tracker in self.bandwidth.items():
+            snapshot[f"bw/{name}/total_bytes"] = float(tracker.total_bytes)
+            snapshot[f"bw/{name}/avg_gbps"] = tracker.average_bandwidth_gbps()
+        return snapshot
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        for histogram in self.histograms.values():
+            histogram.reset()
+        for tracker in self.bandwidth.values():
+            tracker.reset()
+
+
+__all__ = ["BandwidthTracker", "Counter", "Histogram", "StatsRegistry"]

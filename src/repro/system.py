@@ -1,0 +1,165 @@
+"""Top-level simulated system: CPU + DRAM + PIM + (optionally) PIM-MMU.
+
+:class:`PimSystem` wires the substrates together and exposes the small
+interface every traffic source uses:
+
+* :meth:`PimSystem.submit` decodes a physical address through the active
+  system mapper (homogeneous locality-centric mapping for the baseline,
+  HetMap for PIM-MMU design points) and routes the request to the right
+  channel controller;
+* :meth:`PimSystem.retry_when_possible` provides back-pressure notifications;
+* :meth:`PimSystem.pim_heap_addr` converts a ``(PIM core id, heap offset)``
+  pair into a physical address the way the runtimes do.
+
+Use :func:`build_system` to construct a system for one of the Figure 15
+design points.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.core.hetmap import HeterogeneousMapper
+from repro.host.cpu import HostCpu
+from repro.host.llc import LastLevelCache
+from repro.host.os_scheduler import RoundRobinScheduler
+from repro.mapping.address import DramAddress
+from repro.mapping.partition import pim_heap_physical_address
+from repro.mapping.system_mapper import (
+    DRAM_DOMAIN,
+    PIM_DOMAIN,
+    HomogeneousMapper,
+    SystemAddressMapper,
+)
+from repro.memctrl.request import MemoryRequest
+from repro.memctrl.system import MemorySystem
+from repro.pim.topology import PimTopology
+from repro.sim.config import DesignPoint, SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.stats import StatsRegistry
+
+
+class PimSystem:
+    """A fully wired simulated PIM server."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        mapper: SystemAddressMapper,
+        design_point: DesignPoint = DesignPoint.BASELINE,
+        engine: Optional[SimulationEngine] = None,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.design_point = design_point
+        self.mapper = mapper
+        self.engine = engine if engine is not None else SimulationEngine()
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.dram = MemorySystem(
+            self.engine, config.dram, config.memctrl, self.stats, name="dram"
+        )
+        self.pim = MemorySystem(
+            self.engine, config.pim, config.memctrl, self.stats, name="pim"
+        )
+        self.cpu = HostCpu(config.cpu)
+        self.llc = LastLevelCache.from_config(config.cpu)
+        self.topology = PimTopology.build(config.pim)
+        self.scheduler = RoundRobinScheduler(
+            self.engine,
+            self.cpu,
+            num_cores=config.cpu.num_cores,
+            quantum_ns=config.os.scheduling_quantum_ns,
+        )
+
+    # ------------------------------------------------------------- addressing
+    @property
+    def partition(self):
+        return self.mapper.partition
+
+    def decode(self, phys_addr: int) -> Tuple[str, DramAddress]:
+        return self.mapper.decode(phys_addr)
+
+    def pim_heap_addr(self, pim_core_id: int, byte_offset: int) -> int:
+        """Physical address of ``byte_offset`` in a PIM core's MRAM heap."""
+        return pim_heap_physical_address(
+            self.partition,
+            self.mapper.mapping_for(PIM_DOMAIN),
+            pim_core_id,
+            byte_offset,
+        )
+
+    def domain_system(self, domain: str) -> MemorySystem:
+        if domain == DRAM_DOMAIN:
+            return self.dram
+        if domain == PIM_DOMAIN:
+            return self.pim
+        raise ValueError(f"unknown domain '{domain}'")
+
+    # ---------------------------------------------------------------- traffic
+    def submit(self, request: MemoryRequest) -> bool:
+        """Decode and route a request; returns False if the target queue is full.
+
+        Requests that already carry a decoded ``domain``/``dram_addr`` (because
+        the caller pre-decoded them, e.g. the DCE's scheduler) are routed as-is.
+        """
+        if request.domain is None or request.dram_addr is None:
+            domain, dram_addr = self.decode(request.phys_addr)
+            request.domain = domain
+            request.dram_addr = dram_addr
+        return self.domain_system(request.domain).submit(request)
+
+    def retry_when_possible(
+        self, request: MemoryRequest, callback: Callable[[], None]
+    ) -> None:
+        """Register ``callback`` to fire when the request's target queue has room."""
+        if request.domain is None or request.dram_addr is None:
+            domain, dram_addr = self.decode(request.phys_addr)
+            request.domain = domain
+            request.dram_addr = dram_addr
+        self.domain_system(request.domain).add_slot_listener(request, callback)
+
+    # ------------------------------------------------------------- simulation
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        return self.engine.run(until=until, max_events=max_events)
+
+    def is_memory_idle(self) -> bool:
+        return self.dram.is_idle() and self.pim.is_idle()
+
+
+def build_mapper(
+    config: SystemConfig, design_point: DesignPoint
+) -> SystemAddressMapper:
+    """Select the system mapper implied by a design point.
+
+    The baseline and the vanilla-DCE design point (Base+D) keep today's
+    homogeneous locality-centric mapping; Base+D+H and the full PIM-MMU use
+    HetMap.
+    """
+    if design_point.uses_hetmap:
+        return HeterogeneousMapper.build(config.dram, config.pim)
+    return HomogeneousMapper.build(config.dram, config.pim)
+
+
+def build_system(
+    config: Optional[SystemConfig] = None,
+    design_point: DesignPoint = DesignPoint.BASELINE,
+    engine: Optional[SimulationEngine] = None,
+    stats: Optional[StatsRegistry] = None,
+) -> PimSystem:
+    """Build a :class:`PimSystem` for a Figure 15 design point (Table I defaults)."""
+    config = config if config is not None else SystemConfig.paper_baseline()
+    mapper = build_mapper(config, design_point)
+    return PimSystem(
+        config=config,
+        mapper=mapper,
+        design_point=design_point,
+        engine=engine,
+        stats=stats,
+    )
+
+
+__all__ = ["PimSystem", "build_mapper", "build_system"]

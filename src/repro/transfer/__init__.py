@@ -1,0 +1,12 @@
+"""Shared transfer descriptors and results.
+
+Both the baseline software runtime (:mod:`repro.upmem_runtime`) and the
+PIM-MMU hardware engines (:mod:`repro.core`) consume the same description of
+a DRAM<->PIM transfer and produce the same result record, so the benchmark
+harness can compare design points apples-to-apples.
+"""
+
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+from repro.transfer.result import TransferResult
+
+__all__ = ["TransferDescriptor", "TransferDirection", "TransferResult"]

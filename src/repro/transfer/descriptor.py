@@ -1,0 +1,103 @@
+"""Description of one bulk DRAM<->PIM transfer.
+
+A transfer moves ``size_per_core_bytes`` of data between a per-PIM-core slice
+of a DRAM buffer and the corresponding PIM core's MRAM heap, for every PIM
+core named in ``pim_core_ids`` -- exactly the information the paper's
+``pim_mmu_op`` struct (Figure 10b) conveys to the DCE, and the same
+information the baseline ``dpu_push_xfer`` derives from its per-DPU prepared
+buffers (Figure 10a).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.sim.config import CACHE_LINE_BYTES
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a bulk transfer between the DRAM and PIM address spaces."""
+
+    DRAM_TO_PIM = "DRAM->PIM"
+    PIM_TO_DRAM = "PIM->DRAM"
+
+    @property
+    def reads_from_dram(self) -> bool:
+        return self is TransferDirection.DRAM_TO_PIM
+
+
+@dataclass(frozen=True)
+class TransferDescriptor:
+    """One bulk transfer covering a set of PIM cores.
+
+    ``dram_base_addrs[i]`` is the physical DRAM address of the slice destined
+    for (or produced by) ``pim_core_ids[i]``; ``pim_heap_offset`` is the byte
+    offset inside each PIM core's MRAM where the slice lives (the role of
+    ``DPU_MRAM_HEAP_POINTER_NAME`` in the UPMEM SDK).
+    """
+
+    direction: TransferDirection
+    size_per_core_bytes: int
+    pim_core_ids: Sequence[int]
+    dram_base_addrs: Sequence[int]
+    pim_heap_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_per_core_bytes <= 0:
+            raise ValueError("size_per_core_bytes must be positive")
+        if self.size_per_core_bytes % CACHE_LINE_BYTES != 0:
+            raise ValueError(
+                f"size_per_core_bytes must be a multiple of {CACHE_LINE_BYTES} bytes"
+            )
+        if len(self.pim_core_ids) == 0:
+            raise ValueError("a transfer must target at least one PIM core")
+        if len(self.pim_core_ids) != len(self.dram_base_addrs):
+            raise ValueError("pim_core_ids and dram_base_addrs must have equal length")
+        if len(set(self.pim_core_ids)) != len(self.pim_core_ids):
+            raise ValueError(
+                "PIM core ids must be unique: each segment of the partitioned data "
+                "maps to exactly one PIM core (paper §IV-D)"
+            )
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.pim_core_ids)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.size_per_core_bytes * self.num_cores
+
+    @property
+    def chunks_per_core(self) -> int:
+        return self.size_per_core_bytes // CACHE_LINE_BYTES
+
+    @classmethod
+    def contiguous(
+        cls,
+        direction: TransferDirection,
+        dram_base: int,
+        size_per_core_bytes: int,
+        pim_core_ids: Sequence[int],
+        pim_heap_offset: int = 0,
+    ) -> "TransferDescriptor":
+        """Build a descriptor for a contiguous DRAM buffer split across PIM cores.
+
+        This mirrors the common programming pattern of Figure 10: a single
+        ``malloc``'d array whose i-th slice goes to the i-th PIM core.
+        """
+        bases: List[int] = [
+            dram_base + index * size_per_core_bytes
+            for index in range(len(pim_core_ids))
+        ]
+        return cls(
+            direction=direction,
+            size_per_core_bytes=size_per_core_bytes,
+            pim_core_ids=tuple(pim_core_ids),
+            dram_base_addrs=tuple(bases),
+            pim_heap_offset=pim_heap_offset,
+        )
+
+
+__all__ = ["TransferDescriptor", "TransferDirection"]

@@ -1,0 +1,57 @@
+"""Result record produced by every transfer engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.transfer.descriptor import TransferDescriptor
+
+
+@dataclass
+class TransferResult:
+    """Timing and traffic summary of one completed bulk transfer."""
+
+    descriptor: TransferDescriptor
+    design_label: str
+    start_ns: float
+    end_ns: float
+    cpu_core_busy_ns: float = 0.0
+    dce_busy_ns: float = 0.0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    pim_read_bytes: int = 0
+    pim_write_bytes: int = 0
+    per_channel_pim_bytes: Dict[int, int] = field(default_factory=dict)
+    per_channel_dram_bytes: Dict[int, int] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def duration_ns(self) -> float:
+        return max(0.0, self.end_ns - self.start_ns)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.descriptor.total_bytes
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Effective transfer throughput in GB/s (payload bytes / wall time)."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.total_bytes / self.duration_ns
+
+    def bandwidth_utilization(self, peak_gbps: float) -> float:
+        """Throughput as a fraction of a peak bandwidth figure."""
+        if peak_gbps <= 0:
+            return 0.0
+        return self.throughput_gbps / peak_gbps
+
+    def speedup_over(self, other: "TransferResult") -> float:
+        """How much faster this transfer is than ``other`` (same payload)."""
+        if self.duration_ns <= 0:
+            return float("inf")
+        return other.duration_ns / self.duration_ns
+
+
+__all__ = ["TransferResult"]

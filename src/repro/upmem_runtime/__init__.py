@@ -1,0 +1,19 @@
+"""Baseline UPMEM-SDK-like runtime (paper §II-C).
+
+This package models how today's commercial PIM software stack moves data
+between the DRAM and PIM address spaces: the CPU orchestrates everything, the
+runtime spawns one copy job per DPU, the OS schedules at most ``num_cores`` of
+those jobs at a time (round-robin, 1.5 ms quantum), and each running job
+streams 64 B chunks between a slice of the source buffer and its DPU's MRAM
+bank, paying a per-chunk CPU cost for address generation and the
+chip-interleaving transpose.
+
+The user-facing :class:`~repro.upmem_runtime.dpu_set.DpuSet` mirrors the UPMEM
+SDK's ``dpu_set_t`` / ``dpu_prepare_xfer`` / ``dpu_push_xfer`` API (Figure 10a).
+"""
+
+from repro.upmem_runtime.dpu_set import DpuSet
+from repro.upmem_runtime.engine import SoftwareTransferEngine
+from repro.upmem_runtime.software_xfer import SoftwareCopyThread
+
+__all__ = ["DpuSet", "SoftwareCopyThread", "SoftwareTransferEngine"]

@@ -1,0 +1,30 @@
+"""Workloads: microbenchmarks, access patterns, contenders and PrIM descriptors.
+
+Everything the evaluation section runs lives here:
+
+* :mod:`repro.workloads.patterns` -- sequential/strided access-pattern
+  generators and a read-bandwidth probe (Figure 8).
+* :mod:`repro.workloads.memcpy` -- the multi-threaded AVX-style
+  DRAM->DRAM copy microbenchmark (Figure 6b, Figure 14).
+* :mod:`repro.workloads.microbench` -- the CPU-DPU transfer microbenchmark
+  harness that runs any design point in either direction and extrapolates
+  large transfer sizes from the simulated steady state (Figures 13 and 15).
+* :mod:`repro.workloads.prim` -- descriptors of the 16 PrIM workloads used in
+  the end-to-end evaluation (Figure 16).
+"""
+
+from repro.workloads.memcpy import MemcpyEngine, MemcpyThread
+from repro.workloads.microbench import TransferExperiment, run_transfer_experiment
+from repro.workloads.patterns import AccessPattern, measure_read_bandwidth
+from repro.workloads.prim import PRIM_WORKLOADS, PrimWorkload
+
+__all__ = [
+    "AccessPattern",
+    "MemcpyEngine",
+    "MemcpyThread",
+    "PRIM_WORKLOADS",
+    "PrimWorkload",
+    "TransferExperiment",
+    "measure_read_bandwidth",
+    "run_transfer_experiment",
+]

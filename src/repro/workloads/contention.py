@@ -1,0 +1,61 @@
+"""Contender-workload factories for the Figure 13 sensitivity study."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.host.contenders import ComputeContenderThread, MemoryContenderThread
+from repro.host.os_scheduler import SchedulableThread
+from repro.system import PimSystem
+from repro.workloads.microbench import ContenderFactory
+
+MIB = 1024 * 1024
+
+
+def compute_contender_factory(count: int) -> ContenderFactory:
+    """Spinlock-like contenders that occupy CPU cores but stay cache-resident."""
+    if count < 0:
+        raise ValueError("contender count must be non-negative")
+
+    def factory(system: PimSystem) -> Sequence[SchedulableThread]:
+        return [ComputeContenderThread(name=f"spin-{index}") for index in range(count)]
+
+    return factory
+
+
+def memory_contender_factory(
+    count: int,
+    intensity: str,
+    buffer_bytes: int = 8 * MIB,
+) -> ContenderFactory:
+    """Memory-intensive contenders streaming DRAM reads at a given intensity.
+
+    Each contender receives a private buffer placed in the upper half of the
+    DRAM region so its traffic does not alias the transfer's source buffer;
+    under the locality-centric mapping that still lands it on the same memory
+    channels the transfer needs, which is the interference Figure 13(b) sweeps.
+    """
+    if count < 0:
+        raise ValueError("contender count must be non-negative")
+
+    def factory(system: PimSystem) -> Sequence[SchedulableThread]:
+        contenders: List[SchedulableThread] = []
+        base = system.partition.dram_capacity_bytes // 2
+        for index in range(count):
+            contenders.append(
+                MemoryContenderThread(
+                    name=f"mem-{intensity}-{index}",
+                    engine=system.engine,
+                    port=system,
+                    buffer_base=base + index * buffer_bytes,
+                    buffer_bytes=buffer_bytes,
+                    intensity=intensity,
+                    seed=index,
+                )
+            )
+        return contenders
+
+    return factory
+
+
+__all__ = ["compute_contender_factory", "memory_contender_factory"]

@@ -1,0 +1,202 @@
+"""PrIM workload descriptors for the end-to-end evaluation (Figure 16).
+
+The paper evaluates 16 memory-intensive workloads from the PrIM benchmark
+suite.  Kernel execution time is measured on a real UPMEM server (§V); only
+the DRAM<->PIM transfers are simulated.  We do not have the hardware, so each
+workload is described by:
+
+* the bytes it moves in each direction (derived from PrIM's default input
+  sizes), and
+* the fraction of baseline end-to-end time spent in DRAM->PIM transfer, PIM
+  kernel execution and PIM->DRAM transfer.  These fractions are calibration
+  inputs taken from the paper's own Figure 16 breakdown (transfers account
+  for 63.7 % of end-to-end time on average, up to 99.7 %, with TS being
+  almost entirely kernel-bound) and from the PrIM characterization papers.
+
+The Figure 16 benchmark combines these descriptors with the *simulated*
+transfer speedups of PIM-MMU over the baseline: the kernel phase is left
+untouched (PIM-MMU does not accelerate kernels) and only the transfer phases
+shrink, exactly mirroring the paper's hybrid methodology.
+
+Each workload also carries a :class:`~repro.pim.kernel.KernelProfile` so the
+examples can estimate kernel time analytically when no measured fraction is
+wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.pim.kernel import KernelProfile
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class PrimWorkload:
+    """One PrIM workload's transfer volumes and baseline time breakdown."""
+
+    name: str
+    description: str
+    input_bytes: int
+    output_bytes: int
+    baseline_fractions: Tuple[float, float, float]
+    kernel_profile: KernelProfile
+
+    def __post_init__(self) -> None:
+        total = sum(self.baseline_fractions)
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(
+                f"{self.name}: baseline fractions must sum to 1, got {total:.3f}"
+            )
+        if self.input_bytes <= 0 or self.output_bytes < 0:
+            raise ValueError(f"{self.name}: transfer volumes must be positive")
+
+    @property
+    def dram_to_pim_fraction(self) -> float:
+        return self.baseline_fractions[0]
+
+    @property
+    def kernel_fraction(self) -> float:
+        return self.baseline_fractions[1]
+
+    @property
+    def pim_to_dram_fraction(self) -> float:
+        return self.baseline_fractions[2]
+
+    @property
+    def transfer_fraction(self) -> float:
+        """Fraction of baseline end-to-end time spent moving data."""
+        return self.dram_to_pim_fraction + self.pim_to_dram_fraction
+
+
+def _profile(name: str, instr_per_byte: float, mram_factor: float = 1.0) -> KernelProfile:
+    return KernelProfile(
+        name=name,
+        instructions_per_byte=instr_per_byte,
+        mram_bytes_per_input_byte=mram_factor,
+    )
+
+
+# The 16 memory-intensive PrIM workloads of Figure 16.  Fractions are
+# (DRAM->PIM, kernel, PIM->DRAM) shares of baseline end-to-end time.
+PRIM_WORKLOADS: Dict[str, PrimWorkload] = {
+    workload.name: workload
+    for workload in (
+        PrimWorkload(
+            "BFS", "breadth-first search over a CSR graph",
+            input_bytes=64 * MIB, output_bytes=4 * MIB,
+            baseline_fractions=(0.32, 0.62, 0.06),
+            kernel_profile=_profile("BFS", 6.0, 2.5),
+        ),
+        PrimWorkload(
+            "BS", "binary search over a sorted array",
+            input_bytes=256 * MIB, output_bytes=1 * MIB,
+            baseline_fractions=(0.977, 0.020, 0.003),
+            kernel_profile=_profile("BS", 0.4, 1.0),
+        ),
+        PrimWorkload(
+            "GEMV", "dense matrix-vector multiplication",
+            input_bytes=64 * MIB, output_bytes=1 * MIB,
+            baseline_fractions=(0.68, 0.29, 0.03),
+            kernel_profile=_profile("GEMV", 2.0, 1.0),
+        ),
+        PrimWorkload(
+            "HST-L", "histogram, large privatised bins",
+            input_bytes=48 * MIB, output_bytes=2 * MIB,
+            baseline_fractions=(0.55, 0.41, 0.04),
+            kernel_profile=_profile("HST-L", 3.0, 1.0),
+        ),
+        PrimWorkload(
+            "HST-S", "histogram, small shared bins",
+            input_bytes=48 * MIB, output_bytes=1 * MIB,
+            baseline_fractions=(0.60, 0.37, 0.03),
+            kernel_profile=_profile("HST-S", 2.5, 1.0),
+        ),
+        PrimWorkload(
+            "MLP", "multi-layer perceptron inference",
+            input_bytes=32 * MIB, output_bytes=2 * MIB,
+            baseline_fractions=(0.63, 0.32, 0.05),
+            kernel_profile=_profile("MLP", 3.5, 1.2),
+        ),
+        PrimWorkload(
+            "NW", "Needleman-Wunsch sequence alignment",
+            input_bytes=32 * MIB, output_bytes=8 * MIB,
+            baseline_fractions=(0.38, 0.50, 0.12),
+            kernel_profile=_profile("NW", 8.0, 2.0),
+        ),
+        PrimWorkload(
+            "RED", "parallel reduction",
+            input_bytes=128 * MIB, output_bytes=64 * 1024,
+            baseline_fractions=(0.76, 0.235, 0.005),
+            kernel_profile=_profile("RED", 0.8, 1.0),
+        ),
+        PrimWorkload(
+            "SCAN-RSS", "prefix scan (reduce-scan-scan)",
+            input_bytes=128 * MIB, output_bytes=128 * MIB,
+            baseline_fractions=(0.48, 0.22, 0.30),
+            kernel_profile=_profile("SCAN-RSS", 1.5, 2.0),
+        ),
+        PrimWorkload(
+            "SCAN-SSA", "prefix scan (scan-scan-add)",
+            input_bytes=128 * MIB, output_bytes=128 * MIB,
+            baseline_fractions=(0.46, 0.25, 0.29),
+            kernel_profile=_profile("SCAN-SSA", 1.8, 2.0),
+        ),
+        PrimWorkload(
+            "SEL", "stream selection (predicate filter)",
+            input_bytes=128 * MIB, output_bytes=96 * MIB,
+            baseline_fractions=(0.52, 0.18, 0.30),
+            kernel_profile=_profile("SEL", 1.2, 1.5),
+        ),
+        PrimWorkload(
+            "SpMV", "sparse matrix-vector multiplication (CSR)",
+            input_bytes=64 * MIB, output_bytes=2 * MIB,
+            baseline_fractions=(0.66, 0.31, 0.03),
+            kernel_profile=_profile("SpMV", 3.0, 1.3),
+        ),
+        PrimWorkload(
+            "TRNS", "matrix transposition",
+            input_bytes=64 * MIB, output_bytes=64 * MIB,
+            baseline_fractions=(0.45, 0.20, 0.35),
+            kernel_profile=_profile("TRNS", 1.0, 2.0),
+        ),
+        PrimWorkload(
+            "TS", "time-series motif discovery (matrix profile)",
+            input_bytes=32 * MIB, output_bytes=1 * MIB,
+            baseline_fractions=(0.035, 0.960, 0.005),
+            kernel_profile=_profile("TS", 40.0, 4.0),
+        ),
+        PrimWorkload(
+            "UNI", "unique (stream deduplication)",
+            input_bytes=128 * MIB, output_bytes=96 * MIB,
+            baseline_fractions=(0.50, 0.20, 0.30),
+            kernel_profile=_profile("UNI", 1.3, 1.5),
+        ),
+        PrimWorkload(
+            "VA", "element-wise vector addition",
+            input_bytes=128 * MIB, output_bytes=64 * MIB,
+            baseline_fractions=(0.60, 0.08, 0.32),
+            kernel_profile=_profile("VA", 0.5, 1.5),
+        ),
+    )
+}
+
+
+def average_transfer_fraction() -> float:
+    """Average share of baseline end-to-end time spent on transfers."""
+    workloads = PRIM_WORKLOADS.values()
+    return sum(workload.transfer_fraction for workload in workloads) / len(PRIM_WORKLOADS)
+
+
+def max_transfer_fraction() -> float:
+    return max(workload.transfer_fraction for workload in PRIM_WORKLOADS.values())
+
+
+__all__ = [
+    "PRIM_WORKLOADS",
+    "PrimWorkload",
+    "average_transfer_fraction",
+    "max_transfer_fraction",
+]

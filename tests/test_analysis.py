@@ -1,0 +1,105 @@
+"""Tests for reporting helpers and the end-to-end PrIM model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.end_to_end import (
+    evaluate_prim_suite,
+    evaluate_prim_workload,
+    suite_summary,
+)
+from repro.analysis.report import format_table, geometric_mean, normalise
+from repro.workloads.prim import PRIM_WORKLOADS
+
+
+class TestReportHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_normalise(self):
+        assert normalise([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalise([1.0], 0.0)
+
+    def test_format_table(self):
+        table = format_table(
+            [{"name": "BS", "speedup": 3.456}, {"name": "TS", "speedup": 1.02}],
+            columns=["name", "speedup"],
+            title="Figure 16",
+        )
+        assert "Figure 16" in table
+        assert "3.46" in table
+        assert table.count("\n") >= 4
+
+    def test_format_table_handles_missing_cells(self):
+        table = format_table([{"a": 1.0}], columns=["a", "b"])
+        assert "a" in table and "b" in table
+
+
+class TestEndToEndModel:
+    BASE = dict(
+        baseline_d2p_gbps=9.0,
+        baseline_p2d_gbps=9.0,
+        pimmmu_d2p_gbps=36.0,
+        pimmmu_p2d_gbps=36.0,
+    )
+
+    def test_transfer_bound_workload_gets_large_speedup(self):
+        result = evaluate_prim_workload(PRIM_WORKLOADS["BS"], **self.BASE)
+        assert result.speedup > 2.5
+
+    def test_kernel_bound_workload_barely_changes(self):
+        """TS is kernel bound, so PIM-MMU gives only marginal improvement."""
+        result = evaluate_prim_workload(PRIM_WORKLOADS["TS"], **self.BASE)
+        assert 1.0 <= result.speedup < 1.15
+
+    def test_kernel_time_is_untouched(self):
+        result = evaluate_prim_workload(PRIM_WORKLOADS["GEMV"], **self.BASE)
+        assert result.pimmmu_kernel_ns == result.baseline_kernel_ns
+        assert result.pimmmu_d2p_ns < result.baseline_d2p_ns
+
+    def test_breakdown_matches_calibrated_fractions(self):
+        workload = PRIM_WORKLOADS["GEMV"]
+        result = evaluate_prim_workload(workload, **self.BASE)
+        breakdown = result.normalised_breakdown("baseline")
+        assert breakdown["DRAM->PIM"] == pytest.approx(workload.dram_to_pim_fraction, rel=1e-6)
+        assert breakdown["PIM kernel"] == pytest.approx(workload.kernel_fraction, rel=1e-6)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_pim_mmu_breakdown_is_normalised_to_baseline(self):
+        result = evaluate_prim_workload(PRIM_WORKLOADS["VA"], **self.BASE)
+        breakdown = result.normalised_breakdown("pim-mmu")
+        assert sum(breakdown.values()) < 1.0
+        with pytest.raises(ValueError):
+            result.normalised_breakdown("other")
+
+    def test_speedup_bounded_by_transfer_speedup(self):
+        """End-to-end speedup can never exceed the transfer speedup itself (Amdahl)."""
+        for workload in PRIM_WORKLOADS.values():
+            result = evaluate_prim_workload(workload, **self.BASE)
+            assert result.speedup <= 4.0 + 1e-9
+            assert result.speedup >= 1.0
+
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_prim_workload(
+                PRIM_WORKLOADS["VA"], 0.0, 9.0, 36.0, 36.0
+            )
+
+    def test_suite_summary_matches_paper_shape(self):
+        """Average ~2x end-to-end speedup, max ~4x, transfers ~2/3 of baseline time."""
+        results = evaluate_prim_suite(**self.BASE)
+        assert len(results) == 16
+        summary = suite_summary(results)
+        assert 1.6 <= summary["mean_speedup"] <= 2.8
+        assert 3.0 <= summary["max_speedup"] <= 4.0
+        assert 0.55 <= summary["mean_transfer_fraction"] <= 0.75
+
+    def test_suite_subset(self):
+        subset = [PRIM_WORKLOADS["BS"], PRIM_WORKLOADS["TS"]]
+        results = evaluate_prim_suite(workloads=subset, **self.BASE)
+        assert [result.workload for result in results] == ["BS", "TS"]

@@ -1,0 +1,185 @@
+"""Tests for the DDR4 bank/rank/channel timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.bank import BankState
+from repro.dram.channel import DdrChannel
+from repro.dram.rank import RankState
+from repro.dram.timing import DerivedTiming
+from repro.mapping.address import DramAddress
+from repro.sim.config import DramTimingConfig, MemoryDomainConfig
+
+GEOMETRY = MemoryDomainConfig.paper_dram()
+TIMING = DerivedTiming.from_config(DramTimingConfig.ddr4_2400())
+
+
+def addr(channel=0, rank=0, bankgroup=0, bank=0, row=0, column=0) -> DramAddress:
+    return DramAddress(channel, rank, bankgroup, bank, row, column)
+
+
+class TestDerivedTiming:
+    def test_conversion_to_ns(self):
+        assert TIMING.tCL == pytest.approx(16 * TIMING.tCK)
+        assert TIMING.tBL == pytest.approx(4 * TIMING.tCK)
+
+    def test_burst_bandwidth_limit(self):
+        # 64 bytes per tBL is the data-bus limit: 19.2 GB/s for DDR4-2400.
+        assert TIMING.burst_bytes_per_ns_limit == pytest.approx(19.2)
+
+
+class TestBankState:
+    def test_classify(self):
+        bank = BankState()
+        assert bank.classify(5) == "closed"
+        bank.activate(0.0, 5, TIMING)
+        assert bank.classify(5) == "hit"
+        assert bank.classify(6) == "conflict"
+
+    def test_activate_sets_cas_and_pre_windows(self):
+        bank = BankState()
+        act_time = bank.activate(100.0, 3, TIMING)
+        assert act_time == 100.0
+        assert bank.ready_cas == pytest.approx(100.0 + TIMING.tRCD)
+        assert bank.ready_pre == pytest.approx(100.0 + TIMING.tRAS)
+
+    def test_precharge_clears_row_and_delays_act(self):
+        bank = BankState()
+        bank.activate(0.0, 3, TIMING)
+        ready_act = bank.precharge(bank.ready_pre, TIMING)
+        assert bank.open_row is None
+        assert ready_act == pytest.approx(TIMING.tRAS + TIMING.tRP)
+
+    def test_write_recovery_extends_precharge(self):
+        bank = BankState()
+        bank.activate(0.0, 1, TIMING)
+        bank.record_write(data_end=50.0, timing=TIMING)
+        assert bank.ready_pre >= 50.0 + TIMING.tWR
+
+    def test_block_until_for_refresh(self):
+        bank = BankState()
+        bank.activate(0.0, 1, TIMING)
+        bank.block_until(1000.0)
+        assert bank.open_row is None
+        assert bank.ready_act >= 1000.0
+
+
+class TestRankState:
+    def test_rrd_constraint(self):
+        rank = RankState(timing=TIMING)
+        rank.record_activate(100.0)
+        assert rank.earliest_activate(100.0, same_bankgroup=False) == pytest.approx(
+            100.0 + TIMING.tRRD_S
+        )
+        assert rank.earliest_activate(100.0, same_bankgroup=True) == pytest.approx(
+            100.0 + TIMING.tRRD_L
+        )
+
+    def test_faw_window_limits_fifth_activation(self):
+        rank = RankState(timing=TIMING)
+        for index in range(4):
+            rank.record_activate(index * TIMING.tRRD_S)
+        earliest = rank.earliest_activate(4 * TIMING.tRRD_S, same_bankgroup=False)
+        assert earliest >= TIMING.tFAW
+
+    def test_refresh_blocks_for_trfc(self):
+        rank = RankState(timing=TIMING)
+        ready = rank.perform_due_refreshes(TIMING.tREFI + 1.0)
+        assert ready >= TIMING.tREFI + TIMING.tRFC
+        assert rank.refreshes_performed == 1
+
+    def test_no_refresh_before_deadline(self):
+        rank = RankState(timing=TIMING)
+        assert rank.perform_due_refreshes(10.0) == 10.0
+        assert rank.refreshes_performed == 0
+
+
+class TestDdrChannel:
+    def test_closed_row_access_latency(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        timing = channel.access(addr(row=3), is_write=False, earliest=0.0)
+        assert timing.row_state == "closed"
+        assert timing.cas_time == pytest.approx(TIMING.tRCD)
+        assert timing.data_start == pytest.approx(TIMING.tRCD + TIMING.tCL)
+        assert timing.data_end == pytest.approx(TIMING.tRCD + TIMING.tCL + TIMING.tBL)
+
+    def test_row_hit_is_faster_than_conflict(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        channel.access(addr(row=3), is_write=False, earliest=0.0)
+        hit = channel.access(addr(row=3, column=1), is_write=False, earliest=200.0)
+        assert hit.row_state == "hit"
+        conflict_channel = DdrChannel(GEOMETRY, 0)
+        conflict_channel.access(addr(row=3), is_write=False, earliest=0.0)
+        conflict = conflict_channel.access(addr(row=9), is_write=False, earliest=200.0)
+        assert conflict.row_state == "conflict"
+        assert conflict.data_end > hit.data_end
+
+    def test_data_bus_serialises_bursts(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        first = channel.access(addr(row=0, column=0), is_write=False, earliest=0.0)
+        second = channel.access(addr(row=0, column=1), is_write=False, earliest=0.0)
+        assert second.data_start >= first.data_end
+
+    def test_same_bankgroup_cas_respects_tccd_l(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        first = channel.access(addr(bankgroup=0, bank=0, row=0), is_write=False, earliest=0.0)
+        second = channel.access(addr(bankgroup=0, bank=1, row=0), is_write=False, earliest=0.0)
+        assert second.cas_time - first.cas_time >= TIMING.tCCD_L - 1e-9
+
+    def test_different_bankgroup_allows_tighter_cas_spacing(self):
+        same = DdrChannel(GEOMETRY, 0)
+        s1 = same.access(addr(bankgroup=0, bank=0), is_write=False, earliest=0.0)
+        s2 = same.access(addr(bankgroup=0, bank=1), is_write=False, earliest=0.0)
+        other = DdrChannel(GEOMETRY, 0)
+        o1 = other.access(addr(bankgroup=0, bank=0), is_write=False, earliest=0.0)
+        o2 = other.access(addr(bankgroup=1, bank=0), is_write=False, earliest=0.0)
+        assert (o2.cas_time - o1.cas_time) <= (s2.cas_time - s1.cas_time)
+
+    def test_sequential_row_hits_reach_near_peak_bandwidth(self):
+        """A single-bank row-hit stream is bus-limited, not bank-limited."""
+        channel = DdrChannel(GEOMETRY, 0)
+        last_end = 0.0
+        blocks = 256
+        for index in range(blocks):
+            row, column = divmod(index, GEOMETRY.columns_per_row)
+            timing = channel.access(addr(row=row, column=column), False, 0.0)
+            last_end = timing.data_end
+        bandwidth = blocks * 64 / last_end
+        assert bandwidth > 0.55 * TIMING.burst_bytes_per_ns_limit
+
+    def test_bank_conflict_stream_is_much_slower(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        last_end = 0.0
+        blocks = 64
+        for index in range(blocks):
+            timing = channel.access(addr(row=index, column=0), False, 0.0)
+            last_end = timing.data_end
+        conflict_bw = blocks * 64 / last_end
+        assert conflict_bw < 0.35 * TIMING.burst_bytes_per_ns_limit
+
+    def test_write_then_read_turnaround_penalty(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        write = channel.access(addr(row=0, column=0), is_write=True, earliest=0.0)
+        read = channel.access(addr(row=0, column=1), is_write=False, earliest=0.0)
+        assert read.cas_time >= write.data_end + TIMING.tWTR_L - 1e-9
+
+    def test_refresh_is_applied_lazily(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        late = TIMING.tREFI + 10.0
+        timing = channel.access(addr(row=0), is_write=False, earliest=late)
+        assert timing.cas_time >= TIMING.tREFI + TIMING.tRFC
+        assert channel.rank_state(0).refreshes_performed >= 1
+
+    def test_utilization_and_counters(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        channel.access(addr(row=0, column=0), is_write=False, earliest=0.0)
+        channel.access(addr(row=0, column=1), is_write=False, earliest=0.0)
+        assert channel.total_row_hits == 1
+        assert channel.total_activations == 1
+        assert 0.0 < channel.utilization(1000.0) <= 1.0
+
+    def test_invalid_address_rejected(self):
+        channel = DdrChannel(GEOMETRY, 0)
+        with pytest.raises(ValueError):
+            channel.access(addr(bank=99), is_write=False, earliest=0.0)

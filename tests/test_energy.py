@@ -1,0 +1,134 @@
+"""Tests for the energy, power and area models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.cacti import estimate_sram, pim_mmu_buffer_overhead
+from repro.energy.dram_power import DramPowerModel
+from repro.energy.mcpat import CachePowerModel, CorePowerModel
+from repro.energy.system import SystemEnergyModel
+from repro.sim.config import SystemConfig
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+from repro.transfer.result import TransferResult
+
+
+def make_result(duration_ns, cpu_busy_ns, bytes_moved, llc_accesses=0.0, dce_busy_ns=0.0):
+    descriptor = TransferDescriptor.contiguous(
+        TransferDirection.DRAM_TO_PIM,
+        dram_base=0,
+        size_per_core_bytes=max(64, bytes_moved // 4),
+        pim_core_ids=range(4),
+    )
+    result = TransferResult(
+        descriptor=descriptor,
+        design_label="Base",
+        start_ns=0.0,
+        end_ns=duration_ns,
+        cpu_core_busy_ns=cpu_busy_ns,
+        dce_busy_ns=dce_busy_ns,
+        dram_read_bytes=bytes_moved,
+        pim_write_bytes=bytes_moved,
+    )
+    result.extra["llc_accesses"] = llc_accesses
+    return result
+
+
+class TestCacti:
+    def test_paper_area_overhead_is_reproduced(self):
+        """§VI-C: 16 KB + 64 KB SRAM at 32 nm is ~0.85 mm^2, ~0.37 % of the die."""
+        overhead = pim_mmu_buffer_overhead()
+        assert overhead["total_mm2"] == pytest.approx(0.85, rel=0.05)
+        assert overhead["die_increase_percent"] == pytest.approx(0.37, rel=0.05)
+
+    def test_area_scales_with_capacity(self):
+        small = estimate_sram(16 * 1024)
+        large = estimate_sram(64 * 1024)
+        assert large.area_mm2 == pytest.approx(4 * small.area_mm2, rel=1e-6)
+
+    def test_technology_scaling(self):
+        at_32 = estimate_sram(16 * 1024, technology_nm=32)
+        at_16 = estimate_sram(16 * 1024, technology_nm=16)
+        assert at_16.area_mm2 == pytest.approx(at_32.area_mm2 / 4, rel=1e-6)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sram(0)
+        with pytest.raises(ValueError):
+            estimate_sram(1024, technology_nm=0)
+
+
+class TestComponentModels:
+    def test_core_power_tracks_active_cores(self):
+        model = CorePowerModel(num_cores=8)
+        idle = model.system_power_w(0)
+        busy = model.system_power_w(8)
+        assert busy > idle
+        # With all 8 cores running AVX copies the system draws ~70 W (Figure 4).
+        assert 55.0 < busy < 85.0
+
+    def test_core_energy_terms(self):
+        model = CorePowerModel(num_cores=8)
+        assert model.dynamic_energy_j(1e9) == pytest.approx(model.dynamic_power_w_per_core)
+        assert model.static_energy_j(1e9) > 0
+
+    def test_negative_active_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CorePowerModel().system_power_w(-1)
+
+    def test_cache_energy(self):
+        model = CachePowerModel()
+        assert model.dynamic_energy_j(1000) == pytest.approx(1000 * 0.6e-9)
+        with pytest.raises(ValueError):
+            model.dynamic_energy_j(-1)
+
+    def test_dram_energy_scales_with_traffic(self):
+        model = DramPowerModel()
+        config = SystemConfig.paper_baseline()
+        little = model.dynamic_energy_j(64 * 100, 64 * 100)
+        lots = model.dynamic_energy_j(64 * 1000, 64 * 1000)
+        assert lots > little
+        assert model.static_energy_j(config.dram, 1e6) > 0
+        with pytest.raises(ValueError):
+            model.dynamic_energy_j(-1, 0)
+
+
+class TestSystemEnergyModel:
+    def test_breakdown_sums_to_total(self):
+        model = SystemEnergyModel(SystemConfig.paper_baseline())
+        result = make_result(1e6, 8e6, 1 << 20, llc_accesses=1 << 14)
+        breakdown = model.evaluate(result)
+        assert breakdown.total_j == pytest.approx(sum(breakdown.as_dict().values()))
+        assert breakdown.core_dynamic_j > 0
+        assert breakdown.dram_static_j > 0
+
+    def test_longer_transfer_costs_more_energy(self):
+        """Figure 15(b): energy is dominated by how long the transfer takes."""
+        model = SystemEnergyModel(SystemConfig.paper_baseline())
+        fast = model.evaluate(make_result(1e6, 0.0, 1 << 20))
+        slow = model.evaluate(make_result(4e6, 0.0, 1 << 20))
+        assert slow.total_j > fast.total_j
+
+    def test_offloaded_transfer_saves_core_dynamic_energy(self):
+        model = SystemEnergyModel(SystemConfig.paper_baseline())
+        baseline = model.evaluate(
+            make_result(1e6, 8e6, 1 << 20, llc_accesses=1 << 14), include_pim_mmu=False
+        )
+        offloaded = model.evaluate(
+            make_result(1e6, 1e4, 1 << 20, dce_busy_ns=1e6), include_pim_mmu=True
+        )
+        assert offloaded.core_dynamic_j < baseline.core_dynamic_j
+        assert offloaded.pim_mmu_dynamic_j > 0
+        assert baseline.pim_mmu_dynamic_j == 0.0
+
+    def test_efficiency_gain(self):
+        model = SystemEnergyModel(SystemConfig.paper_baseline())
+        fast = model.evaluate(make_result(1e6, 1e4, 1 << 20))
+        slow = model.evaluate(make_result(4e6, 32e6, 1 << 20, llc_accesses=1 << 15))
+        assert fast.efficiency_gain_over(slow) > 1.0
+
+    def test_system_power_during_transfer_matches_figure4_scale(self):
+        model = SystemEnergyModel(SystemConfig.paper_baseline())
+        result = make_result(1e6, 8e6, 64 << 20, llc_accesses=1 << 16)
+        power = model.system_power_during_transfer(result)
+        assert 50.0 < power < 120.0

@@ -1,0 +1,57 @@
+"""Tests for the Heterogeneous Memory Mapping Unit (HetMap)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hetmap import HeterogeneousMapper
+from repro.mapping.system_mapper import DRAM_DOMAIN, PIM_DOMAIN
+from repro.sim.config import CACHE_LINE_BYTES, MemoryDomainConfig
+
+DRAM = MemoryDomainConfig.paper_dram()
+PIM = MemoryDomainConfig.paper_pim()
+
+
+@pytest.fixture
+def hetmap() -> HeterogeneousMapper:
+    return HeterogeneousMapper.build(DRAM, PIM)
+
+
+class TestDispatch:
+    def test_dram_addresses_use_mlp_mapping(self, hetmap):
+        """Consecutive DRAM cache lines rotate across channels under HetMap."""
+        channels = {
+            hetmap.decode(index * CACHE_LINE_BYTES)[1].channel for index in range(8)
+        }
+        assert channels == set(range(DRAM.channels))
+
+    def test_pim_addresses_use_locality_mapping(self, hetmap):
+        """Consecutive PIM cache lines stay inside one bank (one PIM core)."""
+        base = hetmap.partition.pim_base
+        first = hetmap.decode(base)[1]
+        for index in range(64):
+            domain, decoded = hetmap.decode(base + index * CACHE_LINE_BYTES)
+            assert domain == PIM_DOMAIN
+            assert decoded.same_bank(first)
+
+    def test_domain_dispatch_boundary(self, hetmap):
+        assert hetmap.decode(hetmap.partition.pim_base - CACHE_LINE_BYTES)[0] == DRAM_DOMAIN
+        assert hetmap.decode(hetmap.partition.pim_base)[0] == PIM_DOMAIN
+
+    def test_mapping_for(self, hetmap):
+        assert "XOR" in hetmap.mapping_for(DRAM_DOMAIN).describe()
+        assert hetmap.mapping_for(PIM_DOMAIN).describe() == "Ch Ra Bg Bk Ro Co"
+        with pytest.raises(ValueError):
+            hetmap.mapping_for("nvram")
+
+    def test_describe_mentions_both_mappings(self, hetmap):
+        description = hetmap.describe()
+        assert "DRAM" in description and "PIM" in description
+
+    def test_xor_hash_can_be_disabled(self):
+        hetmap = HeterogeneousMapper.build(DRAM, PIM, enable_xor_hash=False)
+        assert "XOR" not in hetmap.mapping_for(DRAM_DOMAIN).describe()
+
+    def test_partition_capacities_follow_geometries(self, hetmap):
+        assert hetmap.partition.dram_capacity_bytes == DRAM.capacity_bytes
+        assert hetmap.partition.pim_capacity_bytes == PIM.capacity_bytes

@@ -1,0 +1,180 @@
+"""Tests for the host substrate: CPU accounting, LLC, allocator, contenders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.allocator import HostAllocator
+from repro.host.contenders import (
+    MEMORY_INTENSITY_THINK_NS,
+    ComputeContenderThread,
+    MemoryContenderThread,
+)
+from repro.host.cpu import HostCpu
+from repro.host.llc import LastLevelCache
+from repro.mapping.partition import AddressSpacePartition
+from repro.sim.config import CpuConfig
+from repro.system import build_system
+
+
+class TestHostCpu:
+    def test_busy_interval_accounting(self):
+        cpu = HostCpu(CpuConfig())
+        cpu.record_busy_interval(0.0, 100.0)
+        cpu.record_busy_interval(50.0, 150.0)
+        assert cpu.total_core_busy_ns() == pytest.approx(200.0)
+        # Two cores busy half the window on average over [0, 200).
+        assert cpu.average_active_cores(0.0, 200.0) == pytest.approx(1.0)
+        assert cpu.utilization(0.0, 200.0) == pytest.approx(1.0 / 8)
+
+    def test_active_cores_capped_at_core_count(self):
+        cpu = HostCpu(CpuConfig(num_cores=2))
+        for _ in range(5):
+            cpu.record_busy_interval(0.0, 100.0)
+        assert cpu.average_active_cores(0.0, 100.0) == 2.0
+
+    def test_invalid_interval_rejected(self):
+        cpu = HostCpu(CpuConfig())
+        with pytest.raises(ValueError):
+            cpu.record_busy_interval(10.0, 5.0)
+
+    def test_active_core_series(self):
+        cpu = HostCpu(CpuConfig())
+        cpu.record_busy_interval(0.0, 50.0)
+        series = cpu.active_core_series(window_ns=50.0, start_ns=0.0, end_ns=100.0)
+        assert series == [pytest.approx(1.0), pytest.approx(0.0)]
+
+    def test_reset(self):
+        cpu = HostCpu(CpuConfig())
+        cpu.record_busy_interval(0.0, 10.0)
+        cpu.reset()
+        assert cpu.total_core_busy_ns() == 0.0
+
+
+class TestLastLevelCache:
+    def test_hit_after_miss(self):
+        llc = LastLevelCache(capacity_bytes=64 * 1024, associativity=4)
+        assert llc.access(0x1000) is False
+        assert llc.access(0x1000) is True
+        assert llc.hits == 1 and llc.misses == 1
+
+    def test_lru_eviction(self):
+        llc = LastLevelCache(capacity_bytes=4 * 64, associativity=4)
+        # One set only: 4 ways.  Fill it, touch the first line, add a fifth.
+        lines = [index * llc.num_sets * 64 for index in range(5)]
+        for line in lines[:4]:
+            llc.access(line)
+        llc.access(lines[0])
+        llc.access(lines[4])
+        assert llc.evictions == 1
+        assert llc.access(lines[0]) is True  # recently used line survived
+        assert llc.access(lines[1]) is False  # LRU victim was evicted
+
+    def test_hit_rate(self):
+        llc = LastLevelCache(capacity_bytes=64 * 1024, associativity=4)
+        llc.access(0)
+        llc.access(0)
+        llc.access(64)
+        assert llc.hit_rate == pytest.approx(1 / 3)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LastLevelCache(capacity_bytes=1024, associativity=3)
+
+    def test_from_config(self):
+        llc = LastLevelCache.from_config(CpuConfig())
+        assert llc.capacity_bytes == 8 * 1024 * 1024
+        assert llc.associativity == 16
+
+
+class TestHostAllocator:
+    def test_bump_allocation_is_aligned_and_disjoint(self):
+        partition = AddressSpacePartition(dram_capacity_bytes=1 << 20, pim_capacity_bytes=1 << 20)
+        allocator = HostAllocator(partition)
+        a = allocator.allocate(100, name="a")
+        b = allocator.allocate(64, name="b")
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 128  # 100 rounded up to 128
+        assert allocator.allocation("a").start == a
+
+    def test_exhaustion_raises(self):
+        partition = AddressSpacePartition(dram_capacity_bytes=256, pim_capacity_bytes=64)
+        allocator = HostAllocator(partition)
+        allocator.allocate(256)
+        with pytest.raises(MemoryError):
+            allocator.allocate(64)
+
+    def test_invalid_size_rejected(self):
+        partition = AddressSpacePartition(dram_capacity_bytes=256, pim_capacity_bytes=64)
+        with pytest.raises(ValueError):
+            HostAllocator(partition).allocate(0)
+
+    def test_reset(self):
+        partition = AddressSpacePartition(dram_capacity_bytes=256, pim_capacity_bytes=64)
+        allocator = HostAllocator(partition)
+        allocator.allocate(256)
+        allocator.reset()
+        assert allocator.used_bytes == 0
+        assert allocator.allocate(64) == 0
+
+
+class TestContenders:
+    def test_compute_contender_never_finishes(self):
+        contender = ComputeContenderThread("spin")
+        contender.on_scheduled(0.0)
+        assert contender.is_finished() is False
+        contender.on_preempted(1.0)
+        assert contender.is_finished() is False
+
+    def test_memory_contender_issues_traffic_while_running(self, small_config):
+        system = build_system(config=small_config)
+        contender = MemoryContenderThread(
+            name="mem",
+            engine=system.engine,
+            port=system,
+            buffer_base=0,
+            buffer_bytes=1 << 20,
+            intensity="very_high",
+            max_outstanding=4,
+        )
+        contender.on_scheduled(0.0)
+        system.engine.run(until=5000.0)
+        assert contender.requests_issued > 4
+        assert contender.bytes_transferred > 0
+
+    def test_memory_contender_stops_when_preempted(self, small_config):
+        system = build_system(config=small_config)
+        contender = MemoryContenderThread(
+            name="mem",
+            engine=system.engine,
+            port=system,
+            buffer_base=0,
+            buffer_bytes=1 << 20,
+            intensity="low",
+        )
+        contender.on_scheduled(0.0)
+        contender.on_preempted(0.0)
+        system.engine.run(until=10000.0)
+        issued_after_preempt = contender.requests_issued
+        system.engine.run(until=50000.0)
+        assert contender.requests_issued == issued_after_preempt
+
+    def test_unknown_intensity_rejected(self, small_config):
+        system = build_system(config=small_config)
+        with pytest.raises(ValueError):
+            MemoryContenderThread(
+                name="mem",
+                engine=system.engine,
+                port=system,
+                buffer_base=0,
+                buffer_bytes=1 << 20,
+                intensity="extreme",
+            )
+
+    def test_intensity_levels_are_ordered(self):
+        assert (
+            MEMORY_INTENSITY_THINK_NS["low"]
+            > MEMORY_INTENSITY_THINK_NS["medium"]
+            > MEMORY_INTENSITY_THINK_NS["high"]
+            > MEMORY_INTENSITY_THINK_NS["very_high"]
+        )

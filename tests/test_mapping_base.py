@@ -1,0 +1,146 @@
+"""Tests for the bit-field mapping machinery (including hypothesis round-trips)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.base import BitFieldMapping, XorHash
+from repro.mapping.locality import locality_centric_mapping
+from repro.mapping.mlp import mlp_centric_mapping
+from repro.sim.config import MemoryDomainConfig
+
+
+GEOMETRY = MemoryDomainConfig.paper_dram()
+PIM_GEOMETRY = MemoryDomainConfig.paper_pim()
+
+
+def aligned_addresses(geometry: MemoryDomainConfig):
+    blocks = geometry.capacity_bytes // 64
+    return st.integers(min_value=0, max_value=blocks - 1).map(lambda block: block * 64)
+
+
+class TestValidation:
+    def test_layout_must_cover_all_fields(self):
+        with pytest.raises(ValueError):
+            BitFieldMapping(GEOMETRY, [("column", 7), ("row", 15)])
+
+    def test_layout_cannot_overcount_a_field(self):
+        layout = [
+            ("column", 8),  # one bit too many
+            ("row", 15),
+            ("bank", 2),
+            ("bankgroup", 2),
+            ("rank", 1),
+            ("channel", 2),
+        ]
+        with pytest.raises(ValueError):
+            BitFieldMapping(GEOMETRY, layout)
+
+    def test_non_power_of_two_geometry_rejected(self):
+        geometry = MemoryDomainConfig(channels=3)
+        with pytest.raises(ValueError):
+            locality_centric_mapping(geometry)
+
+    def test_duplicate_xor_target_rejected(self):
+        with pytest.raises(ValueError):
+            mapping = locality_centric_mapping(GEOMETRY)
+            BitFieldMapping(
+                GEOMETRY,
+                [(s.name, s.width) for s in mapping.layout],
+                xor_hashes=(
+                    XorHash(target="channel"),
+                    XorHash(target="channel", source_lsb=2),
+                ),
+            )
+
+    def test_hash_source_cannot_be_hashed(self):
+        mapping = locality_centric_mapping(GEOMETRY)
+        with pytest.raises(ValueError):
+            BitFieldMapping(
+                GEOMETRY,
+                [(s.name, s.width) for s in mapping.layout],
+                xor_hashes=(
+                    XorHash(target="channel", source="bank"),
+                    XorHash(target="bank", source="row"),
+                ),
+            )
+
+    def test_hash_reading_past_source_rejected(self):
+        mapping = locality_centric_mapping(GEOMETRY)
+        with pytest.raises(ValueError):
+            BitFieldMapping(
+                GEOMETRY,
+                [(s.name, s.width) for s in mapping.layout],
+                xor_hashes=(XorHash(target="row", source="column", source_lsb=6),),
+            )
+
+    def test_out_of_range_address_rejected(self):
+        mapping = locality_centric_mapping(GEOMETRY)
+        with pytest.raises(ValueError):
+            mapping.map(GEOMETRY.capacity_bytes)
+        with pytest.raises(ValueError):
+            mapping.map(-64)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(addr=aligned_addresses(GEOMETRY))
+    def test_locality_roundtrip(self, addr):
+        mapping = locality_centric_mapping(GEOMETRY)
+        assert mapping.inverse(mapping.map(addr)) == addr
+
+    @settings(max_examples=200, deadline=None)
+    @given(addr=aligned_addresses(GEOMETRY))
+    def test_mlp_roundtrip_with_xor(self, addr):
+        mapping = mlp_centric_mapping(GEOMETRY, enable_xor_hash=True)
+        assert mapping.inverse(mapping.map(addr)) == addr
+
+    @settings(max_examples=100, deadline=None)
+    @given(addr=aligned_addresses(PIM_GEOMETRY))
+    def test_pim_geometry_roundtrip(self, addr):
+        mapping = locality_centric_mapping(PIM_GEOMETRY)
+        assert mapping.inverse(mapping.map(addr)) == addr
+
+    @settings(max_examples=200, deadline=None)
+    @given(addr=aligned_addresses(GEOMETRY))
+    def test_decoded_addresses_are_within_geometry(self, addr):
+        mapping = mlp_centric_mapping(GEOMETRY)
+        decoded = mapping.map(addr)
+        decoded.validate(GEOMETRY)  # raises on violation
+
+    @settings(max_examples=100, deadline=None)
+    @given(addr=aligned_addresses(GEOMETRY), offset=st.integers(min_value=0, max_value=63))
+    def test_block_offset_is_ignored(self, addr, offset):
+        mapping = mlp_centric_mapping(GEOMETRY)
+        assert mapping.map(addr) == mapping.map(addr + offset)
+
+
+class TestDescribe:
+    def test_locality_describe_is_chrabgbkroco(self):
+        assert locality_centric_mapping(GEOMETRY).describe() == "Ch Ra Bg Bk Ro Co"
+
+    def test_mlp_describe_mentions_xor(self):
+        assert "+XOR" in mlp_centric_mapping(GEOMETRY).describe()
+
+    def test_addressable_bytes_matches_capacity(self):
+        mapping = locality_centric_mapping(GEOMETRY)
+        assert mapping.addressable_bytes == GEOMETRY.capacity_bytes
+
+
+class TestBijectivity:
+    def test_distinct_blocks_map_to_distinct_locations(self):
+        mapping = mlp_centric_mapping(GEOMETRY)
+        seen = set()
+        for block in range(4096):
+            decoded = mapping.map(block * 64)
+            key = (
+                decoded.channel,
+                decoded.rank,
+                decoded.bankgroup,
+                decoded.bank,
+                decoded.row,
+                decoded.column,
+            )
+            assert key not in seen
+            seen.add(key)

@@ -1,0 +1,114 @@
+"""Behavioural tests of the locality-centric, MLP-centric and BIOS mappings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping.bios import BiosInterleaveConfig, bios_mapping
+from repro.mapping.locality import locality_centric_mapping
+from repro.mapping.mlp import mlp_centric_mapping
+from repro.sim.config import CACHE_LINE_BYTES, MemoryDomainConfig
+
+GEOMETRY = MemoryDomainConfig.paper_dram()
+
+
+def walk_channels(mapping, num_blocks: int):
+    return [mapping.map(index * CACHE_LINE_BYTES).channel for index in range(num_blocks)]
+
+
+class TestLocalityCentric:
+    def test_contiguous_buffer_stays_in_one_bank(self):
+        """A multi-MB contiguous buffer never leaves its bank (Challenge #3)."""
+        mapping = locality_centric_mapping(GEOMETRY)
+        first = mapping.map(0)
+        # 1 MB worth of blocks all land in the same channel/rank/bg/bank.
+        for index in range(0, 1024 * 1024, CACHE_LINE_BYTES):
+            assert mapping.map(index).same_bank(first)
+
+    def test_contiguous_walks_columns_then_rows(self):
+        mapping = locality_centric_mapping(GEOMETRY)
+        assert mapping.map(0).column == 0
+        assert mapping.map(64).column == 1
+        next_row = mapping.map(GEOMETRY.row_size_bytes)
+        assert next_row.row == 1
+        assert next_row.column == 0
+
+    def test_channel_changes_only_at_channel_capacity(self):
+        mapping = locality_centric_mapping(GEOMETRY)
+        assert mapping.map(GEOMETRY.channel_capacity_bytes - 64).channel == 0
+        assert mapping.map(GEOMETRY.channel_capacity_bytes).channel == 1
+
+
+class TestMlpCentric:
+    def test_consecutive_blocks_rotate_channels(self):
+        mapping = mlp_centric_mapping(GEOMETRY, enable_xor_hash=False)
+        channels = walk_channels(mapping, GEOMETRY.channels)
+        assert sorted(channels) == list(range(GEOMETRY.channels))
+
+    def test_sequential_stream_covers_all_channels_evenly(self):
+        mapping = mlp_centric_mapping(GEOMETRY)
+        channels = walk_channels(mapping, 1024)
+        counts = [channels.count(channel) for channel in range(GEOMETRY.channels)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_sequential_stream_covers_all_banks_of_a_rank(self):
+        """Within a rank, a sequential stream rotates over every bank."""
+        mapping = mlp_centric_mapping(GEOMETRY)
+        banks = {
+            mapping.map(index * CACHE_LINE_BYTES).bank_id(GEOMETRY)
+            for index in range(GEOMETRY.banks_per_channel * 8)
+        }
+        assert len(banks) == GEOMETRY.banks_per_rank
+
+    def test_xor_hash_spreads_strided_pattern(self):
+        """Channel-aliasing strides stay on one channel without hashing but spread with it."""
+        stride = 16 * 1024  # a multiple of (channels x 64 B): aliases without hashing
+        plain = mlp_centric_mapping(GEOMETRY, enable_xor_hash=False)
+        hashed = mlp_centric_mapping(GEOMETRY, enable_xor_hash=True)
+        plain_channels = {plain.map(index * stride).channel for index in range(256)}
+        hashed_channels = {hashed.map(index * stride).channel for index in range(256)}
+        assert len(plain_channels) == 1
+        assert len(hashed_channels) == GEOMETRY.channels
+
+
+class TestBiosMapping:
+    def test_nway_everything_equals_high_mlp(self):
+        config = BiosInterleaveConfig(imc_interleave=True, channel_interleave=True)
+        mapping = bios_mapping(GEOMETRY, config)
+        channels = walk_channels(mapping, 64)
+        assert set(channels) == set(range(GEOMETRY.channels))
+
+    def test_oneway_everything_keeps_channel_bits_high(self):
+        config = BiosInterleaveConfig(
+            imc_interleave=False, channel_interleave=False, xor_hash=False
+        )
+        mapping = bios_mapping(GEOMETRY, config)
+        channels = walk_channels(mapping, 4096)
+        assert set(channels) == {0}
+
+    def test_channel_only_interleaving_covers_half_the_channels(self):
+        """Figure 1(c): N-way channel but 1-way IMC maps low addresses to one IMC."""
+        config = BiosInterleaveConfig(
+            imc_interleave=False, channel_interleave=True, xor_hash=False
+        )
+        mapping = bios_mapping(GEOMETRY, config)
+        channels = set(walk_channels(mapping, 4096))
+        assert channels == {0, 1}
+
+    def test_labels(self):
+        assert BiosInterleaveConfig().label == "IMC:N-way/Ch:N-way+XOR"
+        assert (
+            BiosInterleaveConfig(False, False, False).label == "IMC:1-way/Ch:1-way"
+        )
+
+    def test_roundtrip(self):
+        config = BiosInterleaveConfig(imc_interleave=False, channel_interleave=True)
+        mapping = bios_mapping(GEOMETRY, config)
+        for block in range(0, 100000, 977):
+            addr = block * CACHE_LINE_BYTES
+            assert mapping.inverse(mapping.map(addr)) == addr
+
+    def test_single_channel_geometry_degrades_gracefully(self):
+        geometry = MemoryDomainConfig(channels=1)
+        mapping = bios_mapping(geometry, BiosInterleaveConfig())
+        assert mapping.map(0).channel == 0

@@ -1,0 +1,148 @@
+"""Tests for the DRAM/PIM address-space partition and PIM-core addressing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.locality import locality_centric_mapping
+from repro.mapping.partition import (
+    AddressSpacePartition,
+    pim_core_coordinates,
+    pim_core_id_from_coordinates,
+    pim_heap_physical_address,
+)
+from repro.mapping.system_mapper import DRAM_DOMAIN, PIM_DOMAIN, HomogeneousMapper
+from repro.sim.config import MemoryDomainConfig
+
+DRAM = MemoryDomainConfig.paper_dram()
+PIM = MemoryDomainConfig.paper_pim()
+
+
+@pytest.fixture
+def partition() -> AddressSpacePartition:
+    return AddressSpacePartition.from_domains(DRAM, PIM)
+
+
+class TestPartition:
+    def test_regions_are_disjoint_and_adjacent(self, partition):
+        assert partition.dram_base == 0
+        assert partition.pim_base == DRAM.capacity_bytes
+        assert partition.total_bytes == DRAM.capacity_bytes + PIM.capacity_bytes
+
+    def test_is_pim_boundaries(self, partition):
+        assert not partition.is_pim(0)
+        assert not partition.is_pim(partition.pim_base - 1)
+        assert partition.is_pim(partition.pim_base)
+        assert partition.is_pim(partition.total_bytes - 1)
+
+    def test_domain_offset(self, partition):
+        assert partition.domain_offset(100) == 100
+        assert partition.domain_offset(partition.pim_base + 5) == 5
+
+    def test_out_of_range_rejected(self, partition):
+        with pytest.raises(ValueError):
+            partition.is_pim(partition.total_bytes)
+        with pytest.raises(ValueError):
+            partition.is_pim(-1)
+
+    def test_pim_and_dram_address_builders(self, partition):
+        assert partition.pim_address(0) == partition.pim_base
+        assert partition.dram_address(64) == 64
+        with pytest.raises(ValueError):
+            partition.pim_address(PIM.capacity_bytes)
+        with pytest.raises(ValueError):
+            partition.dram_address(DRAM.capacity_bytes)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpacePartition(dram_capacity_bytes=0, pim_capacity_bytes=1)
+
+
+class TestPimCoreCoordinates:
+    def test_core_zero_is_channel_zero_bank_zero(self):
+        home = pim_core_coordinates(PIM, 0)
+        assert (home.channel, home.rank, home.bankgroup, home.bank) == (0, 0, 0, 0)
+
+    def test_consecutive_ids_stay_within_a_channel(self):
+        """The id enumeration keeps consecutive PIM cores in the same channel."""
+        per_channel = PIM.banks_per_channel
+        for core_id in range(per_channel):
+            assert pim_core_coordinates(PIM, core_id).channel == 0
+        assert pim_core_coordinates(PIM, per_channel).channel == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pim_core_coordinates(PIM, PIM.total_banks)
+
+    @settings(max_examples=200, deadline=None)
+    @given(core_id=st.integers(min_value=0, max_value=PIM.total_banks - 1))
+    def test_roundtrip(self, core_id):
+        home = pim_core_coordinates(PIM, core_id)
+        assert (
+            pim_core_id_from_coordinates(
+                PIM, home.channel, home.rank, home.bankgroup, home.bank
+            )
+            == core_id
+        )
+
+    def test_each_core_has_a_unique_bank(self):
+        homes = {
+            (home.channel, home.rank, home.bankgroup, home.bank)
+            for home in (pim_core_coordinates(PIM, i) for i in range(PIM.total_banks))
+        }
+        assert len(homes) == PIM.total_banks
+
+
+class TestPimHeapAddress:
+    def test_heap_addresses_stay_in_the_cores_bank(self, partition):
+        mapping = locality_centric_mapping(PIM)
+        for core_id in (0, 17, 300, 511):
+            home = pim_core_coordinates(PIM, core_id)
+            for offset in (0, 64, 8192, 1024 * 1024):
+                phys = pim_heap_physical_address(partition, mapping, core_id, offset)
+                assert partition.is_pim(phys)
+                decoded = mapping.map(partition.domain_offset(phys))
+                assert decoded.same_bank(home)
+
+    def test_heap_offsets_are_contiguous_within_a_row(self, partition):
+        mapping = locality_centric_mapping(PIM)
+        base = pim_heap_physical_address(partition, mapping, 3, 0)
+        assert pim_heap_physical_address(partition, mapping, 3, 128) == base + 128
+
+    def test_offset_beyond_mram_rejected(self, partition):
+        mapping = locality_centric_mapping(PIM)
+        with pytest.raises(ValueError):
+            pim_heap_physical_address(partition, mapping, 0, PIM.bank_capacity_bytes)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        core_id=st.integers(min_value=0, max_value=PIM.total_banks - 1),
+        offset=st.integers(min_value=0, max_value=PIM.bank_capacity_bytes // 64 - 1),
+    )
+    def test_distinct_cores_never_share_addresses(self, core_id, offset):
+        mapping = locality_centric_mapping(PIM)
+        partition = AddressSpacePartition.from_domains(DRAM, PIM)
+        other = (core_id + 1) % PIM.total_banks
+        a = pim_heap_physical_address(partition, mapping, core_id, offset * 64)
+        b = pim_heap_physical_address(partition, mapping, other, offset * 64)
+        assert a != b
+
+
+class TestHomogeneousMapper:
+    def test_dispatch_between_domains(self, partition):
+        mapper = HomogeneousMapper.build(DRAM, PIM)
+        domain, _ = mapper.decode(0)
+        assert domain == DRAM_DOMAIN
+        domain, _ = mapper.decode(mapper.partition.pim_base)
+        assert domain == PIM_DOMAIN
+
+    def test_both_domains_use_locality_mapping(self):
+        mapper = HomogeneousMapper.build(DRAM, PIM)
+        assert mapper.mapping_for(DRAM_DOMAIN).describe() == "Ch Ra Bg Bk Ro Co"
+        assert mapper.mapping_for(PIM_DOMAIN).describe() == "Ch Ra Bg Bk Ro Co"
+
+    def test_unknown_domain_rejected(self):
+        mapper = HomogeneousMapper.build(DRAM, PIM)
+        with pytest.raises(ValueError):
+            mapper.mapping_for("flash")

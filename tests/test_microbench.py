@@ -1,0 +1,109 @@
+"""Tests for the transfer-microbenchmark harness (extrapolation + dispatch)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import DesignPoint
+from repro.transfer.descriptor import TransferDirection
+from repro.workloads.contention import compute_contender_factory
+from repro.workloads.microbench import run_transfer_experiment
+
+
+class TestRunTransferExperiment:
+    def test_small_transfer_is_fully_simulated(self, small_config):
+        experiment = run_transfer_experiment(
+            DesignPoint.BASELINE,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=64 * 1024,
+            config=small_config,
+        )
+        assert experiment.simulated_bytes == experiment.requested_bytes
+        assert experiment.throughput_gbps > 0
+        assert experiment.energy_joules > 0
+
+    def test_large_transfer_is_extrapolated(self, small_config):
+        experiment = run_transfer_experiment(
+            DesignPoint.BASE_DHP,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=4 * 1024 * 1024,
+            config=small_config,
+            sim_cap_bytes=128 * 1024,
+        )
+        assert experiment.simulated_bytes < experiment.requested_bytes
+        assert experiment.result.total_bytes == experiment.requested_bytes
+        # Byte accounting is scaled consistently with the requested size.
+        assert experiment.result.pim_write_bytes == pytest.approx(
+            experiment.requested_bytes, rel=0.02
+        )
+
+    def test_extrapolation_preserves_throughput(self, small_config):
+        small = run_transfer_experiment(
+            DesignPoint.BASE_DHP,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=256 * 1024,
+            config=small_config,
+        )
+        large = run_transfer_experiment(
+            DesignPoint.BASE_DHP,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=1024 * 1024,
+            config=small_config,
+            sim_cap_bytes=256 * 1024,
+        )
+        assert large.throughput_gbps == pytest.approx(small.throughput_gbps, rel=0.05)
+
+    def test_design_points_dispatch_to_their_engines(self, small_config):
+        for point in DesignPoint:
+            experiment = run_transfer_experiment(
+                point,
+                TransferDirection.DRAM_TO_PIM,
+                total_bytes=64 * 1024,
+                config=small_config,
+            )
+            assert experiment.result.design_label == point.label
+
+    def test_pim_utilization_bounded(self, small_config):
+        experiment = run_transfer_experiment(
+            DesignPoint.BASE_DHP,
+            TransferDirection.PIM_TO_DRAM,
+            total_bytes=128 * 1024,
+            config=small_config,
+        )
+        assert 0.0 < experiment.pim_utilization <= 1.0
+
+    def test_energy_efficiency_metric(self, small_config):
+        experiment = run_transfer_experiment(
+            DesignPoint.BASELINE,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=64 * 1024,
+            config=small_config,
+        )
+        assert experiment.energy_efficiency_gb_per_joule > 0
+
+    def test_contender_factory_is_applied(self, small_config):
+        quiet = run_transfer_experiment(
+            DesignPoint.BASELINE,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=128 * 1024,
+            config=small_config,
+        )
+        contended = run_transfer_experiment(
+            DesignPoint.BASELINE,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=128 * 1024,
+            config=small_config,
+            contender_factory=compute_contender_factory(24),
+        )
+        # Compute contenders steal CPU cores from the software transfer.
+        assert contended.duration_ns >= quiet.duration_ns
+
+    def test_subset_of_pim_cores(self, small_config):
+        experiment = run_transfer_experiment(
+            DesignPoint.BASE_DHP,
+            TransferDirection.DRAM_TO_PIM,
+            total_bytes=64 * 1024,
+            config=small_config,
+            num_pim_cores=8,
+        )
+        assert experiment.result.descriptor.num_cores == 8

@@ -1,0 +1,155 @@
+"""Tests for the round-robin OS scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.host.cpu import HostCpu
+from repro.host.os_scheduler import RoundRobinScheduler
+from repro.sim.config import CpuConfig
+from repro.sim.engine import SimulationEngine
+
+
+class RecordingThread:
+    """Test double that records scheduling callbacks."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.events = []
+        self.finished = False
+
+    def on_scheduled(self, now_ns: float) -> None:
+        self.events.append(("run", now_ns))
+
+    def on_preempted(self, now_ns: float) -> None:
+        self.events.append(("stop", now_ns))
+
+    def is_finished(self) -> bool:
+        return self.finished
+
+
+@pytest.fixture
+def scheduler_setup():
+    engine = SimulationEngine()
+    cpu = HostCpu(CpuConfig(num_cores=2))
+    scheduler = RoundRobinScheduler(engine, cpu, num_cores=2, quantum_ns=100.0)
+    return engine, cpu, scheduler
+
+
+def test_start_schedules_up_to_core_count(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(4)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    scheduler.start()
+    assert [t.name for t in scheduler.running_threads] == ["t0", "t1"]
+    assert threads[0].events == [("run", 0.0)]
+    assert threads[2].events == []
+
+
+def test_round_robin_rotation_at_quantum(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(4)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    scheduler.start()
+    engine.run(until=150.0)
+    # After one quantum the waiting threads get the cores.
+    assert [t.name for t in scheduler.running_threads] == ["t2", "t3"]
+    assert ("stop", 100.0) in threads[0].events
+    assert ("run", 100.0) in threads[2].events
+    engine.run(until=250.0)
+    assert [t.name for t in scheduler.running_threads] == ["t0", "t1"]
+
+
+def test_no_rotation_when_no_waiters(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(2)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    scheduler.start()
+    engine.run(until=350.0)
+    # With exactly num_cores runnable threads nobody is ever preempted.
+    assert all(("stop", 100.0) not in t.events for t in threads)
+
+
+def test_notify_finished_frees_core_immediately(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(3)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    scheduler.start()
+    threads[0].finished = True
+    scheduler.notify_finished(threads[0])
+    assert [t.name for t in scheduler.running_threads] == ["t1", "t2"]
+
+
+def test_finished_threads_are_skipped_when_refilling(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(4)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    threads[2].finished = True
+    scheduler.start()
+    threads[0].finished = True
+    scheduler.notify_finished(threads[0])
+    assert [t.name for t in scheduler.running_threads] == ["t1", "t3"]
+
+
+def test_cpu_busy_time_recorded_on_deschedule(scheduler_setup):
+    engine, cpu, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(3)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    scheduler.start()
+    engine.run(until=100.0)
+    # The preempted threads contributed one quantum each of busy time.
+    assert cpu.total_core_busy_ns() >= 200.0
+
+
+def test_stop_preempts_everything(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(2)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    scheduler.start()
+    scheduler.stop()
+    assert scheduler.running_threads == []
+    assert all(t.events[-1][0] == "stop" for t in threads)
+    # No further quanta fire after stop.
+    engine.run(until=1000.0)
+    assert all(len(t.events) == 2 for t in threads)
+
+
+def test_add_thread_after_start_gets_a_core_if_available(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    first = RecordingThread("t0")
+    scheduler.add_thread(first)
+    scheduler.start()
+    late = RecordingThread("late")
+    scheduler.add_thread(late)
+    assert late.events == [("run", 0.0)]
+
+
+def test_start_is_resumable(scheduler_setup):
+    engine, _, scheduler = scheduler_setup
+    first = RecordingThread("t0")
+    scheduler.add_thread(first)
+    scheduler.start()
+    scheduler.stop()
+    second = RecordingThread("t1")
+    scheduler.add_thread(second)
+    scheduler.start()
+    assert [t.name for t in scheduler.running_threads] == ["t1"]
+    # Double-start while running is a no-op rather than an error.
+    scheduler.start()
+    assert [t.name for t in scheduler.running_threads] == ["t1"]
+
+
+def test_runnable_count(scheduler_setup):
+    _, _, scheduler = scheduler_setup
+    threads = [RecordingThread(f"t{i}") for i in range(3)]
+    for thread in threads:
+        scheduler.add_thread(thread)
+    scheduler.start()
+    assert scheduler.runnable_count == 3

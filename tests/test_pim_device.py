@@ -1,0 +1,193 @@
+"""Tests for the PIM device substrate: topology, DPUs, MRAM, transpose, kernels."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.partition import pim_core_coordinates
+from repro.pim.dpu import DpuCore, DpuState
+from repro.pim.kernel import KernelProfile, estimate_kernel_time_ns
+from repro.pim.mram import Mram
+from repro.pim.topology import PimTopology
+from repro.pim.transpose import (
+    TILE_BYTES,
+    is_transposed_pair,
+    transpose_for_pim,
+    transpose_from_pim,
+)
+from repro.sim.config import MemoryDomainConfig
+
+PIM = MemoryDomainConfig.paper_pim()
+
+
+class TestTopology:
+    def test_paper_topology_has_512_dpus(self):
+        topology = PimTopology.build(PIM)
+        assert topology.num_dpus == 512
+        assert topology.dpus_per_rank == 64
+        assert topology.dpus_per_chip == 8
+
+    def test_home_bank_roundtrip(self):
+        topology = PimTopology.build(PIM)
+        for dpu_id in (0, 63, 64, 511):
+            home = topology.home_bank(dpu_id)
+            assert topology.dpu_for_bank(home) == dpu_id
+
+    def test_dpus_in_channel(self):
+        topology = PimTopology.build(PIM)
+        first_channel = topology.dpus_in_channel(0)
+        assert len(first_channel) == PIM.banks_per_channel
+        assert first_channel[0] == 0
+        homes = {topology.home_bank(dpu_id).channel for dpu_id in first_channel}
+        assert homes == {0}
+
+    def test_aggregate_properties(self):
+        topology = PimTopology.build(PIM)
+        assert topology.aggregate_mram_bytes == 512 * 64 * 1024 * 1024
+        # >1 TB/s aggregate internal bandwidth at 512 DPUs x ~1 GB/s... the
+        # paper quotes >1 TB/s for 1280 DPUs, so 512 DPUs give ~0.5 TB/s.
+        assert topology.aggregate_internal_bandwidth_gbps == pytest.approx(512.0)
+
+
+class TestDpuCore:
+    def test_host_access_requires_idle_dpu(self):
+        dpu = DpuCore(dpu_id=0, mram_capacity_bytes=1 << 20)
+        dpu.host_write(0, b"hello")
+        dpu.launch()
+        assert dpu.state is DpuState.RUNNING
+        with pytest.raises(RuntimeError):
+            dpu.host_write(0, b"boom")
+        with pytest.raises(RuntimeError):
+            dpu.host_read(0, 5)
+        dpu.finish()
+        assert dpu.host_read(0, 5) == b"hello"
+
+    def test_double_launch_rejected(self):
+        dpu = DpuCore(dpu_id=0)
+        dpu.launch()
+        with pytest.raises(RuntimeError):
+            dpu.launch()
+
+    def test_compute_and_stream_times(self):
+        dpu = DpuCore(dpu_id=0)
+        assert dpu.compute_time_ns(0) > 0  # pipeline fill
+        assert dpu.compute_time_ns(350_000) == pytest.approx(1_000_040, rel=1e-3)
+        assert dpu.mram_stream_time_ns(1_000_000) == pytest.approx(1_000_000.0)
+
+    def test_negative_inputs_rejected(self):
+        dpu = DpuCore(dpu_id=0)
+        with pytest.raises(ValueError):
+            dpu.compute_time_ns(-1)
+        with pytest.raises(ValueError):
+            dpu.mram_stream_time_ns(-1)
+
+
+class TestMram:
+    def test_write_read_roundtrip(self):
+        mram = Mram(capacity_bytes=1024)
+        mram.write(10, b"abcdef")
+        assert mram.read(10, 6) == b"abcdef"
+        assert mram.read(0, 4) == b"\x00" * 4
+
+    def test_cross_block_write(self):
+        mram = Mram(capacity_bytes=256)
+        payload = bytes(range(100))
+        mram.write(30, payload)
+        assert mram.read(30, 100) == payload
+
+    def test_bounds_checked(self):
+        mram = Mram(capacity_bytes=128)
+        with pytest.raises(ValueError):
+            mram.write(100, b"x" * 64)
+        with pytest.raises(ValueError):
+            mram.read(-1, 4)
+
+    def test_sparse_residency(self):
+        mram = Mram(capacity_bytes=64 * 1024 * 1024)
+        mram.write(0, b"x")
+        assert mram.resident_bytes == 64
+        mram.clear()
+        assert mram.resident_bytes == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        offset=st.integers(min_value=0, max_value=900),
+        payload=st.binary(min_size=1, max_size=100),
+    )
+    def test_roundtrip_property(self, offset, payload):
+        mram = Mram(capacity_bytes=1024)
+        mram.write(offset, payload)
+        assert mram.read(offset, len(payload)) == payload
+
+
+class TestTranspose:
+    def test_single_tile_layout(self):
+        """The word 'DATAWORD' repeated 8 times is striped one byte per chip (Figure 3)."""
+        tile = b"DATAWORD" * 8
+        transposed = transpose_for_pim(tile)
+        # After the transpose, the first 8 bytes (what chip 0 stores) are the
+        # first byte of every word: 'DDDDDDDD'.
+        assert transposed[:8] == b"D" * 8
+        assert transposed[8:16] == b"A" * 8
+
+    def test_involution(self):
+        data = bytes(range(256)) * 2
+        assert transpose_from_pim(transpose_for_pim(data)) == data
+
+    def test_non_tile_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            transpose_for_pim(b"x" * 100)
+
+    def test_empty_payload(self):
+        assert transpose_for_pim(b"") == b""
+
+    def test_is_transposed_pair(self):
+        data = bytes(range(64))
+        assert is_transposed_pair(data, transpose_for_pim(data))
+        assert not is_transposed_pair(data, data[::-1])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8).flatmap(
+            lambda tiles: st.binary(
+                min_size=tiles * TILE_BYTES, max_size=tiles * TILE_BYTES
+            )
+        )
+    )
+    def test_roundtrip_property(self, data):
+        assert transpose_from_pim(transpose_for_pim(data)) == data
+
+
+class TestKernelModel:
+    def test_memory_bound_kernel_follows_mram_roofline(self):
+        dpu = DpuCore(dpu_id=0)
+        profile = KernelProfile(name="stream", instructions_per_byte=0.1)
+        time_ns = estimate_kernel_time_ns(dpu, 1_000_000, profile)
+        assert time_ns == pytest.approx(profile.fixed_overhead_ns + 1_000_000, rel=1e-3)
+
+    def test_compute_bound_kernel_follows_pipeline_roofline(self):
+        dpu = DpuCore(dpu_id=0)
+        profile = KernelProfile(name="heavy", instructions_per_byte=40.0)
+        time_ns = estimate_kernel_time_ns(dpu, 1_000_000, profile)
+        assert time_ns > dpu.compute_time_ns(40_000_000) * 0.99
+
+    def test_kernel_time_scales_with_bytes(self):
+        dpu = DpuCore(dpu_id=0)
+        profile = KernelProfile(name="x", instructions_per_byte=2.0)
+        small = estimate_kernel_time_ns(dpu, 1 << 16, profile)
+        large = estimate_kernel_time_ns(dpu, 1 << 20, profile)
+        assert large > small
+
+    def test_invalid_inputs_rejected(self):
+        dpu = DpuCore(dpu_id=0)
+        profile = KernelProfile(name="x", instructions_per_byte=1.0)
+        with pytest.raises(ValueError):
+            estimate_kernel_time_ns(dpu, -1, profile)
+        with pytest.raises(ValueError):
+            KernelProfile(name="bad", instructions_per_byte=-1.0)
+
+    def test_coordinates_match_partition_helper(self):
+        topology = PimTopology.build(PIM)
+        for dpu_id in (1, 100, 400):
+            assert topology.home_bank(dpu_id) == pim_core_coordinates(PIM, dpu_id)

@@ -1,0 +1,114 @@
+"""Tests for the PIM-aware Memory Scheduler (Algorithm 1)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.pim_ms import PimAwareScheduler, get_pim_core_id
+from repro.mapping.partition import pim_core_coordinates
+from repro.sim.config import MemoryDomainConfig
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+
+PIM = MemoryDomainConfig.paper_pim()
+
+
+def descriptor_for(cores, size_per_core=256):
+    return TransferDescriptor.contiguous(
+        TransferDirection.DRAM_TO_PIM,
+        dram_base=0,
+        size_per_core_bytes=size_per_core,
+        pim_core_ids=list(cores),
+    )
+
+
+class TestGetPimCoreId:
+    def test_matches_partition_helper(self):
+        for core_id in (0, 5, 77, 511):
+            home = pim_core_coordinates(PIM, core_id)
+            assert (
+                get_pim_core_id(PIM, home.channel, home.rank, home.bankgroup, home.bank)
+                == core_id
+            )
+
+
+class TestSchedule:
+    def test_covers_every_chunk_exactly_once(self):
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for(range(16), size_per_core=512)
+        seen = set()
+        for access in scheduler.schedule(descriptor):
+            key = (access.pim_core_id, access.chunk_index)
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) == 16 * 8
+
+    def test_per_core_chunks_are_in_order(self):
+        """The AGU offset counter only ever increments (Algorithm 1 lines 8-14)."""
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for(range(0, 512, 7), size_per_core=256)
+        last_chunk = defaultdict(lambda: -1)
+        for access in scheduler.schedule(descriptor):
+            assert access.chunk_index == last_chunk[access.pim_core_id] + 1
+            last_chunk[access.pim_core_id] = access.chunk_index
+
+    def test_consecutive_accesses_rotate_pim_channels(self):
+        """Once all channels are active, neighbouring issues target different channels."""
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for(range(512), size_per_core=256)
+        accesses = list(scheduler.schedule(descriptor))
+        # Skip the pipeline-fill prologue (first and last few "waves").
+        window = accesses[len(accesses) // 2 : len(accesses) // 2 + 64]
+        channels = [pim_core_coordinates(PIM, a.pim_core_id).channel for a in window]
+        changes = sum(1 for a, b in zip(channels, channels[1:]) if a != b)
+        assert changes / (len(channels) - 1) > 0.7
+
+    def test_within_channel_bankgroups_are_interleaved(self):
+        scheduler = PimAwareScheduler(PIM)
+        cores_in_channel0 = list(range(PIM.banks_per_channel))
+        descriptor = descriptor_for(cores_in_channel0, size_per_core=128)
+        accesses = list(scheduler.schedule(descriptor))
+        groups = [pim_core_coordinates(PIM, a.pim_core_id).bankgroup for a in accesses[:8]]
+        changes = sum(1 for a, b in zip(groups, groups[1:]) if a != b)
+        assert changes >= 6
+
+    def test_channels_work_on_skewed_chunk_offsets(self):
+        """The per-channel sequences are software-pipelined (skewed by one chunk)."""
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for(range(512), size_per_core=512)
+        in_flight_chunks = defaultdict(set)
+        for access in list(scheduler.schedule(descriptor))[:4 * 512]:
+            channel = pim_core_coordinates(PIM, access.pim_core_id).channel
+            in_flight_chunks[channel].add(access.chunk_index)
+        observed = {channel: max(chunks) for channel, chunks in in_flight_chunks.items()}
+        assert len(set(observed.values())) > 1
+
+    def test_serial_schedule_is_descriptor_order(self):
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for([3, 1, 2], size_per_core=128)
+        accesses = list(scheduler.schedule_serial(descriptor))
+        assert [a.pim_core_id for a in accesses[:2]] == [3, 3]
+        assert [a.chunk_index for a in accesses[:2]] == [0, 1]
+        assert accesses[2].pim_core_id == 1
+        assert len(accesses) == 3 * 2
+
+    def test_serial_and_pim_ms_cover_the_same_work(self):
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for(range(8), size_per_core=256)
+        pim_ms = {(a.pim_core_id, a.chunk_index) for a in scheduler.schedule(descriptor)}
+        serial = {(a.pim_core_id, a.chunk_index) for a in scheduler.schedule_serial(descriptor)}
+        assert pim_ms == serial
+
+    def test_preview_limits_output(self):
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for(range(64), size_per_core=1024)
+        preview = scheduler.preview(descriptor, count=10)
+        assert len(preview) == 10
+
+    def test_single_core_descriptor(self):
+        scheduler = PimAwareScheduler(PIM)
+        descriptor = descriptor_for([42], size_per_core=256)
+        accesses = list(scheduler.schedule(descriptor))
+        assert [a.chunk_index for a in accesses] == [0, 1, 2, 3]
+        assert all(a.pim_core_id == 42 for a in accesses)

@@ -1,0 +1,125 @@
+"""Tests for the Table I configuration dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import (
+    CpuConfig,
+    DesignPoint,
+    DramTimingConfig,
+    MemoryDomainConfig,
+    PimMmuConfig,
+    SystemConfig,
+)
+
+
+class TestDramTiming:
+    def test_ddr4_2400_clock(self):
+        timing = DramTimingConfig.ddr4_2400()
+        assert timing.clock_mhz == 1200.0
+        assert timing.tCK_ns == pytest.approx(1000.0 / 1200.0)
+
+    def test_ns_conversion(self):
+        timing = DramTimingConfig.ddr4_2400()
+        assert timing.ns(12) == pytest.approx(10.0)
+
+    def test_ddr4_3200_is_faster_clock(self):
+        slow = DramTimingConfig.ddr4_2400()
+        fast = DramTimingConfig.ddr4_3200()
+        assert fast.tCK_ns < slow.tCK_ns
+        assert fast.data_rate_mtps == 3200
+
+
+class TestMemoryDomain:
+    def test_paper_dram_peak_bandwidth(self):
+        dram = MemoryDomainConfig.paper_dram()
+        # DDR4-2400 x 8 bytes = 19.2 GB/s per channel, 4 channels = 76.8 GB/s.
+        assert dram.channel_peak_bandwidth_gbps == pytest.approx(19.2)
+        assert dram.peak_bandwidth_gbps == pytest.approx(76.8)
+
+    def test_paper_pim_has_512_banks(self):
+        pim = MemoryDomainConfig.paper_pim()
+        assert pim.total_banks == 512
+
+    def test_banks_per_channel(self):
+        dram = MemoryDomainConfig.paper_dram()
+        assert dram.banks_per_rank == 16
+        assert dram.banks_per_channel == 32
+
+    def test_columns_per_row(self):
+        dram = MemoryDomainConfig.paper_dram()
+        assert dram.columns_per_row == 128
+
+    def test_pim_bank_capacity_is_64mb(self):
+        pim = MemoryDomainConfig.paper_pim()
+        assert pim.bank_capacity_bytes == 64 * 1024 * 1024
+
+    def test_capacity_consistency(self):
+        dram = MemoryDomainConfig.paper_dram()
+        assert dram.capacity_bytes == dram.channels * dram.channel_capacity_bytes
+        assert dram.channel_capacity_bytes == (
+            dram.banks_per_channel * dram.bank_capacity_bytes
+        )
+
+
+class TestDesignPoint:
+    def test_baseline_has_no_pim_mmu_features(self):
+        point = DesignPoint.BASELINE
+        assert not point.uses_dce
+        assert not point.uses_hetmap
+        assert not point.uses_pim_ms
+
+    def test_full_pim_mmu_has_all_features(self):
+        point = DesignPoint.BASE_DHP
+        assert point.uses_dce and point.uses_hetmap and point.uses_pim_ms
+
+    def test_incremental_ablation_features(self):
+        assert DesignPoint.BASE_D.uses_dce
+        assert not DesignPoint.BASE_D.uses_hetmap
+        assert DesignPoint.BASE_DH.uses_hetmap
+        assert not DesignPoint.BASE_DH.uses_pim_ms
+
+    def test_labels_match_paper(self):
+        assert [point.label for point in DesignPoint] == [
+            "Base",
+            "Base+D",
+            "Base+D+H",
+            "Base+D+H+P",
+        ]
+
+
+class TestSystemConfig:
+    def test_paper_baseline_matches_table1(self, paper_config):
+        assert paper_config.cpu.num_cores == 8
+        assert paper_config.cpu.frequency_ghz == 3.2
+        assert paper_config.cpu.mshrs_per_core == 64
+        assert paper_config.cpu.llc_capacity_bytes == 8 * 1024 * 1024
+        assert paper_config.memctrl.read_queue_depth == 64
+        assert paper_config.dram.channels == 4
+        assert paper_config.dram.ranks_per_channel == 2
+        assert paper_config.num_pim_cores == 512
+        assert paper_config.pim_mmu.data_buffer_bytes == 16 * 1024
+        assert paper_config.pim_mmu.address_buffer_bytes == 64 * 1024
+
+    def test_describe_contains_key_rows(self, paper_config):
+        table = paper_config.describe()
+        assert "512 PIM cores" in table["PIM System Configuration"]
+        assert "FR-FCFS" in table["Memory Controller"]
+        assert "16 KB data buffer" in table["PIM-MMU DCE"]
+
+    def test_with_memory_geometry(self, paper_config):
+        derived = paper_config.with_memory_geometry(channels=2, ranks_per_channel=4)
+        assert derived.dram.channels == 2
+        assert derived.pim.ranks_per_channel == 4
+        # The original stays untouched (frozen dataclasses).
+        assert paper_config.dram.channels == 4
+
+    def test_cpu_cycle_conversion(self):
+        cpu = CpuConfig(frequency_ghz=3.2)
+        assert cpu.cycles_to_ns(32) == pytest.approx(10.0)
+
+    def test_pim_mmu_buffer_entries(self):
+        pim_mmu = PimMmuConfig()
+        assert pim_mmu.data_buffer_entries == 256
+        assert pim_mmu.address_buffer_entries == 4096

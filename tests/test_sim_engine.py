@@ -1,0 +1,136 @@
+"""Tests for the event-driven simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+def test_initial_time_is_zero(engine):
+    assert engine.now == 0.0
+
+
+def test_schedule_after_fires_in_order(engine):
+    fired = []
+    engine.schedule_after(5.0, lambda: fired.append("b"))
+    engine.schedule_after(1.0, lambda: fired.append("a"))
+    engine.schedule_after(9.0, lambda: fired.append("c"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time(engine):
+    seen = []
+    engine.schedule_after(3.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [3.5]
+    assert engine.now == 3.5
+
+
+def test_same_time_events_fire_in_scheduling_order(engine):
+    fired = []
+    for index in range(10):
+        engine.schedule_at(7.0, lambda i=index: fired.append(i))
+    engine.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_in_past_raises(engine):
+    engine.schedule_after(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(5.0, lambda: None)
+
+
+def test_negative_delay_raises(engine):
+    with pytest.raises(ValueError):
+        engine.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(engine):
+    fired = []
+    event = engine.schedule_after(1.0, lambda: fired.append("x"))
+    event.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_run_until_stops_before_later_events(engine):
+    fired = []
+    engine.schedule_after(1.0, lambda: fired.append(1))
+    engine.schedule_after(10.0, lambda: fired.append(10))
+    count = engine.run(until=5.0)
+    assert count == 1
+    assert fired == [1]
+    assert engine.now == 5.0
+    engine.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_is_inclusive(engine):
+    fired = []
+    engine.schedule_at(5.0, lambda: fired.append(5))
+    engine.run(until=5.0)
+    assert fired == [5]
+
+
+def test_run_until_advances_clock_even_when_queue_is_empty(engine):
+    engine.run(until=42.0)
+    assert engine.now == 42.0
+
+
+def test_run_max_events(engine):
+    fired = []
+    for index in range(5):
+        engine.schedule_after(float(index + 1), lambda i=index: fired.append(i))
+    engine.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_events_can_schedule_more_events(engine):
+    fired = []
+
+    def chain(depth: int) -> None:
+        fired.append(depth)
+        if depth < 3:
+            engine.schedule_after(1.0, lambda: chain(depth + 1))
+
+    engine.schedule_after(1.0, lambda: chain(0))
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+    assert engine.now == 4.0
+
+
+def test_step_returns_false_when_empty(engine):
+    assert engine.step() is False
+
+
+def test_peek_next_time_skips_cancelled(engine):
+    event = engine.schedule_after(1.0, lambda: None)
+    engine.schedule_after(2.0, lambda: None)
+    event.cancel()
+    assert engine.peek_next_time() == 2.0
+
+
+def test_len_counts_pending_events(engine):
+    first = engine.schedule_after(1.0, lambda: None)
+    engine.schedule_after(2.0, lambda: None)
+    assert len(engine) == 2
+    first.cancel()
+    assert len(engine) == 1
+
+
+def test_drain_discards_everything(engine):
+    fired = []
+    engine.schedule_after(1.0, lambda: fired.append(1))
+    engine.drain()
+    engine.run()
+    assert fired == []
+
+
+def test_zero_delay_fires_at_current_time(engine):
+    engine.schedule_after(5.0, lambda: engine.schedule_after(0.0, lambda: None))
+    count = engine.run()
+    assert count == 2
+    assert engine.now == 5.0

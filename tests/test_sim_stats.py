@@ -1,0 +1,99 @@
+"""Tests for the statistics primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import BandwidthTracker, Counter, Histogram, StatsRegistry
+
+
+class TestCounter:
+    def test_add_and_reset(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+        counter.reset()
+        assert counter.value == 0.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("lat")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.add(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+
+    def test_percentile(self):
+        histogram = Histogram("lat")
+        for value in range(101):
+            histogram.add(float(value))
+        assert histogram.percentile(0.0) == 0.0
+        assert histogram.percentile(1.0) == 100.0
+        assert histogram.percentile(0.5) == pytest.approx(50.0)
+
+    def test_percentile_bounds_checked(self):
+        histogram = Histogram("lat")
+        histogram.add(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_empty_histogram_is_safe(self):
+        histogram = Histogram("lat")
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0.0
+
+
+class TestBandwidthTracker:
+    def test_average_bandwidth(self):
+        tracker = BandwidthTracker("bw")
+        tracker.record(0.0, 0)
+        tracker.record(100.0, 6400)
+        # 6400 bytes over 100 ns == 64 GB/s.
+        assert tracker.average_bandwidth_gbps() == pytest.approx(64.0)
+
+    def test_explicit_duration(self):
+        tracker = BandwidthTracker("bw")
+        tracker.record(10.0, 1000)
+        assert tracker.average_bandwidth_gbps(duration_ns=100.0) == pytest.approx(10.0)
+
+    def test_window_series(self):
+        tracker = BandwidthTracker("bw")
+        for time_ns in (0.0, 5.0, 15.0, 25.0):
+            tracker.record(time_ns, 64)
+        series = tracker.window_series(10.0, start_ns=0.0, end_ns=30.0)
+        assert series[0] == 128
+        assert series[1] == 64
+        assert series[2] == 64
+
+    def test_negative_bytes_rejected(self):
+        tracker = BandwidthTracker("bw")
+        with pytest.raises(ValueError):
+            tracker.record(0.0, -1)
+
+    def test_empty_tracker(self):
+        tracker = BandwidthTracker("bw")
+        assert tracker.average_bandwidth_gbps() == 0.0
+        assert tracker.window_series(10.0) == []
+
+
+class TestStatsRegistry:
+    def test_lazily_creates_named_objects(self, stats):
+        stats.counter("a").add(1)
+        stats.counter("a").add(1)
+        assert stats.counter("a").value == 2
+        assert stats.histogram("h") is stats.histogram("h")
+        assert stats.bandwidth_tracker("b") is stats.bandwidth_tracker("b")
+
+    def test_snapshot_and_reset(self, stats):
+        stats.counter("served").add(5)
+        stats.bandwidth_tracker("bw").record(0.0, 64)
+        stats.bandwidth_tracker("bw").record(1.0, 64)
+        snapshot = stats.snapshot()
+        assert snapshot["counter/served"] == 5
+        assert snapshot["bw/bw/total_bytes"] == 128
+        stats.reset()
+        assert stats.counter("served").value == 0

@@ -1,0 +1,98 @@
+"""Tests for transfer descriptors and results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+from repro.transfer.result import TransferResult
+
+
+def make_descriptor(**overrides):
+    defaults = dict(
+        direction=TransferDirection.DRAM_TO_PIM,
+        size_per_core_bytes=1024,
+        pim_core_ids=(0, 1, 2, 3),
+        dram_base_addrs=(0, 1024, 2048, 3072),
+    )
+    defaults.update(overrides)
+    return TransferDescriptor(**defaults)
+
+
+class TestDescriptor:
+    def test_totals(self):
+        descriptor = make_descriptor()
+        assert descriptor.num_cores == 4
+        assert descriptor.total_bytes == 4096
+        assert descriptor.chunks_per_core == 16
+
+    def test_contiguous_builder(self):
+        descriptor = TransferDescriptor.contiguous(
+            TransferDirection.PIM_TO_DRAM,
+            dram_base=4096,
+            size_per_core_bytes=256,
+            pim_core_ids=range(3),
+        )
+        assert descriptor.dram_base_addrs == (4096, 4352, 4608)
+        assert descriptor.direction is TransferDirection.PIM_TO_DRAM
+
+    def test_direction_flags(self):
+        assert TransferDirection.DRAM_TO_PIM.reads_from_dram
+        assert not TransferDirection.PIM_TO_DRAM.reads_from_dram
+
+    def test_size_must_be_chunk_aligned(self):
+        with pytest.raises(ValueError):
+            make_descriptor(size_per_core_bytes=100)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_descriptor(size_per_core_bytes=0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            make_descriptor(dram_base_addrs=(0, 1024))
+
+    def test_duplicate_pim_cores_rejected(self):
+        """Mutual exclusiveness of PIM targets is the property PIM-MS relies on."""
+        with pytest.raises(ValueError):
+            make_descriptor(pim_core_ids=(0, 1, 1, 3))
+
+    def test_empty_descriptor_rejected(self):
+        with pytest.raises(ValueError):
+            make_descriptor(pim_core_ids=(), dram_base_addrs=())
+
+
+class TestResult:
+    def make_result(self, duration_ns=1000.0, **overrides):
+        defaults = dict(
+            descriptor=make_descriptor(),
+            design_label="Base",
+            start_ns=0.0,
+            end_ns=duration_ns,
+        )
+        defaults.update(overrides)
+        return TransferResult(**defaults)
+
+    def test_throughput(self):
+        result = self.make_result(duration_ns=1000.0)
+        # 4096 bytes over 1000 ns = 4.096 GB/s.
+        assert result.throughput_gbps == pytest.approx(4.096)
+
+    def test_zero_duration_throughput(self):
+        result = self.make_result(duration_ns=0.0)
+        assert result.throughput_gbps == 0.0
+
+    def test_bandwidth_utilization(self):
+        result = self.make_result(duration_ns=1000.0)
+        assert result.bandwidth_utilization(40.96) == pytest.approx(0.1)
+        assert result.bandwidth_utilization(0.0) == 0.0
+
+    def test_speedup_over(self):
+        fast = self.make_result(duration_ns=500.0)
+        slow = self.make_result(duration_ns=2000.0)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+
+    def test_duration_never_negative(self):
+        result = self.make_result()
+        result.end_ns = result.start_ns - 5.0
+        assert result.duration_ns == 0.0

@@ -1,0 +1,144 @@
+"""Tests for the baseline software transfer stack (dpu_push_xfer model + DpuSet)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pim.kernel import KernelProfile
+from repro.pim.transpose import transpose_for_pim
+from repro.sim.config import DesignPoint
+from repro.system import build_system
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+from repro.upmem_runtime.dpu_set import DpuSet
+from repro.upmem_runtime.engine import SoftwareTransferEngine
+
+
+def small_descriptor(system, cores=8, size_per_core=1024, direction=TransferDirection.DRAM_TO_PIM):
+    return TransferDescriptor.contiguous(
+        direction=direction,
+        dram_base=0,
+        size_per_core_bytes=size_per_core,
+        pim_core_ids=list(range(cores)),
+    )
+
+
+class TestSoftwareTransferEngine:
+    def test_transfer_completes_and_accounts_all_bytes(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = small_descriptor(system, cores=8, size_per_core=1024)
+        result = SoftwareTransferEngine(system).execute(descriptor)
+        assert result.duration_ns > 0
+        assert result.dram_read_bytes == descriptor.total_bytes
+        assert result.pim_write_bytes == descriptor.total_bytes
+        assert result.pim_read_bytes == 0
+        assert result.design_label == "Base"
+
+    def test_reverse_direction_reads_pim_writes_dram(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = small_descriptor(
+            system, cores=8, size_per_core=1024, direction=TransferDirection.PIM_TO_DRAM
+        )
+        result = SoftwareTransferEngine(system).execute(descriptor)
+        assert result.pim_read_bytes == descriptor.total_bytes
+        assert result.dram_write_bytes == descriptor.total_bytes
+
+    def test_cpu_cores_are_busy_during_transfer(self, small_config):
+        """Challenge #1: the baseline burns CPU time proportional to the transfer."""
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = small_descriptor(system, cores=8, size_per_core=2048)
+        result = SoftwareTransferEngine(system).execute(descriptor)
+        assert result.cpu_core_busy_ns > result.duration_ns  # several cores busy
+        assert result.extra["llc_accesses"] == 2 * descriptor.total_bytes // 64
+
+    def test_throughput_is_well_below_peak(self, small_config):
+        """Challenge #2: software transfers leave most of the PIM bandwidth unused."""
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = small_descriptor(system, cores=32, size_per_core=2048)
+        result = SoftwareTransferEngine(system).execute(descriptor)
+        assert result.throughput_gbps < 0.5 * small_config.pim.peak_bandwidth_gbps
+
+    def test_per_channel_traffic_recorded(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = small_descriptor(system, cores=32, size_per_core=512)
+        result = SoftwareTransferEngine(system).execute(descriptor)
+        assert sum(result.per_channel_pim_bytes.values()) == descriptor.total_bytes
+
+    def test_round_robin_policy_changes_thread_order(self, small_config):
+        from dataclasses import replace
+        config = replace(small_config, os=replace(small_config.os, thread_to_dpu_policy="round_robin"))
+        system = build_system(config=config, design_point=DesignPoint.BASELINE)
+        descriptor = small_descriptor(system, cores=16, size_per_core=512)
+        result = SoftwareTransferEngine(system).execute(descriptor)
+        assert result.pim_write_bytes == descriptor.total_bytes
+
+    def test_unknown_thread_policy_rejected(self, small_config):
+        from dataclasses import replace
+        config = replace(small_config, os=replace(small_config.os, thread_to_dpu_policy="magic"))
+        system = build_system(config=config, design_point=DesignPoint.BASELINE)
+        descriptor = small_descriptor(system, cores=4, size_per_core=256)
+        with pytest.raises(ValueError):
+            SoftwareTransferEngine(system).execute(descriptor)
+
+
+class TestDpuSet:
+    def test_functional_roundtrip_through_mram(self, small_config):
+        """Data pushed to PIM and pulled back is bit-identical (transpose included)."""
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        dpu_set = DpuSet(system, num_dpus=4)
+        size_per_dpu = 512
+        data = np.random.default_rng(0).integers(
+            0, 256, size=4 * size_per_dpu, dtype=np.uint8
+        )
+        dpu_set.push_xfer(TransferDirection.DRAM_TO_PIM, size_per_dpu, host_buffer=data)
+        # The MRAM image is the transposed layout, not the raw bytes.
+        stored = system.topology.dpu(0).host_read(0, size_per_dpu)
+        assert stored == transpose_for_pim(data[:size_per_dpu].tobytes())
+        out = np.zeros_like(data)
+        dpu_set.push_xfer(TransferDirection.PIM_TO_DRAM, size_per_dpu, host_buffer=out)
+        assert np.array_equal(out, data)
+
+    def test_prepare_xfer_controls_slice_assignment(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        dpu_set = DpuSet(system, num_dpus=2)
+        data = np.arange(2 * 256, dtype=np.uint8)
+        # Swap the slices: DPU 0 receives the second slice.
+        dpu_set.prepare_xfer(0, 256)
+        dpu_set.prepare_xfer(1, 0)
+        dpu_set.push_xfer(TransferDirection.DRAM_TO_PIM, 256, host_buffer=data)
+        stored = system.topology.dpu(0).host_read(0, 256)
+        assert stored == transpose_for_pim(data[256:].tobytes())
+
+    def test_partial_prepare_rejected(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        dpu_set = DpuSet(system, num_dpus=2)
+        dpu_set.prepare_xfer(0, 0)
+        with pytest.raises(ValueError):
+            dpu_set.push_xfer(TransferDirection.DRAM_TO_PIM, 256, host_buffer=np.zeros(512, np.uint8))
+
+    def test_too_small_host_buffer_rejected(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        dpu_set = DpuSet(system, num_dpus=2)
+        with pytest.raises(ValueError):
+            dpu_set.push_xfer(
+                TransferDirection.DRAM_TO_PIM, 256, host_buffer=np.zeros(64, np.uint8)
+            )
+
+    def test_allocating_more_dpus_than_available_rejected(self, small_config):
+        system = build_system(config=small_config)
+        with pytest.raises(ValueError):
+            DpuSet(system, num_dpus=1000)
+
+    def test_launch_uses_kernel_model(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        dpu_set = DpuSet(system, num_dpus=4)
+        profile = KernelProfile(name="stream", instructions_per_byte=0.5)
+        duration = dpu_set.launch(profile, bytes_per_dpu=1 << 16)
+        assert duration > 0
+        assert all(system.topology.dpu(i).is_idle for i in dpu_set.dpu_ids)
+
+    def test_invalid_dpu_index_in_prepare(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        dpu_set = DpuSet(system, num_dpus=2)
+        with pytest.raises(ValueError):
+            dpu_set.prepare_xfer(5, 0)

@@ -1,0 +1,129 @@
+"""Tests for workload generators: patterns, memcpy, PrIM descriptors, contention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import DesignPoint
+from repro.system import build_system
+from repro.workloads.contention import compute_contender_factory, memory_contender_factory
+from repro.workloads.memcpy import MemcpyEngine
+from repro.workloads.patterns import AccessPattern, measure_read_bandwidth, pattern_addresses
+from repro.workloads.prim import (
+    PRIM_WORKLOADS,
+    average_transfer_fraction,
+    max_transfer_fraction,
+)
+
+
+class TestPatterns:
+    def test_sequential_covers_every_block_in_order(self):
+        addresses = list(pattern_addresses(AccessPattern.SEQUENTIAL, 0, 1024))
+        assert addresses == [index * 64 for index in range(16)]
+
+    def test_strided_covers_every_block_once(self):
+        addresses = list(pattern_addresses(AccessPattern.STRIDED, 0, 8192, stride_bytes=1024))
+        assert len(addresses) == 128
+        assert len(set(addresses)) == 128
+        assert addresses[1] - addresses[0] == 1024
+
+    def test_unaligned_total_rejected(self):
+        with pytest.raises(ValueError):
+            list(pattern_addresses(AccessPattern.SEQUENTIAL, 0, 100))
+
+    def test_read_bandwidth_probe_runs(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        bandwidth = measure_read_bandwidth(
+            system, AccessPattern.SEQUENTIAL, total_bytes=256 * 1024, max_outstanding=32
+        )
+        assert 0.0 < bandwidth < small_config.dram.peak_bandwidth_gbps
+
+    def test_mlp_mapping_beats_locality_mapping(self, small_config):
+        """The Figure 8 shape: locality-centric mapping wastes most DRAM bandwidth."""
+        locality = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        hetmap = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        bw_locality = measure_read_bandwidth(
+            locality, AccessPattern.SEQUENTIAL, total_bytes=256 * 1024, max_outstanding=32
+        )
+        bw_hetmap = measure_read_bandwidth(
+            hetmap, AccessPattern.SEQUENTIAL, total_bytes=256 * 1024, max_outstanding=32
+        )
+        assert bw_locality < 0.7 * bw_hetmap
+
+
+class TestMemcpy:
+    def test_memcpy_moves_all_bytes(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        total = 256 * 1024
+        result = MemcpyEngine(system).execute(src_base=0, dst_base=total, total_bytes=total)
+        assert result.dram_read_bytes == total
+        assert result.dram_write_bytes == total
+        assert result.pim_write_bytes == 0
+
+    def test_memcpy_requires_even_split(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        with pytest.raises(ValueError):
+            MemcpyEngine(system, num_threads=8).execute(0, 4096, total_bytes=4096 + 64)
+
+    def test_hetmap_memcpy_is_faster(self, small_config):
+        """The Figure 14 shape: HetMap unlocks DRAM MLP for plain copies."""
+        total = 256 * 1024
+        baseline = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        baseline_result = MemcpyEngine(baseline).execute(0, total, total_bytes=total)
+        hetmap = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        hetmap_result = MemcpyEngine(hetmap).execute(0, total, total_bytes=total)
+        assert hetmap_result.duration_ns < baseline_result.duration_ns
+
+
+class TestPrimDescriptors:
+    def test_all_16_workloads_present(self):
+        assert len(PRIM_WORKLOADS) == 16
+        assert {"BFS", "BS", "GEMV", "TS", "VA"}.issubset(PRIM_WORKLOADS)
+
+    def test_fractions_sum_to_one(self):
+        for workload in PRIM_WORKLOADS.values():
+            assert sum(workload.baseline_fractions) == pytest.approx(1.0, abs=1e-3)
+
+    def test_transfer_dominates_on_average(self):
+        """The paper reports transfers are 63.7 % of baseline time on average."""
+        assert 0.55 <= average_transfer_fraction() <= 0.75
+
+    def test_max_transfer_fraction_is_extreme(self):
+        assert max_transfer_fraction() > 0.95
+
+    def test_ts_is_kernel_bound(self):
+        assert PRIM_WORKLOADS["TS"].transfer_fraction < 0.1
+
+    def test_volumes_are_positive_and_plausible(self):
+        for workload in PRIM_WORKLOADS.values():
+            assert workload.input_bytes >= 1 << 20
+            assert workload.output_bytes <= workload.input_bytes * 2
+
+    def test_invalid_fraction_rejected(self):
+        from repro.workloads.prim import PrimWorkload
+        from repro.pim.kernel import KernelProfile
+        with pytest.raises(ValueError):
+            PrimWorkload(
+                "BAD", "x", 1024, 0, (0.5, 0.4, 0.4),
+                KernelProfile(name="x", instructions_per_byte=1.0),
+            )
+
+
+class TestContentionFactories:
+    def test_compute_factory_builds_requested_count(self, small_config):
+        system = build_system(config=small_config)
+        contenders = compute_contender_factory(5)(system)
+        assert len(contenders) == 5
+
+    def test_memory_factory_places_buffers_in_upper_dram(self, small_config):
+        system = build_system(config=small_config)
+        contenders = memory_contender_factory(3, "high")(system)
+        assert len(contenders) == 3
+        half = system.partition.dram_capacity_bytes // 2
+        assert all(contender.buffer_base >= half for contender in contenders)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            compute_contender_factory(-1)
+        with pytest.raises(ValueError):
+            memory_contender_factory(-1, "low")
