@@ -2,30 +2,33 @@
 
 Every benchmark regenerates one table or figure of the paper.  Results are
 written as plain-text tables under ``results/`` (one file per figure) so they
-can be inspected after a ``pytest benchmarks/ --benchmark-only`` run, and the
-headline numbers are also attached to the pytest-benchmark records through
+can be inspected after a ``pytest benchmarks/`` run, and the headline numbers
+are also attached to the pytest-benchmark records through
 ``benchmark.extra_info``.
 
-The simulations use the full Table I system configuration but simulate a
-capped number of bytes per transfer (the steady-state throughput is what the
-figures compare); see ``repro.workloads.microbench`` for the extrapolation
-rule.
+The figures themselves are computed by :mod:`repro.exp.figures`; this module
+only wires the session-wide :class:`~repro.exp.runner.ExperimentProvider`
+(which memoises experiments in-process and caches them on disk under
+``results/.cache``, shared with the ``python -m repro`` CLI) into pytest
+fixtures.  The simulations use the full Table I system configuration but
+simulate a capped number of bytes per transfer (the steady-state throughput
+is what the figures compare); see ``repro.workloads.microbench`` for the
+extrapolation rule.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Tuple
 
 import pytest
 
-from repro.sim.config import DesignPoint, SystemConfig
-from repro.transfer.descriptor import TransferDirection
-from repro.workloads.microbench import TransferExperiment, run_transfer_experiment
+from repro.exp import DEFAULT_SIM_CAP_BYTES, ExperimentProvider, ResultCache
+from repro.exp.figures import write_figure as _write_figure
+from repro.sim.config import SystemConfig
 
 # Bytes actually simulated per transfer experiment; larger requested sizes are
 # extrapolated from this steady-state window.
-SIM_CAP_BYTES = 512 * 1024
+SIM_CAP_BYTES = DEFAULT_SIM_CAP_BYTES
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -37,8 +40,7 @@ def results_dir() -> Path:
 
 
 def write_figure(results_dir: Path, name: str, text: str) -> Path:
-    path = results_dir / name
-    path.write_text(text + "\n")
+    path = _write_figure(results_dir, name, text)
     print(f"\n{text}\n[written to {path}]")
     return path
 
@@ -48,32 +50,15 @@ def paper_config() -> SystemConfig:
     return SystemConfig.paper_baseline()
 
 
-class ExperimentCache:
-    """Memoises transfer experiments so figures can share simulation runs."""
-
-    def __init__(self, config: SystemConfig) -> None:
-        self.config = config
-        self._cache: Dict[Tuple, TransferExperiment] = {}
-
-    def get(
-        self,
-        design_point: DesignPoint,
-        direction: TransferDirection,
-        total_bytes: int,
-        sim_cap_bytes: int = SIM_CAP_BYTES,
-    ) -> TransferExperiment:
-        key = (design_point, direction, total_bytes, sim_cap_bytes)
-        if key not in self._cache:
-            self._cache[key] = run_transfer_experiment(
-                design_point,
-                direction,
-                total_bytes=total_bytes,
-                config=self.config,
-                sim_cap_bytes=sim_cap_bytes,
-            )
-        return self._cache[key]
-
-
 @pytest.fixture(scope="session")
-def experiments(paper_config) -> ExperimentCache:
-    return ExperimentCache(paper_config)
+def experiments(paper_config) -> ExperimentProvider:
+    """Session-wide experiment source, memoised and disk-cached.
+
+    The provider deduplicates experiments across figures and persists
+    outcomes under ``results/.cache`` keyed by (config, spec, code version),
+    so figures share simulation runs within the session *and* across
+    pytest/CLI invocations.
+    """
+    cache = ResultCache(RESULTS_DIR / ".cache")
+    cache.prune_stale_versions()
+    return ExperimentProvider(paper_config, cache=cache)

@@ -12,60 +12,22 @@ reproduction to its own modelling/design choices:
 
 from __future__ import annotations
 
-from dataclasses import replace
+import pytest
 
-from repro.analysis.report import format_table
-from repro.core.dce import DataCopyEngine
-from repro.sim.config import DcePolicy, DesignPoint
-from repro.system import build_system
-from repro.transfer.descriptor import TransferDescriptor, TransferDirection
-from repro.upmem_runtime.engine import SoftwareTransferEngine
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
 
-KIB = 1024
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["ablation"]
 
 
-def _descriptor(config, size_per_core=1 * KIB):
-    return TransferDescriptor.contiguous(
-        TransferDirection.DRAM_TO_PIM,
-        dram_base=0,
-        size_per_core_bytes=size_per_core,
-        pim_core_ids=range(config.num_pim_cores),
+def test_ablation_scheduler_order_and_buffer_size(benchmark, paper_config, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-
-
-def test_ablation_scheduler_order_and_buffer_size(benchmark, paper_config, results_dir):
-    def run():
-        rows = []
-        # PIM-MS order vs serial order on identical hardware.
-        for label, policy in (("PIM-MS order", DcePolicy.PIM_MS), ("serial per-core order", DcePolicy.SERIAL_PER_CORE)):
-            system = build_system(config=paper_config, design_point=DesignPoint.BASE_DHP)
-            result = DataCopyEngine(system, policy=policy).execute(_descriptor(paper_config))
-            rows.append({"variant": label, "throughput_gbps": result.throughput_gbps})
-        # Data-buffer size sensitivity (4 KB vs the 16 KB default).
-        for size_kb in (4, 16):
-            config = replace(
-                paper_config,
-                pim_mmu=replace(paper_config.pim_mmu, data_buffer_bytes=size_kb * KIB),
-            )
-            system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
-            result = DataCopyEngine(system, policy=DcePolicy.PIM_MS).execute(_descriptor(config))
-            rows.append({"variant": f"{size_kb} KB data buffer", "throughput_gbps": result.throughput_gbps})
-        # Baseline thread-to-DPU assignment policy.
-        for policy in ("blocked", "round_robin"):
-            config = replace(paper_config, os=replace(paper_config.os, thread_to_dpu_policy=policy))
-            system = build_system(config=config, design_point=DesignPoint.BASELINE)
-            result = SoftwareTransferEngine(system).execute(_descriptor(config))
-            rows.append({"variant": f"baseline threads: {policy}", "throughput_gbps": result.throughput_gbps})
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_table(
-        rows,
-        columns=["variant", "throughput_gbps"],
-        title="Design-choice ablations (DRAM->PIM, 512 KB)",
-    )
-    write_figure(results_dir, "ablation_design_choices.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
+    rows = data["rows"]
 
     by_variant = {row["variant"]: row["throughput_gbps"] for row in rows}
     # The issue order, not the engine, is what delivers the throughput.

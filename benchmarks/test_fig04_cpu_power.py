@@ -11,40 +11,22 @@ utilization is negligible).
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
-from repro.energy.system import SystemEnergyModel
-from repro.sim.config import DesignPoint
-from repro.transfer.descriptor import TransferDirection
+import pytest
+
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
+
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["fig04"]
 
 
 def test_fig04_cpu_utilization_and_power(benchmark, paper_config, experiments, results_dir):
-    def run():
-        rows = []
-        for direction in (TransferDirection.DRAM_TO_PIM, TransferDirection.PIM_TO_DRAM):
-            for point in (DesignPoint.BASELINE, DesignPoint.BASE_DHP):
-                experiment = experiments.get(point, direction, total_bytes=512 * 1024)
-                result = experiment.result
-                active_cores = result.cpu_core_busy_ns / result.duration_ns
-                power = SystemEnergyModel(paper_config).system_power_during_transfer(result)
-                rows.append(
-                    {
-                        "direction": direction.value,
-                        "design": point.label,
-                        "active_cores_avg": active_cores,
-                        "core_utilization_%": 100.0 * active_cores / paper_config.cpu.num_cores,
-                        "system_power_W": power,
-                    }
-                )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_table(
-        rows,
-        columns=["direction", "design", "active_cores_avg", "core_utilization_%", "system_power_W"],
-        title="Figure 4: CPU cores and system power during DRAM<->PIM transfers",
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "fig04_cpu_power.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
+    rows = data["rows"]
 
     baseline_rows = [row for row in rows if row["design"] == "Base"]
     pim_mmu_rows = [row for row in rows if row["design"] == "Base+D+H+P"]

@@ -9,13 +9,14 @@ across the destination channels.
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
-from repro.sim.config import DesignPoint
-from repro.system import build_system
-from repro.transfer.descriptor import TransferDescriptor, TransferDirection
-from repro.upmem_runtime.engine import SoftwareTransferEngine
-from repro.workloads.memcpy import MemcpyEngine
+import pytest
+
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
+
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["fig06"]
 
 
 def _imbalance(per_channel_bytes):
@@ -26,52 +27,14 @@ def _imbalance(per_channel_bytes):
     return max(shares)
 
 
-def test_fig06_channel_write_breakdown(benchmark, paper_config, results_dir):
-    def run():
-        # (a) software DRAM->PIM transfer over a slice of the PIM cores: at any
-        # instant the OS runs 8 copy jobs targeting neighbouring cores, so the
-        # traffic concentrates on a subset of the PIM channels.
-        sw_system = build_system(config=paper_config, design_point=DesignPoint.BASELINE)
-        descriptor = TransferDescriptor.contiguous(
-            TransferDirection.DRAM_TO_PIM,
-            dram_base=0,
-            size_per_core_bytes=1024,
-            pim_core_ids=range(paper_config.num_pim_cores),
-        )
-        sw_result = SoftwareTransferEngine(sw_system).execute(descriptor)
-        window_ns = sw_result.duration_ns / 8
-        sw_series = sw_system.pim.per_channel_window_series(
-            window_ns, "write", sw_result.start_ns, sw_result.end_ns
-        )
-
-        # (b) hardware-grade fine-grained DRAM->DRAM copy under the MLP-centric
-        # mapping: traffic is spread evenly over the destination channels.
-        hw_system = build_system(config=paper_config, design_point=DesignPoint.BASE_DHP)
-        total = 512 * 1024
-        hw_result = MemcpyEngine(hw_system).execute(0, total, total_bytes=total)
-        hw_window = hw_result.duration_ns / 8
-        hw_series = hw_system.dram.per_channel_window_series(
-            hw_window, "write", hw_result.start_ns, hw_result.end_ns
-        )
-        return sw_result, sw_series, hw_result, hw_series
-
-    sw_result, sw_series, hw_result, hw_series = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    num_windows = max(len(series) for series in sw_series.values())
-    for window in range(num_windows):
-        row = {"window": window}
-        for channel, series in sorted(sw_series.items()):
-            row[f"sw_pim_ch{channel}_KB"] = (series[window] if window < len(series) else 0) / 1024
-        for channel, series in sorted(hw_series.items()):
-            row[f"hw_dram_ch{channel}_KB"] = (series[window] if window < len(series) else 0) / 1024
-        rows.append(row)
-    table = format_table(
-        rows,
-        columns=list(rows[0].keys()),
-        title="Figure 6: per-channel write traffic per time window (KB)",
+def test_fig06_channel_write_breakdown(benchmark, paper_config, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "fig06_channel_breakdown.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
+
+    sw_series = data["sw_series"]
+    num_windows = max(len(series) for series in sw_series.values())
 
     # Software DRAM->PIM: within individual windows the traffic is concentrated
     # (the busiest channel carries well above its fair 1/4 share).
@@ -86,7 +49,7 @@ def test_fig06_channel_write_breakdown(benchmark, paper_config, results_dir):
     assert max(window_peaks) > 0.5
 
     # Hardware memcpy: total destination traffic is spread evenly.
-    hw_share = _imbalance(hw_result.per_channel_dram_bytes)
+    hw_share = _imbalance(data["hw_per_channel_dram_bytes"])
     assert hw_share < 0.40
     benchmark.extra_info["sw_peak_channel_share"] = max(window_peaks)
     benchmark.extra_info["hw_peak_channel_share"] = hw_share

@@ -8,45 +8,22 @@ the LSB) delivers, for both sequential and strided access patterns.
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
-from repro.sim.config import DesignPoint
-from repro.system import build_system
-from repro.workloads.patterns import AccessPattern, measure_read_bandwidth
+import pytest
+
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
 
-PROBE_BYTES = 2 * 1024 * 1024
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["fig08"]
 
 
-def test_fig08_locality_vs_mlp_bandwidth(benchmark, paper_config, results_dir):
-    def run():
-        rows = []
-        for pattern in (AccessPattern.SEQUENTIAL, AccessPattern.STRIDED):
-            bandwidths = {}
-            for label, point in (
-                ("locality-centric", DesignPoint.BASELINE),
-                ("MLP-centric", DesignPoint.BASE_DHP),
-            ):
-                system = build_system(config=paper_config, design_point=point)
-                bandwidths[label] = measure_read_bandwidth(
-                    system, pattern, total_bytes=PROBE_BYTES, stride_bytes=4096
-                )
-            rows.append(
-                {
-                    "pattern": pattern.value,
-                    "locality_gbps": bandwidths["locality-centric"],
-                    "mlp_gbps": bandwidths["MLP-centric"],
-                    "locality_normalised": bandwidths["locality-centric"] / bandwidths["MLP-centric"],
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_table(
-        rows,
-        columns=["pattern", "locality_gbps", "mlp_gbps", "locality_normalised"],
-        title="Figure 8: normalized DRAM bandwidth, locality- vs MLP-centric mapping",
+def test_fig08_locality_vs_mlp_bandwidth(benchmark, paper_config, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "fig08_mapping_bandwidth.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
+    rows = data["rows"]
 
     for row in rows:
         # Paper: locality-centric reaches only ~30 % of MLP-centric, for both

@@ -9,109 +9,42 @@ designs slow down, but PIM-MMU stays consistently faster.
 
 from __future__ import annotations
 
-from dataclasses import replace
+import pytest
 
-from repro.analysis.report import format_table
-from repro.sim.config import DesignPoint
-from repro.transfer.descriptor import TransferDirection
-from repro.workloads.contention import compute_contender_factory, memory_contender_factory
-from repro.workloads.microbench import run_transfer_experiment
+from repro.exp.figures import FIG13_COMPUTE_COUNTS, FIG13_MEMORY_INTENSITIES, FIGURES
 from benchmarks.conftest import write_figure
 
-TOTAL_BYTES = 512 * 1024
-COMPUTE_CONTENDER_COUNTS = (0, 8, 16, 24)
-MEMORY_INTENSITIES = ("low", "medium", "high", "very_high")
-# The paper's transfers span many OS scheduling quanta (they move tens of MB);
-# this benchmark simulates a 512 KB steady-state window, so the quantum is
-# scaled down proportionally to keep the transfer-to-quantum ratio comparable.
-SCALED_QUANTUM_NS = 25_000.0
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE_A = FIGURES["fig13a"]
+FIGURE_B = FIGURES["fig13b"]
 
 
-def _latency(paper_config, design_point, contender_factory=None) -> float:
-    config = replace(
-        paper_config, os=replace(paper_config.os, scheduling_quantum_ns=SCALED_QUANTUM_NS)
+def test_fig13a_compute_contenders(benchmark, paper_config, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE_A.compute(experiments), rounds=1, iterations=1
     )
-    experiment = run_transfer_experiment(
-        design_point,
-        TransferDirection.DRAM_TO_PIM,
-        total_bytes=TOTAL_BYTES,
-        config=config,
-        contender_factory=contender_factory,
-    )
-    return experiment.duration_ns
-
-
-def test_fig13a_compute_contenders(benchmark, paper_config, results_dir):
-    def run():
-        rows = []
-        reference = {}
-        for point in (DesignPoint.BASELINE, DesignPoint.BASE_DHP):
-            for count in COMPUTE_CONTENDER_COUNTS:
-                factory = compute_contender_factory(count) if count else None
-                latency = _latency(paper_config, point, factory)
-                reference.setdefault(point, latency)
-                rows.append(
-                    {
-                        "design": point.label,
-                        "contenders": count,
-                        "latency_us": latency / 1e3,
-                        "normalised": latency / reference[point],
-                    }
-                )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_table(
-        rows,
-        columns=["design", "contenders", "latency_us", "normalised"],
-        title="Figure 13(a): DRAM->PIM latency vs number of spin-lock CPU contenders",
-    )
-    write_figure(results_dir, "fig13a_compute_contention.txt", table)
+    write_figure(results_dir, FIGURE_A.filename, FIGURE_A.render(data))
+    rows = data["rows"]
 
     baseline = {row["contenders"]: row["normalised"] for row in rows if row["design"] == "Base"}
     pim_mmu = {row["contenders"]: row["normalised"] for row in rows if row["design"] == "Base+D+H+P"}
     # The baseline degrades markedly whenever contenders are present (the exact
     # value per count is noisy because the simulated window spans only a few
     # scheduling quanta); PIM-MMU stays flat.
-    assert all(baseline[count] > 1.2 for count in COMPUTE_CONTENDER_COUNTS if count >= 8)
+    assert all(baseline[count] > 1.2 for count in FIG13_COMPUTE_COUNTS if count >= 8)
     assert max(baseline.values()) > 1.5
-    assert all(pim_mmu[count] < 1.15 for count in COMPUTE_CONTENDER_COUNTS)
+    assert all(pim_mmu[count] < 1.15 for count in FIG13_COMPUTE_COUNTS)
     benchmark.extra_info["baseline_slowdown_at_24"] = baseline[24]
     benchmark.extra_info["pim_mmu_slowdown_at_24"] = pim_mmu[24]
 
 
-def test_fig13b_memory_contenders(benchmark, paper_config, results_dir):
-    def run():
-        rows = []
-        reference = {}
-        for point in (DesignPoint.BASELINE, DesignPoint.BASE_DHP):
-            quiet = _latency(paper_config, point)
-            reference[point] = quiet
-            rows.append(
-                {"design": point.label, "intensity": "none", "latency_us": quiet / 1e3, "normalised": 1.0}
-            )
-            for intensity in MEMORY_INTENSITIES:
-                factory = memory_contender_factory(
-                    paper_config.cpu.num_cores // 2, intensity
-                )
-                latency = _latency(paper_config, point, factory)
-                rows.append(
-                    {
-                        "design": point.label,
-                        "intensity": intensity,
-                        "latency_us": latency / 1e3,
-                        "normalised": latency / reference[point],
-                    }
-                )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_table(
-        rows,
-        columns=["design", "intensity", "latency_us", "normalised"],
-        title="Figure 13(b): DRAM->PIM latency vs memory-access intensity of contenders",
+def test_fig13b_memory_contenders(benchmark, paper_config, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE_B.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "fig13b_memory_contention.txt", table)
+    write_figure(results_dir, FIGURE_B.filename, FIGURE_B.render(data))
+    rows = data["rows"]
 
     def latency_of(design, intensity):
         return next(
@@ -123,5 +56,5 @@ def test_fig13b_memory_contenders(benchmark, paper_config, results_dir):
     assert latency_of("Base", "very_high") > latency_of("Base", "none")
     assert latency_of("Base+D+H+P", "very_high") >= latency_of("Base+D+H+P", "none")
     # ...but PIM-MMU remains consistently faster than the baseline.
-    for intensity in ("none",) + MEMORY_INTENSITIES:
+    for intensity in ("none",) + FIG13_MEMORY_INTENSITIES:
         assert latency_of("Base+D+H+P", intensity) < latency_of("Base", intensity)

@@ -9,51 +9,22 @@ notes that adding ranks (capacity) does not add bandwidth.
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
-from repro.sim.config import DesignPoint
-from repro.system import build_system
-from repro.workloads.memcpy import MemcpyEngine
+import pytest
+
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
 
-COPY_BYTES = 2 * 1024 * 1024
-# 'xC-yR' memory system configurations of the figure.
-MEMORY_CONFIGS = (("2C-4R", 2, 2), ("4C-8R", 4, 2), ("4C-16R", 4, 4))
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["fig14"]
 
 
-def _dram_copy_bandwidth(config, design_point) -> float:
-    system = build_system(config=config, design_point=design_point)
-    # src and dst are adjacent allocations from the same heap, as a real
-    # memcpy's buffers would be.
-    result = MemcpyEngine(system).execute(
-        src_base=0, dst_base=COPY_BYTES, total_bytes=COPY_BYTES
+def test_fig14_memcpy_throughput(benchmark, paper_config, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    return (result.dram_read_bytes + result.dram_write_bytes) / result.duration_ns
-
-
-def test_fig14_memcpy_throughput(benchmark, paper_config, results_dir):
-    def run():
-        rows = []
-        for label, channels, ranks in MEMORY_CONFIGS:
-            config = paper_config.with_memory_geometry(channels, ranks)
-            baseline = _dram_copy_bandwidth(config, DesignPoint.BASELINE)
-            pim_mmu = _dram_copy_bandwidth(config, DesignPoint.BASE_DHP)
-            rows.append(
-                {
-                    "memory_config": label,
-                    "baseline_gbps": baseline,
-                    "pim_mmu_gbps": pim_mmu,
-                    "normalised": pim_mmu / baseline,
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_table(
-        rows,
-        columns=["memory_config", "baseline_gbps", "pim_mmu_gbps", "normalised"],
-        title="Figure 14: DRAM throughput during DRAM->DRAM copy (normalised to baseline)",
-    )
-    write_figure(results_dir, "fig14_dram_throughput.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
+    rows = data["rows"]
 
     by_label = {row["memory_config"]: row for row in rows}
     # PIM-MMU (HetMap) wins everywhere.

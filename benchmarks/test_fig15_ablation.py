@@ -13,48 +13,23 @@ PIM-MMU).  The paper's key shapes:
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table, geometric_mean
-from repro.sim.config import DesignPoint
-from repro.transfer.descriptor import TransferDirection
+import pytest
+
+from repro.analysis.report import geometric_mean
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
 
-MIB = 1024 * 1024
-SIZES = (1 * MIB, 16 * MIB, 256 * MIB)
-DIRECTIONS = (TransferDirection.DRAM_TO_PIM, TransferDirection.PIM_TO_DRAM)
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["fig15"]
 
 
 def test_fig15_ablation_throughput_and_energy(benchmark, experiments, results_dir):
-    def run():
-        rows = []
-        for direction in DIRECTIONS:
-            for size in SIZES:
-                base = experiments.get(DesignPoint.BASELINE, direction, size)
-                for point in DesignPoint:
-                    experiment = experiments.get(point, direction, size)
-                    rows.append(
-                        {
-                            "direction": direction.value,
-                            "size_MB": size // MIB,
-                            "design": point.label,
-                            "throughput_gbps": experiment.throughput_gbps,
-                            "throughput_norm": experiment.throughput_gbps / base.throughput_gbps,
-                            "energy_J": experiment.energy_joules,
-                            "energy_norm": experiment.energy_joules / base.energy_joules,
-                        }
-                    )
-        return rows
-
-    rows = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = format_table(
-        rows,
-        columns=[
-            "direction", "size_MB", "design",
-            "throughput_gbps", "throughput_norm", "energy_J", "energy_norm",
-        ],
-        title="Figure 15: ablation of DCE (D), HetMap (H) and PIM-MS (P)",
-        float_format="{:.3f}",
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "fig15_ablation.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
+    rows = data["rows"]
 
     def select(design, direction=None):
         return [

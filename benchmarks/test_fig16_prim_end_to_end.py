@@ -10,60 +10,25 @@ speedup, with kernel-bound workloads such as TS barely changing.
 
 from __future__ import annotations
 
-from repro.analysis.end_to_end import evaluate_prim_suite, suite_summary
-from repro.analysis.report import format_table
-from repro.sim.config import DesignPoint
-from repro.transfer.descriptor import TransferDirection
+import pytest
+
+from repro.exp.figures import FIGURES
 from repro.workloads.prim import PRIM_WORKLOADS
 from benchmarks.conftest import write_figure
 
-TRANSFER_BYTES = 512 * 1024
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["fig16"]
 
 
 def test_fig16_prim_end_to_end(benchmark, experiments, results_dir):
-    def run():
-        throughputs = {}
-        for direction in (TransferDirection.DRAM_TO_PIM, TransferDirection.PIM_TO_DRAM):
-            for point in (DesignPoint.BASELINE, DesignPoint.BASE_DHP):
-                throughputs[(point, direction)] = experiments.get(
-                    point, direction, TRANSFER_BYTES
-                ).throughput_gbps
-        results = evaluate_prim_suite(
-            baseline_d2p_gbps=throughputs[(DesignPoint.BASELINE, TransferDirection.DRAM_TO_PIM)],
-            baseline_p2d_gbps=throughputs[(DesignPoint.BASELINE, TransferDirection.PIM_TO_DRAM)],
-            pimmmu_d2p_gbps=throughputs[(DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM)],
-            pimmmu_p2d_gbps=throughputs[(DesignPoint.BASE_DHP, TransferDirection.PIM_TO_DRAM)],
-        )
-        return results
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    for result in results:
-        baseline = result.normalised_breakdown("baseline")
-        pim_mmu = result.normalised_breakdown("pim-mmu")
-        rows.append(
-            {
-                "workload": result.workload,
-                "base_d2p": baseline["DRAM->PIM"],
-                "base_kernel": baseline["PIM kernel"],
-                "base_p2d": baseline["PIM->DRAM"],
-                "pimmmu_total": sum(pim_mmu.values()),
-                "speedup": result.speedup,
-            }
-        )
-    summary = suite_summary(results)
-    table = format_table(
-        rows,
-        columns=["workload", "base_d2p", "base_kernel", "base_p2d", "pimmmu_total", "speedup"],
-        title=(
-            "Figure 16: normalized end-to-end execution time "
-            f"(mean speedup {summary['mean_speedup']:.2f}x, max {summary['max_speedup']:.2f}x)"
-        ),
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "fig16_prim_end_to_end.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
 
-    by_name = {result.workload: result for result in results}
+    summary = data["summary"]
+    speedups = data["speedups"]
     # Transfers dominate the baseline on average (paper: 63.7 %, max 99.7 %).
     assert 0.55 <= summary["mean_transfer_fraction"] <= 0.75
     assert summary["max_transfer_fraction"] > 0.95
@@ -71,7 +36,7 @@ def test_fig16_prim_end_to_end(benchmark, experiments, results_dir):
     assert 1.7 <= summary["mean_speedup"] <= 3.0
     assert 2.8 <= summary["max_speedup"] <= 4.5
     # TS is kernel bound and barely improves; BS is transfer bound and improves the most.
-    assert by_name["TS"].speedup < 1.1
-    assert by_name["BS"].speedup == max(result.speedup for result in results)
-    assert len(results) == len(PRIM_WORKLOADS)
+    assert speedups["TS"] < 1.1
+    assert speedups["BS"] == max(speedups.values())
+    assert data["num_workloads"] == len(PRIM_WORKLOADS)
     benchmark.extra_info.update({k: round(v, 3) for k, v in summary.items()})

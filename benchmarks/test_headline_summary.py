@@ -8,55 +8,26 @@ benchmark aggregates the reproduction's own numbers into the same summary.
 
 from __future__ import annotations
 
-from repro.analysis.end_to_end import evaluate_prim_suite, suite_summary
-from repro.analysis.report import format_table, geometric_mean
-from repro.sim.config import DesignPoint
-from repro.transfer.descriptor import TransferDirection
+import pytest
+
+from repro.analysis.report import geometric_mean
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
 
-MIB = 1024 * 1024
-SIZES = (1 * MIB, 16 * MIB, 256 * MIB)
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
+
+FIGURE = FIGURES["headline"]
 
 
 def test_headline_summary(benchmark, experiments, results_dir):
-    def run():
-        throughput_gains = []
-        energy_gains = []
-        for direction in (TransferDirection.DRAM_TO_PIM, TransferDirection.PIM_TO_DRAM):
-            for size in SIZES:
-                base = experiments.get(DesignPoint.BASELINE, direction, size)
-                full = experiments.get(DesignPoint.BASE_DHP, direction, size)
-                throughput_gains.append(full.throughput_gbps / base.throughput_gbps)
-                energy_gains.append(base.energy_joules / full.energy_joules)
-        base_d2p = experiments.get(DesignPoint.BASELINE, TransferDirection.DRAM_TO_PIM, 512 * 1024)
-        base_p2d = experiments.get(DesignPoint.BASELINE, TransferDirection.PIM_TO_DRAM, 512 * 1024)
-        full_d2p = experiments.get(DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM, 512 * 1024)
-        full_p2d = experiments.get(DesignPoint.BASE_DHP, TransferDirection.PIM_TO_DRAM, 512 * 1024)
-        end_to_end = suite_summary(
-            evaluate_prim_suite(
-                base_d2p.throughput_gbps,
-                base_p2d.throughput_gbps,
-                full_d2p.throughput_gbps,
-                full_p2d.throughput_gbps,
-            )
-        )
-        return throughput_gains, energy_gains, end_to_end
-
-    throughput_gains, energy_gains, end_to_end = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = [
-        {"metric": "transfer throughput gain (avg)", "paper": 4.1, "reproduced": geometric_mean(throughput_gains)},
-        {"metric": "transfer throughput gain (max)", "paper": 6.9, "reproduced": max(throughput_gains)},
-        {"metric": "energy-efficiency gain (avg)", "paper": 4.1, "reproduced": geometric_mean(energy_gains)},
-        {"metric": "energy-efficiency gain (max)", "paper": 6.9, "reproduced": max(energy_gains)},
-        {"metric": "end-to-end speedup (avg)", "paper": 2.2, "reproduced": end_to_end["mean_speedup"]},
-        {"metric": "end-to-end speedup (max)", "paper": 4.0, "reproduced": end_to_end["max_speedup"]},
-    ]
-    table = format_table(
-        rows, columns=["metric", "paper", "reproduced"], title="Headline summary (paper vs reproduced)"
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "headline_summary.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
 
+    throughput_gains = data["throughput_gains"]
+    energy_gains = data["energy_gains"]
+    end_to_end = data["end_to_end"]
     # The reproduction is a simulator, not the authors' testbed: we assert the
     # claims hold in shape (multi-x gains, ~2x end to end), not to the decimal.
     assert geometric_mean(throughput_gains) > 2.5

@@ -6,27 +6,23 @@ The paper evaluates the 16 KB data buffer plus the 64 KB address buffer to
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
-from repro.energy.cacti import pim_mmu_buffer_overhead
+import pytest
+
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
 
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
 
-def test_pim_mmu_area_overhead(benchmark, results_dir):
-    overhead = benchmark.pedantic(pim_mmu_buffer_overhead, rounds=1, iterations=1)
+FIGURE = FIGURES["overhead"]
 
-    table = format_table(
-        [
-            {"component": "DCE data buffer (16 KB)", "area_mm2": overhead["data_buffer_mm2"]},
-            {"component": "DCE address buffer (64 KB)", "area_mm2": overhead["address_buffer_mm2"]},
-            {"component": "total", "area_mm2": overhead["total_mm2"]},
-            {"component": "CPU die increase (%)", "area_mm2": overhead["die_increase_percent"]},
-        ],
-        columns=["component", "area_mm2"],
-        title="PIM-MMU implementation overhead (paper: 0.85 mm^2, 0.37 %)",
-        float_format="{:.3f}",
+
+def test_pim_mmu_area_overhead(benchmark, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
     )
-    write_figure(results_dir, "overhead_area.txt", table)
+    write_figure(results_dir, FIGURE.filename, FIGURE.render(data))
 
+    overhead = data["overhead"]
     assert 0.75 <= overhead["total_mm2"] <= 0.95
     assert 0.30 <= overhead["die_increase_percent"] <= 0.45
     benchmark.extra_info.update(overhead)

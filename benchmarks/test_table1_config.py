@@ -7,20 +7,22 @@ matches the paper's numbers (8-core 3.2 GHz host, 4+4 DDR4-2400 channels,
 
 from __future__ import annotations
 
-from repro.analysis.report import format_table
+import pytest
+
+from repro.exp.figures import FIGURES
 from benchmarks.conftest import write_figure
 
+pytestmark = [pytest.mark.slow, pytest.mark.figure]
 
-def test_table1_configuration(benchmark, paper_config, results_dir):
-    def render() -> str:
-        rows = [
-            {"parameter": key, "value": value}
-            for key, value in paper_config.describe().items()
-        ]
-        return format_table(rows, columns=["parameter", "value"], title="Table I")
+FIGURE = FIGURES["table1"]
 
-    table = benchmark.pedantic(render, rounds=1, iterations=1)
-    write_figure(results_dir, "table1_config.txt", table)
+
+def test_table1_configuration(benchmark, paper_config, experiments, results_dir):
+    data = benchmark.pedantic(
+        lambda: FIGURE.compute(experiments), rounds=1, iterations=1
+    )
+    table = FIGURE.render(data)
+    write_figure(results_dir, FIGURE.filename, table)
 
     assert paper_config.num_pim_cores == 512
     assert paper_config.dram.peak_bandwidth_gbps == 76.8

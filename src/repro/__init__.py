@@ -8,6 +8,10 @@ Scheduler and Heterogeneous Memory Mapping Unit), together with the workloads
 and harnesses that regenerate every table and figure of the paper's
 evaluation.
 
+The :mod:`repro.exp` subpackage orchestrates experiments declaratively
+(sweeps, a parallel process-pool runner, an on-disk result cache) and powers
+the ``python -m repro`` CLI; see ``docs/experiments.md``.
+
 Quickstart
 ----------
 >>> from repro import build_system, DesignPoint
@@ -35,7 +39,7 @@ from repro.sim.config import (
 from repro.system import PimSystem, build_system
 from repro.transfer import TransferDescriptor, TransferDirection, TransferResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CpuConfig",

@@ -1,0 +1,59 @@
+"""Experiment orchestration: declarative sweeps, parallel runners, caching.
+
+This package is the one orchestration path shared by the pytest benchmark
+suite, the ``python -m repro`` CLI, and future sharded workers:
+
+* :mod:`repro.exp.spec` -- declarative, picklable experiment specifications
+  (:class:`TransferSpec`, :class:`Sweep`, ...);
+* :mod:`repro.exp.runner` -- :class:`ParallelRunner` (process-pool fan-out
+  with a serial fallback) and the memoising :class:`ExperimentProvider`;
+* :mod:`repro.exp.cache` -- the on-disk result cache under
+  ``results/.cache`` keyed by ``(SystemConfig, spec, code-version)``;
+* :mod:`repro.exp.figures` -- every paper table/figure as a declarative
+  compute/render pair;
+* :mod:`repro.exp.cli` -- the ``repro figures`` / ``repro sweep`` /
+  ``repro clean-cache`` command line.
+"""
+
+from repro.exp.cache import CACHE_DIR_NAME, MISS, ResultCache, code_version, spec_key
+from repro.exp.figures import FIGURES, Figure, generate_figures, select_figures, write_figure
+from repro.exp.runner import ExperimentProvider, ParallelRunner, ProviderStats, default_jobs
+from repro.exp.spec import (
+    DEFAULT_SIM_CAP_BYTES,
+    ContentionSpec,
+    DceOrderSpec,
+    ExperimentSpec,
+    MemcpySpec,
+    ReadBandwidthSpec,
+    SoftwareThreadPolicySpec,
+    SoftwareTransferSeriesSpec,
+    Sweep,
+    TransferSpec,
+)
+
+__all__ = [
+    "CACHE_DIR_NAME",
+    "DEFAULT_SIM_CAP_BYTES",
+    "FIGURES",
+    "MISS",
+    "ContentionSpec",
+    "DceOrderSpec",
+    "ExperimentProvider",
+    "ExperimentSpec",
+    "Figure",
+    "MemcpySpec",
+    "ParallelRunner",
+    "ProviderStats",
+    "ReadBandwidthSpec",
+    "ResultCache",
+    "SoftwareThreadPolicySpec",
+    "SoftwareTransferSeriesSpec",
+    "Sweep",
+    "TransferSpec",
+    "code_version",
+    "default_jobs",
+    "generate_figures",
+    "select_figures",
+    "spec_key",
+    "write_figure",
+]

@@ -1,0 +1,134 @@
+"""On-disk result cache for experiment outcomes.
+
+Results live under ``results/.cache/<code-version>/<key>.pkl``.  The key is a
+stable SHA-256 over ``(spec kind, SystemConfig.stable_key(), repr(spec))``;
+the ``<code-version>`` directory is a SHA-256 over every ``*.py`` file of the
+``repro`` package, so any code change transparently invalidates every cached
+result (stale entries from older versions are swept out lazily).
+
+The cache stores pickles of whatever the spec's ``run`` returned, wrapped in
+a small header carrying the human-readable key material for debuggability.
+A corrupt or unreadable entry is treated as a miss and removed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import pickle
+import shutil
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from repro.sim.config import SystemConfig
+
+from repro.exp.spec import ExperimentSpec
+
+#: Sub-directory of ``results/`` that holds the cache.
+CACHE_DIR_NAME = ".cache"
+
+#: Sentinel returned by :meth:`ResultCache.get` when a key is absent.
+MISS = object()
+
+#: Per-process counter making concurrent temp-file names unique (pytest and
+#: the CLI may write the same shared cache at once).
+_TMP_COUNTER = itertools.count()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """A stable hash over the source of the ``repro`` package.
+
+    Hashes the relative path and content of every ``*.py`` file under
+    ``src/repro`` (in sorted order), so the cache is invalidated whenever any
+    model, workload, or orchestration code changes.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def spec_key(config: SystemConfig, spec: ExperimentSpec) -> str:
+    """Stable cache key for one ``(config, spec)`` pair."""
+    material = "\n".join((spec.KIND, config.stable_key(), repr(spec)))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry cache rooted at ``results/.cache`` by default."""
+
+    def __init__(self, root: Path, version: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.version = version if version is not None else code_version()
+
+    @property
+    def directory(self) -> Path:
+        """The per-code-version directory entries are stored in."""
+        return self.root / self.version
+
+    def path_for(self, config: SystemConfig, spec: ExperimentSpec) -> Path:
+        return self.directory / f"{spec.KIND}-{spec_key(config, spec)}.pkl"
+
+    def get(self, config: SystemConfig, spec: ExperimentSpec):
+        """Return the cached outcome, or :data:`MISS` when absent/corrupt."""
+        path = self.path_for(config, spec)
+        if not path.exists():
+            return MISS
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+            return payload["value"]
+        except Exception:
+            path.unlink(missing_ok=True)
+            return MISS
+
+    def put(self, config: SystemConfig, spec: ExperimentSpec, value) -> Path:
+        """Store ``value`` atomically (write to a temp file, then rename)."""
+        path = self.path_for(config, spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "kind": spec.KIND,
+            "spec": repr(spec),
+            "config": config.stable_key(),
+            "value": value,
+        }
+        tmp = path.with_suffix(f".tmp-{os.getpid()}-{next(_TMP_COUNTER)}")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def prune_stale_versions(self) -> int:
+        """Remove entry directories left behind by older code versions."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for child in self.root.iterdir():
+            if child.is_dir() and child.name != self.version:
+                shutil.rmtree(child, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> bool:
+        """Delete the whole cache tree.  Returns whether anything existed."""
+        existed = self.root.exists()
+        shutil.rmtree(self.root, ignore_errors=True)
+        return existed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.pkl"))
+
+
+__all__ = ["CACHE_DIR_NAME", "MISS", "ResultCache", "code_version", "spec_key"]

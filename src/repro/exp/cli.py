@@ -1,0 +1,378 @@
+"""``python -m repro`` -- regenerate the paper's figures outside pytest.
+
+Subcommands
+-----------
+``repro figures [NAME...]``
+    Regenerate all (or a subset of) the paper's tables/figures under
+    ``results/``, fanning simulations out over ``-j`` worker processes and
+    reusing the on-disk cache, so a warm rerun executes zero simulations.
+``repro sweep``
+    Run an ad-hoc grid of transfer experiments and print the result table.
+``repro clean-cache``
+    Delete the on-disk experiment cache (``results/.cache``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.sim.config import DesignPoint, SystemConfig
+from repro.transfer.descriptor import TransferDirection
+
+from repro.exp.cache import CACHE_DIR_NAME, ResultCache
+from repro.exp.figures import FIGURES, generate_figures, select_figures
+from repro.exp.runner import ExperimentProvider
+from repro.exp.spec import DEFAULT_SIM_CAP_BYTES, ContentionSpec, Sweep
+
+_SIZE_SUFFIXES = {
+    "kib": 1024,
+    "kb": 1024,
+    "k": 1024,
+    "mib": 1024**2,
+    "mb": 1024**2,
+    "m": 1024**2,
+    "gib": 1024**3,
+    "gb": 1024**3,
+    "g": 1024**3,
+}
+
+_DESIGN_POINT_ALIASES = {
+    "base": DesignPoint.BASELINE,
+    "baseline": DesignPoint.BASELINE,
+    "base+d": DesignPoint.BASE_D,
+    "base_d": DesignPoint.BASE_D,
+    "base+d+h": DesignPoint.BASE_DH,
+    "base_dh": DesignPoint.BASE_DH,
+    "base+d+h+p": DesignPoint.BASE_DHP,
+    "base_dhp": DesignPoint.BASE_DHP,
+    "pim-mmu": DesignPoint.BASE_DHP,
+}
+
+_DIRECTION_ALIASES = {
+    "d2p": (TransferDirection.DRAM_TO_PIM,),
+    "dram-to-pim": (TransferDirection.DRAM_TO_PIM,),
+    "p2d": (TransferDirection.PIM_TO_DRAM,),
+    "pim-to-dram": (TransferDirection.PIM_TO_DRAM,),
+    "both": (TransferDirection.DRAM_TO_PIM, TransferDirection.PIM_TO_DRAM),
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse ``512KiB`` / ``16MB`` / ``4096`` into bytes."""
+    cleaned = text.strip().lower().replace(" ", "")
+    for suffix in sorted(_SIZE_SUFFIXES, key=len, reverse=True):
+        if cleaned.endswith(suffix):
+            number = cleaned[: -len(suffix)]
+            try:
+                return int(float(number) * _SIZE_SUFFIXES[suffix])
+            except ValueError:
+                break
+    try:
+        return int(cleaned)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"cannot parse size {text!r}")
+
+
+def parse_design_point(text: str) -> DesignPoint:
+    """Parse ``Base+D+H+P`` / ``base_dhp`` / ``pim-mmu`` into a design point."""
+    key = text.strip().lower()
+    if key in _DESIGN_POINT_ALIASES:
+        return _DESIGN_POINT_ALIASES[key]
+    raise argparse.ArgumentTypeError(
+        f"unknown design point {text!r}; choose from "
+        + ", ".join(sorted(set(_DESIGN_POINT_ALIASES)))
+    )
+
+
+def parse_contention(text: str) -> Optional[ContentionSpec]:
+    """Parse ``none`` / ``compute:8`` / ``memory:4:high`` into a spec."""
+    cleaned = text.strip().lower()
+    if cleaned in ("", "none"):
+        return None
+    parts = cleaned.split(":")
+    kind = parts[0]
+    try:
+        if kind == "compute" and len(parts) == 2:
+            return ContentionSpec("compute", int(parts[1]))
+        if kind == "memory" and len(parts) == 3:
+            return ContentionSpec("memory", int(parts[1]), parts[2])
+    except ValueError:
+        pass
+    raise argparse.ArgumentTypeError(
+        f"cannot parse contention {text!r}; expected 'none', 'compute:<count>' "
+        "or 'memory:<count>:<intensity>'"
+    )
+
+
+def parse_jobs(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {text!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _resolve_config(name: str) -> SystemConfig:
+    if name == "paper":
+        return SystemConfig.paper_baseline()
+    return SystemConfig.small_test()
+
+
+def _build_provider(args: argparse.Namespace) -> ExperimentProvider:
+    config = _resolve_config(args.config)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
+        cache = ResultCache(Path(cache_dir))
+        cache.prune_stale_versions()
+    return ExperimentProvider(config, cache=cache, jobs=args.jobs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the PIM-MMU reproduction's figures and sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "-j",
+            "--jobs",
+            type=parse_jobs,
+            default=1,
+            help="worker processes for simulations (default: 1, serial)",
+        )
+        cmd.add_argument(
+            "--results-dir",
+            type=Path,
+            default=Path("results"),
+            help="directory figures are written to (default: results/)",
+        )
+        cmd.add_argument(
+            "--cache-dir",
+            type=Path,
+            default=None,
+            help=f"experiment cache directory (default: <results-dir>/{CACHE_DIR_NAME})",
+        )
+        cmd.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="do not read or write the on-disk experiment cache",
+        )
+        cmd.add_argument(
+            "--config",
+            choices=("paper", "small"),
+            default="paper",
+            help="system configuration: the Table I system or a small test system",
+        )
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's tables/figures under results/"
+    )
+    figures.add_argument(
+        "names",
+        nargs="*",
+        metavar="FIGURE",
+        help="figures to regenerate (default: all; see --list)",
+    )
+    figures.add_argument(
+        "--fast",
+        action="store_true",
+        help="only the quick CI-smoke subset of figures",
+    )
+    figures.add_argument(
+        "--list", action="store_true", help="list available figures and exit"
+    )
+    add_common(figures)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an ad-hoc grid of transfer experiments"
+    )
+    sweep.add_argument(
+        "--design-point",
+        dest="design_points",
+        type=parse_design_point,
+        action="append",
+        help="design point (repeatable; default: all four ablation points)",
+    )
+    sweep.add_argument(
+        "--direction",
+        choices=sorted(_DIRECTION_ALIASES),
+        default="both",
+        help="transfer direction (default: both)",
+    )
+    sweep.add_argument(
+        "--size",
+        dest="sizes",
+        type=parse_size,
+        action="append",
+        help="transfer size, e.g. 1MiB (repeatable; default: 1MiB)",
+    )
+    sweep.add_argument(
+        "--contention",
+        dest="contentions",
+        type=parse_contention,
+        action="append",
+        help="contender load: none, compute:<count> or memory:<count>:<intensity> "
+        "(repeatable; default: none)",
+    )
+    sweep.add_argument(
+        "--sim-cap",
+        type=parse_size,
+        default=DEFAULT_SIM_CAP_BYTES,
+        help="bytes simulated per experiment before extrapolation (default: 512KiB)",
+    )
+    sweep.add_argument(
+        "--quantum-ns",
+        type=float,
+        default=None,
+        help="override the OS scheduling quantum in nanoseconds",
+    )
+    add_common(sweep)
+
+    clean = sub.add_parser("clean-cache", help="delete the on-disk experiment cache")
+    clean.add_argument(
+        "--results-dir",
+        type=Path,
+        default=Path("results"),
+        help="directory whose cache is removed (default: results/)",
+    )
+    clean.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=f"cache directory to remove (default: <results-dir>/{CACHE_DIR_NAME})",
+    )
+    return parser
+
+
+def _print_stats(provider: ExperimentProvider, elapsed_s: float) -> None:
+    stats = provider.stats
+    print(
+        f"simulations executed: {stats.executed} "
+        f"(disk-cache hits: {stats.disk_hits}, memoised: {stats.memo_hits}, "
+        f"extrapolated: {stats.derived}) in {elapsed_s:.1f}s"
+    )
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            {
+                "figure": figure.name,
+                "file": figure.filename,
+                "fast": "yes" if figure.fast else "",
+                "description": figure.description,
+            }
+            for figure in FIGURES.values()
+        ]
+        print(
+            format_table(
+                rows, columns=["figure", "file", "fast", "description"]
+            )
+        )
+        return 0
+    try:
+        figures = select_figures(args.names, fast=args.fast)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if not figures:
+        print("error: no figures selected", file=sys.stderr)
+        return 2
+    if args.config != "paper" and args.results_dir == Path("results"):
+        # results/ holds the committed paper-config golden tables; writing
+        # small-config tables under the same filenames would corrupt them.
+        print(
+            "error: --config small would overwrite the paper-config tables in "
+            "results/; pass an explicit --results-dir",
+            file=sys.stderr,
+        )
+        return 2
+    provider = _build_provider(args)
+    started = time.perf_counter()
+    paths = generate_figures(provider, figures, args.results_dir)
+    for path in paths:
+        print(f"wrote {path}")
+    _print_stats(provider, time.perf_counter() - started)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = Sweep(
+        design_points=tuple(args.design_points or DesignPoint),
+        directions=_DIRECTION_ALIASES[args.direction],
+        sizes=tuple(args.sizes or (1024**2,)),
+        contentions=tuple(args.contentions if args.contentions else (None,)),
+        sim_cap_bytes=args.sim_cap,
+        scheduling_quantum_ns=args.quantum_ns,
+    )
+    provider = _build_provider(args)
+    started = time.perf_counter()
+    specs = sweep.specs()
+    provider.prefetch(specs)
+    rows = []
+    for spec in specs:
+        experiment = provider.run(spec)
+        rows.append(
+            {
+                "design": spec.design_point.label,
+                "direction": spec.direction.value,
+                "size_MiB": spec.total_bytes / 1024**2,
+                "contention": spec.contention.label if spec.contention else "none",
+                "throughput_gbps": experiment.throughput_gbps,
+                "latency_us": experiment.duration_ns / 1e3,
+                "energy_J": experiment.energy_joules,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            columns=[
+                "design",
+                "direction",
+                "size_MiB",
+                "contention",
+                "throughput_gbps",
+                "latency_us",
+                "energy_J",
+            ],
+            title=f"Sweep: {len(rows)} transfer experiments",
+            float_format="{:.3f}",
+        )
+    )
+    _print_stats(provider, time.perf_counter() - started)
+    return 0
+
+
+def cmd_clean_cache(args: argparse.Namespace) -> int:
+    cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
+    cache = ResultCache(Path(cache_dir))
+    if cache.clear():
+        print(f"removed {cache_dir}")
+    else:
+        print(f"nothing to remove at {cache_dir}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "figures": cmd_figures,
+        "sweep": cmd_sweep,
+        "clean-cache": cmd_clean_cache,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

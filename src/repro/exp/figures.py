@@ -1,0 +1,889 @@
+"""The paper's tables/figures as declarative, cache-aware computations.
+
+Each entry of :data:`FIGURES` describes one output file under ``results/``:
+
+* ``specs(config)`` enumerates every :class:`~repro.exp.spec.ExperimentSpec`
+  the figure needs, so an orchestrator can prefetch them in parallel;
+* ``compute(provider)`` fetches outcomes through an
+  :class:`~repro.exp.runner.ExperimentProvider` and reduces them to a plain
+  data dict (rows plus whatever the regression assertions inspect);
+* ``render(data)`` turns that dict into the exact text table the benchmark
+  suite has always written.
+
+The pytest benchmark modules and the ``python -m repro`` CLI both go through
+this registry, so their outputs are byte-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.end_to_end import evaluate_prim_suite, suite_summary
+from repro.analysis.report import format_table, geometric_mean
+from repro.energy.cacti import pim_mmu_buffer_overhead
+from repro.energy.system import SystemEnergyModel
+from repro.sim.config import DcePolicy, DesignPoint, SystemConfig
+from repro.transfer.descriptor import TransferDirection
+from repro.workloads.patterns import AccessPattern
+
+from repro.exp.runner import ExperimentProvider
+from repro.exp.spec import (
+    ContentionSpec,
+    DceOrderSpec,
+    ExperimentSpec,
+    MemcpySpec,
+    ReadBandwidthSpec,
+    SoftwareThreadPolicySpec,
+    SoftwareTransferSeriesSpec,
+    TransferSpec,
+)
+
+KIB = 1024
+MIB = 1024 * 1024
+
+FigureData = Dict[str, object]
+
+# Shared figure constants (formerly scattered across benchmarks/test_fig*.py).
+TRANSFER_PROBE_BYTES = 512 * KIB
+ABLATION_SIZES = (1 * MIB, 16 * MIB, 256 * MIB)
+DIRECTIONS = (TransferDirection.DRAM_TO_PIM, TransferDirection.PIM_TO_DRAM)
+# Figure 13: the paper's transfers span many OS scheduling quanta (they move
+# tens of MB); the 512 KB steady-state window scales the quantum down
+# proportionally to keep the transfer-to-quantum ratio comparable.
+FIG13_QUANTUM_NS = 25_000.0
+FIG13_COMPUTE_COUNTS = (0, 8, 16, 24)
+FIG13_MEMORY_INTENSITIES = ("low", "medium", "high", "very_high")
+FIG06_SERIES_WINDOWS = 8
+FIG08_PROBE_BYTES = 2 * MIB
+FIG14_COPY_BYTES = 2 * MIB
+FIG14_MEMORY_CONFIGS = (("2C-4R", 2, 2), ("4C-8R", 4, 2), ("4C-16R", 4, 4))
+
+
+@dataclass(frozen=True)
+class Figure:
+    """One regenerable output of the paper's evaluation."""
+
+    name: str
+    filename: str
+    description: str
+    specs: Callable[[SystemConfig], Tuple[ExperimentSpec, ...]]
+    compute: Callable[[ExperimentProvider], FigureData]
+    render: Callable[[FigureData], str]
+    fast: bool = False  # cheap enough for the CI figure-smoke tier
+
+
+def write_figure(results_dir: Path, name: str, text: str) -> Path:
+    """Write one rendered figure/table under ``results_dir``."""
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / name
+    path.write_text(text + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Table I
+# ---------------------------------------------------------------------------
+
+
+def _table1_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return ()
+
+
+def compute_table1(provider: ExperimentProvider) -> FigureData:
+    rows = [
+        {"parameter": key, "value": value}
+        for key, value in provider.config.describe().items()
+    ]
+    return {"rows": rows}
+
+
+def render_table1(data: FigureData) -> str:
+    return format_table(data["rows"], columns=["parameter", "value"], title="Table I")
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 -- CPU cores and system power during transfers
+# ---------------------------------------------------------------------------
+
+_FIG04_POINTS = (DesignPoint.BASELINE, DesignPoint.BASE_DHP)
+
+
+def _fig04_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return tuple(
+        TransferSpec(point, direction, TRANSFER_PROBE_BYTES)
+        for direction in DIRECTIONS
+        for point in _FIG04_POINTS
+    )
+
+
+def compute_fig04(provider: ExperimentProvider) -> FigureData:
+    config = provider.config
+    rows = []
+    for direction in DIRECTIONS:
+        for point in _FIG04_POINTS:
+            experiment = provider.get(point, direction, total_bytes=TRANSFER_PROBE_BYTES)
+            result = experiment.result
+            active_cores = result.cpu_core_busy_ns / result.duration_ns
+            power = SystemEnergyModel(config).system_power_during_transfer(result)
+            rows.append(
+                {
+                    "direction": direction.value,
+                    "design": point.label,
+                    "active_cores_avg": active_cores,
+                    "core_utilization_%": 100.0 * active_cores / config.cpu.num_cores,
+                    "system_power_W": power,
+                }
+            )
+    return {"rows": rows}
+
+
+def render_fig04(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=[
+            "direction",
+            "design",
+            "active_cores_avg",
+            "core_utilization_%",
+            "system_power_W",
+        ],
+        title="Figure 4: CPU cores and system power during DRAM<->PIM transfers",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 -- per-channel write-throughput breakdown over time
+# ---------------------------------------------------------------------------
+
+_FIG06_SW_SPEC = SoftwareTransferSeriesSpec(
+    size_per_core_bytes=1024, series_windows=FIG06_SERIES_WINDOWS
+)
+_FIG06_HW_SPEC = MemcpySpec(
+    design_point=DesignPoint.BASE_DHP,
+    total_bytes=TRANSFER_PROBE_BYTES,
+    dst_base=TRANSFER_PROBE_BYTES,
+    series_windows=FIG06_SERIES_WINDOWS,
+)
+
+
+def _fig06_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return (_FIG06_SW_SPEC, _FIG06_HW_SPEC)
+
+
+def compute_fig06(provider: ExperimentProvider) -> FigureData:
+    sw = provider.run(_FIG06_SW_SPEC)
+    hw = provider.run(_FIG06_HW_SPEC)
+    sw_series = sw["write_window_series"]
+    hw_series = hw["write_window_series"]
+    rows = []
+    num_windows = max(len(series) for series in sw_series.values())
+    for window in range(num_windows):
+        row: Dict[str, object] = {"window": window}
+        for channel, series in sorted(sw_series.items()):
+            row[f"sw_pim_ch{channel}_KB"] = (
+                series[window] if window < len(series) else 0
+            ) / 1024
+        for channel, series in sorted(hw_series.items()):
+            row[f"hw_dram_ch{channel}_KB"] = (
+                series[window] if window < len(series) else 0
+            ) / 1024
+        rows.append(row)
+    return {
+        "rows": rows,
+        "sw_series": sw_series,
+        "hw_per_channel_dram_bytes": hw["per_channel_dram_bytes"],
+    }
+
+
+def render_fig06(data: FigureData) -> str:
+    rows = data["rows"]
+    return format_table(
+        rows,
+        columns=list(rows[0].keys()),
+        title="Figure 6: per-channel write traffic per time window (KB)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 -- DRAM bandwidth, locality- vs MLP-centric mapping
+# ---------------------------------------------------------------------------
+
+_FIG08_PATTERNS = (AccessPattern.SEQUENTIAL, AccessPattern.STRIDED)
+_FIG08_MAPPINGS = (
+    ("locality-centric", DesignPoint.BASELINE),
+    ("MLP-centric", DesignPoint.BASE_DHP),
+)
+
+
+def _fig08_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return tuple(
+        ReadBandwidthSpec(pattern, point, total_bytes=FIG08_PROBE_BYTES)
+        for pattern in _FIG08_PATTERNS
+        for _, point in _FIG08_MAPPINGS
+    )
+
+
+def compute_fig08(provider: ExperimentProvider) -> FigureData:
+    rows = []
+    for pattern in _FIG08_PATTERNS:
+        bandwidths = {}
+        for label, point in _FIG08_MAPPINGS:
+            bandwidths[label] = provider.run(
+                ReadBandwidthSpec(pattern, point, total_bytes=FIG08_PROBE_BYTES)
+            )
+        rows.append(
+            {
+                "pattern": pattern.value,
+                "locality_gbps": bandwidths["locality-centric"],
+                "mlp_gbps": bandwidths["MLP-centric"],
+                "locality_normalised": bandwidths["locality-centric"]
+                / bandwidths["MLP-centric"],
+            }
+        )
+    return {"rows": rows}
+
+
+def render_fig08(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=["pattern", "locality_gbps", "mlp_gbps", "locality_normalised"],
+        title="Figure 8: normalized DRAM bandwidth, locality- vs MLP-centric mapping",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 -- transfer-latency sensitivity to co-located contenders
+# ---------------------------------------------------------------------------
+
+_FIG13_POINTS = (DesignPoint.BASELINE, DesignPoint.BASE_DHP)
+
+
+def _fig13_transfer_spec(
+    point: DesignPoint, contention: Optional[ContentionSpec]
+) -> TransferSpec:
+    return TransferSpec(
+        design_point=point,
+        direction=TransferDirection.DRAM_TO_PIM,
+        total_bytes=TRANSFER_PROBE_BYTES,
+        contention=contention,
+        scheduling_quantum_ns=FIG13_QUANTUM_NS,
+    )
+
+
+def _fig13a_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return tuple(
+        _fig13_transfer_spec(
+            point, ContentionSpec("compute", count) if count else None
+        )
+        for point in _FIG13_POINTS
+        for count in FIG13_COMPUTE_COUNTS
+    )
+
+
+def compute_fig13a(provider: ExperimentProvider) -> FigureData:
+    rows = []
+    reference: Dict[DesignPoint, float] = {}
+    for point in _FIG13_POINTS:
+        for count in FIG13_COMPUTE_COUNTS:
+            contention = ContentionSpec("compute", count) if count else None
+            latency = provider.run(_fig13_transfer_spec(point, contention)).duration_ns
+            reference.setdefault(point, latency)
+            rows.append(
+                {
+                    "design": point.label,
+                    "contenders": count,
+                    "latency_us": latency / 1e3,
+                    "normalised": latency / reference[point],
+                }
+            )
+    return {"rows": rows}
+
+
+def render_fig13a(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=["design", "contenders", "latency_us", "normalised"],
+        title="Figure 13(a): DRAM->PIM latency vs number of spin-lock CPU contenders",
+    )
+
+
+def _fig13b_contentions(config: SystemConfig) -> Tuple[ContentionSpec, ...]:
+    return tuple(
+        ContentionSpec("memory", config.cpu.num_cores // 2, intensity)
+        for intensity in FIG13_MEMORY_INTENSITIES
+    )
+
+
+def _fig13b_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    specs: List[ExperimentSpec] = []
+    for point in _FIG13_POINTS:
+        specs.append(_fig13_transfer_spec(point, None))
+        for contention in _fig13b_contentions(config):
+            specs.append(_fig13_transfer_spec(point, contention))
+    return tuple(specs)
+
+
+def compute_fig13b(provider: ExperimentProvider) -> FigureData:
+    rows = []
+    for point in _FIG13_POINTS:
+        quiet = provider.run(_fig13_transfer_spec(point, None)).duration_ns
+        rows.append(
+            {
+                "design": point.label,
+                "intensity": "none",
+                "latency_us": quiet / 1e3,
+                "normalised": 1.0,
+            }
+        )
+        for contention in _fig13b_contentions(provider.config):
+            latency = provider.run(_fig13_transfer_spec(point, contention)).duration_ns
+            rows.append(
+                {
+                    "design": point.label,
+                    "intensity": contention.intensity,
+                    "latency_us": latency / 1e3,
+                    "normalised": latency / quiet,
+                }
+            )
+    return {"rows": rows}
+
+
+def render_fig13b(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=["design", "intensity", "latency_us", "normalised"],
+        title="Figure 13(b): DRAM->PIM latency vs memory-access intensity of contenders",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 -- DRAM throughput during DRAM->DRAM copies
+# ---------------------------------------------------------------------------
+
+
+def _fig14_spec(channels: int, ranks: int, point: DesignPoint) -> MemcpySpec:
+    return MemcpySpec(
+        design_point=point,
+        total_bytes=FIG14_COPY_BYTES,
+        dst_base=FIG14_COPY_BYTES,
+        channels=channels,
+        ranks_per_channel=ranks,
+    )
+
+
+def _fig14_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return tuple(
+        _fig14_spec(channels, ranks, point)
+        for _, channels, ranks in FIG14_MEMORY_CONFIGS
+        for point in (DesignPoint.BASELINE, DesignPoint.BASE_DHP)
+    )
+
+
+def _memcpy_bandwidth(outcome: Dict[str, object]) -> float:
+    return (outcome["dram_read_bytes"] + outcome["dram_write_bytes"]) / outcome[
+        "duration_ns"
+    ]
+
+
+def compute_fig14(provider: ExperimentProvider) -> FigureData:
+    rows = []
+    for label, channels, ranks in FIG14_MEMORY_CONFIGS:
+        baseline = _memcpy_bandwidth(
+            provider.run(_fig14_spec(channels, ranks, DesignPoint.BASELINE))
+        )
+        pim_mmu = _memcpy_bandwidth(
+            provider.run(_fig14_spec(channels, ranks, DesignPoint.BASE_DHP))
+        )
+        rows.append(
+            {
+                "memory_config": label,
+                "baseline_gbps": baseline,
+                "pim_mmu_gbps": pim_mmu,
+                "normalised": pim_mmu / baseline,
+            }
+        )
+    return {"rows": rows}
+
+
+def render_fig14(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=["memory_config", "baseline_gbps", "pim_mmu_gbps", "normalised"],
+        title="Figure 14: DRAM throughput during DRAM->DRAM copy (normalised to baseline)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 -- ablation of DCE / HetMap / PIM-MS
+# ---------------------------------------------------------------------------
+
+
+def _fig15_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return tuple(
+        TransferSpec(point, direction, size)
+        for direction in DIRECTIONS
+        for size in ABLATION_SIZES
+        for point in DesignPoint
+    )
+
+
+def compute_fig15(provider: ExperimentProvider) -> FigureData:
+    rows = []
+    for direction in DIRECTIONS:
+        for size in ABLATION_SIZES:
+            base = provider.get(DesignPoint.BASELINE, direction, size)
+            for point in DesignPoint:
+                experiment = provider.get(point, direction, size)
+                rows.append(
+                    {
+                        "direction": direction.value,
+                        "size_MB": size // MIB,
+                        "design": point.label,
+                        "throughput_gbps": experiment.throughput_gbps,
+                        "throughput_norm": experiment.throughput_gbps
+                        / base.throughput_gbps,
+                        "energy_J": experiment.energy_joules,
+                        "energy_norm": experiment.energy_joules / base.energy_joules,
+                    }
+                )
+    return {"rows": rows}
+
+
+def render_fig15(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=[
+            "direction",
+            "size_MB",
+            "design",
+            "throughput_gbps",
+            "throughput_norm",
+            "energy_J",
+            "energy_norm",
+        ],
+        title="Figure 15: ablation of DCE (D), HetMap (H) and PIM-MS (P)",
+        float_format="{:.3f}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 16 -- end-to-end execution time of the PrIM workloads
+# ---------------------------------------------------------------------------
+
+_FIG16_POINTS = (DesignPoint.BASELINE, DesignPoint.BASE_DHP)
+
+
+def _fig16_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return tuple(
+        TransferSpec(point, direction, TRANSFER_PROBE_BYTES)
+        for direction in DIRECTIONS
+        for point in _FIG16_POINTS
+    )
+
+
+def compute_fig16(provider: ExperimentProvider) -> FigureData:
+    throughputs = {}
+    for direction in DIRECTIONS:
+        for point in _FIG16_POINTS:
+            throughputs[(point, direction)] = provider.get(
+                point, direction, TRANSFER_PROBE_BYTES
+            ).throughput_gbps
+    results = evaluate_prim_suite(
+        baseline_d2p_gbps=throughputs[
+            (DesignPoint.BASELINE, TransferDirection.DRAM_TO_PIM)
+        ],
+        baseline_p2d_gbps=throughputs[
+            (DesignPoint.BASELINE, TransferDirection.PIM_TO_DRAM)
+        ],
+        pimmmu_d2p_gbps=throughputs[
+            (DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM)
+        ],
+        pimmmu_p2d_gbps=throughputs[
+            (DesignPoint.BASE_DHP, TransferDirection.PIM_TO_DRAM)
+        ],
+    )
+    rows = []
+    for result in results:
+        baseline = result.normalised_breakdown("baseline")
+        pim_mmu = result.normalised_breakdown("pim-mmu")
+        rows.append(
+            {
+                "workload": result.workload,
+                "base_d2p": baseline["DRAM->PIM"],
+                "base_kernel": baseline["PIM kernel"],
+                "base_p2d": baseline["PIM->DRAM"],
+                "pimmmu_total": sum(pim_mmu.values()),
+                "speedup": result.speedup,
+            }
+        )
+    summary = suite_summary(results)
+    return {
+        "rows": rows,
+        "summary": summary,
+        "speedups": {result.workload: result.speedup for result in results},
+        "num_workloads": len(results),
+    }
+
+
+def render_fig16(data: FigureData) -> str:
+    summary = data["summary"]
+    return format_table(
+        data["rows"],
+        columns=[
+            "workload",
+            "base_d2p",
+            "base_kernel",
+            "base_p2d",
+            "pimmmu_total",
+            "speedup",
+        ],
+        title=(
+            "Figure 16: normalized end-to-end execution time "
+            f"(mean speedup {summary['mean_speedup']:.2f}x, "
+            f"max {summary['max_speedup']:.2f}x)"
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Headline summary
+# ---------------------------------------------------------------------------
+
+
+def _headline_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    sweep = tuple(
+        TransferSpec(point, direction, size)
+        for direction in DIRECTIONS
+        for size in ABLATION_SIZES
+        for point in (DesignPoint.BASELINE, DesignPoint.BASE_DHP)
+    )
+    return sweep + _fig16_specs(config)
+
+
+def compute_headline(provider: ExperimentProvider) -> FigureData:
+    throughput_gains = []
+    energy_gains = []
+    for direction in DIRECTIONS:
+        for size in ABLATION_SIZES:
+            base = provider.get(DesignPoint.BASELINE, direction, size)
+            full = provider.get(DesignPoint.BASE_DHP, direction, size)
+            throughput_gains.append(full.throughput_gbps / base.throughput_gbps)
+            energy_gains.append(base.energy_joules / full.energy_joules)
+    base_d2p = provider.get(
+        DesignPoint.BASELINE, TransferDirection.DRAM_TO_PIM, TRANSFER_PROBE_BYTES
+    )
+    base_p2d = provider.get(
+        DesignPoint.BASELINE, TransferDirection.PIM_TO_DRAM, TRANSFER_PROBE_BYTES
+    )
+    full_d2p = provider.get(
+        DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM, TRANSFER_PROBE_BYTES
+    )
+    full_p2d = provider.get(
+        DesignPoint.BASE_DHP, TransferDirection.PIM_TO_DRAM, TRANSFER_PROBE_BYTES
+    )
+    end_to_end = suite_summary(
+        evaluate_prim_suite(
+            base_d2p.throughput_gbps,
+            base_p2d.throughput_gbps,
+            full_d2p.throughput_gbps,
+            full_p2d.throughput_gbps,
+        )
+    )
+    rows = [
+        {
+            "metric": "transfer throughput gain (avg)",
+            "paper": 4.1,
+            "reproduced": geometric_mean(throughput_gains),
+        },
+        {
+            "metric": "transfer throughput gain (max)",
+            "paper": 6.9,
+            "reproduced": max(throughput_gains),
+        },
+        {
+            "metric": "energy-efficiency gain (avg)",
+            "paper": 4.1,
+            "reproduced": geometric_mean(energy_gains),
+        },
+        {
+            "metric": "energy-efficiency gain (max)",
+            "paper": 6.9,
+            "reproduced": max(energy_gains),
+        },
+        {
+            "metric": "end-to-end speedup (avg)",
+            "paper": 2.2,
+            "reproduced": end_to_end["mean_speedup"],
+        },
+        {
+            "metric": "end-to-end speedup (max)",
+            "paper": 4.0,
+            "reproduced": end_to_end["max_speedup"],
+        },
+    ]
+    return {
+        "rows": rows,
+        "throughput_gains": throughput_gains,
+        "energy_gains": energy_gains,
+        "end_to_end": end_to_end,
+    }
+
+
+def render_headline(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=["metric", "paper", "reproduced"],
+        title="Headline summary (paper vs reproduced)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# §VI-C -- implementation overhead of the DCE buffers
+# ---------------------------------------------------------------------------
+
+
+def _overhead_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return ()
+
+
+def compute_overhead(provider: ExperimentProvider) -> FigureData:
+    overhead = pim_mmu_buffer_overhead()
+    rows = [
+        {
+            "component": "DCE data buffer (16 KB)",
+            "area_mm2": overhead["data_buffer_mm2"],
+        },
+        {
+            "component": "DCE address buffer (64 KB)",
+            "area_mm2": overhead["address_buffer_mm2"],
+        },
+        {"component": "total", "area_mm2": overhead["total_mm2"]},
+        {
+            "component": "CPU die increase (%)",
+            "area_mm2": overhead["die_increase_percent"],
+        },
+    ]
+    return {"rows": rows, "overhead": overhead}
+
+
+def render_overhead(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=["component", "area_mm2"],
+        title="PIM-MMU implementation overhead (paper: 0.85 mm^2, 0.37 %)",
+        float_format="{:.3f}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Design-choice ablations (DESIGN.md)
+# ---------------------------------------------------------------------------
+
+_ABLATION_VARIANTS: Tuple[Tuple[str, ExperimentSpec], ...] = (
+    ("PIM-MS order", DceOrderSpec(policy=DcePolicy.PIM_MS)),
+    ("serial per-core order", DceOrderSpec(policy=DcePolicy.SERIAL_PER_CORE)),
+    ("4 KB data buffer", DceOrderSpec(policy=DcePolicy.PIM_MS, data_buffer_bytes=4 * KIB)),
+    (
+        "16 KB data buffer",
+        DceOrderSpec(policy=DcePolicy.PIM_MS, data_buffer_bytes=16 * KIB),
+    ),
+    ("baseline threads: blocked", SoftwareThreadPolicySpec(thread_policy="blocked")),
+    (
+        "baseline threads: round_robin",
+        SoftwareThreadPolicySpec(thread_policy="round_robin"),
+    ),
+)
+
+
+def _ablation_specs(config: SystemConfig) -> Tuple[ExperimentSpec, ...]:
+    return tuple(spec for _, spec in _ABLATION_VARIANTS)
+
+
+def compute_ablation(provider: ExperimentProvider) -> FigureData:
+    rows = [
+        {"variant": label, "throughput_gbps": provider.run(spec)}
+        for label, spec in _ABLATION_VARIANTS
+    ]
+    return {"rows": rows}
+
+
+def render_ablation(data: FigureData) -> str:
+    return format_table(
+        data["rows"],
+        columns=["variant", "throughput_gbps"],
+        title="Design-choice ablations (DRAM->PIM, 512 KB)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry + orchestration
+# ---------------------------------------------------------------------------
+
+FIGURES: Dict[str, Figure] = {
+    figure.name: figure
+    for figure in (
+        Figure(
+            name="table1",
+            filename="table1_config.txt",
+            description="Table I: baseline system and PIM-MMU configuration",
+            specs=_table1_specs,
+            compute=compute_table1,
+            render=render_table1,
+            fast=True,
+        ),
+        Figure(
+            name="fig04",
+            filename="fig04_cpu_power.txt",
+            description="Figure 4: CPU utilization and system power during transfers",
+            specs=_fig04_specs,
+            compute=compute_fig04,
+            render=render_fig04,
+            fast=True,
+        ),
+        Figure(
+            name="fig06",
+            filename="fig06_channel_breakdown.txt",
+            description="Figure 6: per-channel write-throughput breakdown over time",
+            specs=_fig06_specs,
+            compute=compute_fig06,
+            render=render_fig06,
+            fast=True,
+        ),
+        Figure(
+            name="fig08",
+            filename="fig08_mapping_bandwidth.txt",
+            description="Figure 8: DRAM bandwidth, locality- vs MLP-centric mapping",
+            specs=_fig08_specs,
+            compute=compute_fig08,
+            render=render_fig08,
+            fast=True,
+        ),
+        Figure(
+            name="fig13a",
+            filename="fig13a_compute_contention.txt",
+            description="Figure 13(a): latency vs spin-lock CPU contenders",
+            specs=_fig13a_specs,
+            compute=compute_fig13a,
+            render=render_fig13a,
+        ),
+        Figure(
+            name="fig13b",
+            filename="fig13b_memory_contention.txt",
+            description="Figure 13(b): latency vs memory-intensive contenders",
+            specs=_fig13b_specs,
+            compute=compute_fig13b,
+            render=render_fig13b,
+        ),
+        Figure(
+            name="fig14",
+            filename="fig14_dram_throughput.txt",
+            description="Figure 14: DRAM throughput during DRAM->DRAM copies",
+            specs=_fig14_specs,
+            compute=compute_fig14,
+            render=render_fig14,
+        ),
+        Figure(
+            name="fig15",
+            filename="fig15_ablation.txt",
+            description="Figure 15: ablation of DCE, HetMap and PIM-MS",
+            specs=_fig15_specs,
+            compute=compute_fig15,
+            render=render_fig15,
+            fast=True,
+        ),
+        Figure(
+            name="fig16",
+            filename="fig16_prim_end_to_end.txt",
+            description="Figure 16: end-to-end execution time of the PrIM workloads",
+            specs=_fig16_specs,
+            compute=compute_fig16,
+            render=render_fig16,
+        ),
+        Figure(
+            name="headline",
+            filename="headline_summary.txt",
+            description="Headline summary: paper vs reproduced gains",
+            specs=_headline_specs,
+            compute=compute_headline,
+            render=render_headline,
+        ),
+        Figure(
+            name="overhead",
+            filename="overhead_area.txt",
+            description="SVI-C: implementation overhead of the DCE SRAM buffers",
+            specs=_overhead_specs,
+            compute=compute_overhead,
+            render=render_overhead,
+            fast=True,
+        ),
+        Figure(
+            name="ablation",
+            filename="ablation_design_choices.txt",
+            description="Design-choice ablations (issue order, buffer size, threads)",
+            specs=_ablation_specs,
+            compute=compute_ablation,
+            render=render_ablation,
+        ),
+    )
+}
+
+
+def select_figures(
+    names: Optional[Sequence[str]] = None, fast: bool = False
+) -> List[Figure]:
+    """Resolve figure names (or the full/fast set) to registry entries.
+
+    Explicit names always win: a figure asked for by name is never silently
+    dropped by the ``fast`` filter -- combining the two raises instead.
+    """
+    if names:
+        unknown = [name for name in names if name not in FIGURES]
+        if unknown:
+            known = ", ".join(FIGURES)
+            raise KeyError(f"unknown figure(s) {unknown}; known: {known}")
+        if fast:
+            not_fast = [name for name in names if not FIGURES[name].fast]
+            if not_fast:
+                raise KeyError(
+                    f"figure(s) {not_fast} are not in the fast subset; "
+                    "drop --fast or the name(s)"
+                )
+        return [FIGURES[name] for name in dict.fromkeys(names)]
+    selected = list(FIGURES.values())
+    if fast:
+        selected = [figure for figure in selected if figure.fast]
+    return selected
+
+
+def generate_figures(
+    provider: ExperimentProvider,
+    figures: Sequence[Figure],
+    results_dir: Path,
+) -> List[Path]:
+    """Prefetch every needed experiment in parallel, then render and write.
+
+    The prefetch pools the specs of *all* selected figures, so shared
+    experiments simulate once and independent ones fan out across workers.
+    """
+    specs: List[ExperimentSpec] = []
+    for figure in figures:
+        specs.extend(figure.specs(provider.config))
+    provider.prefetch(specs)
+    paths = []
+    for figure in figures:
+        text = figure.render(figure.compute(provider))
+        paths.append(write_figure(results_dir, figure.filename, text))
+    return paths
+
+
+__all__ = [
+    "FIGURES",
+    "Figure",
+    "FigureData",
+    "generate_figures",
+    "select_figures",
+    "write_figure",
+]

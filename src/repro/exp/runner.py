@@ -1,0 +1,196 @@
+"""Experiment orchestration: parallel fan-out, memoisation, disk caching.
+
+:class:`ParallelRunner` executes a batch of specs, fanning out over a
+``ProcessPoolExecutor`` when ``jobs > 1`` (with a serial in-process fallback
+for ``jobs == 1``).  Workers receive ``(config, spec)`` pairs and build their
+own :class:`~repro.sim.engine.SimulationEngine`; the engine is deterministic,
+so parallel and serial runs produce identical results.
+
+:class:`ExperimentProvider` is the one orchestration path shared by the
+pytest benchmark suite, the ``python -m repro`` CLI, and any future sharded
+worker.  It layers, in order:
+
+1. an in-memory memo (one entry per spec per provider),
+2. the on-disk :class:`~repro.exp.cache.ResultCache` (optional),
+3. arithmetic derivation: oversized :class:`TransferSpec` requests are served
+   by extrapolating the cached steady-state *window* experiment instead of
+   re-simulating,
+4. actual simulation, serial or fanned out through a runner.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.transfer.descriptor import TransferDirection
+from repro.sim.config import DesignPoint
+from repro.workloads.microbench import TransferExperiment, extrapolate_experiment
+
+from repro.exp.cache import MISS, ResultCache
+from repro.exp.spec import DEFAULT_SIM_CAP_BYTES, ExperimentSpec, TransferSpec
+
+
+def _execute_spec(payload: Tuple[SystemConfig, ExperimentSpec]):
+    """Worker entry point: run one spec on a private simulation engine."""
+    config, spec = payload
+    return spec.run(config)
+
+
+def default_jobs() -> int:
+    """A sensible default worker count (leave one core for the parent)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class ParallelRunner:
+    """Executes batches of experiment specs, optionally across processes."""
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def run(
+        self, config: SystemConfig, specs: Sequence[ExperimentSpec]
+    ) -> Dict[ExperimentSpec, object]:
+        """Run every unique spec and return outcomes keyed by spec.
+
+        Duplicate specs collapse to one execution.  Results are keyed (not
+        positional) so callers can request in any order.
+        """
+        unique: List[ExperimentSpec] = list(dict.fromkeys(specs))
+        if not unique:
+            return {}
+        if self.jobs == 1 or len(unique) == 1:
+            return {spec: spec.run(config) for spec in unique}
+        workers = min(self.jobs, len(unique))
+        payloads = [(config, spec) for spec in unique]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_execute_spec, payloads))
+        return dict(zip(unique, outcomes))
+
+
+@dataclass
+class ProviderStats:
+    """Where each requested experiment outcome came from."""
+
+    executed: int = 0  # actual simulations run (serial or in a worker)
+    disk_hits: int = 0  # served from results/.cache
+    memo_hits: int = 0  # served from the in-memory memo
+    derived: int = 0  # extrapolated arithmetically from a cached window
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "executed": self.executed,
+            "disk_hits": self.disk_hits,
+            "memo_hits": self.memo_hits,
+            "derived": self.derived,
+        }
+
+
+@dataclass
+class ExperimentProvider:
+    """Memoising, cache-backed, parallel-capable experiment source."""
+
+    config: SystemConfig
+    cache: Optional[ResultCache] = None
+    jobs: int = 1
+    stats: ProviderStats = field(default_factory=ProviderStats)
+
+    def __post_init__(self) -> None:
+        self._memo: Dict[ExperimentSpec, object] = {}
+
+    # -- core orchestration -------------------------------------------------
+
+    def _canonical(self, spec: ExperimentSpec) -> ExperimentSpec:
+        """The spec whose outcome is actually simulated and cached."""
+        if isinstance(spec, TransferSpec):
+            return spec.window(self.config)
+        return spec
+
+    def _derive(self, spec: TransferSpec, window_outcome: TransferExperiment):
+        derived = extrapolate_experiment(window_outcome, spec.total_bytes, self.config)
+        self._memo[spec] = derived
+        self.stats.derived += 1
+        return derived
+
+    def run(self, spec: ExperimentSpec):
+        """Return the outcome for ``spec``, simulating only on a cold miss."""
+        if spec in self._memo:
+            self.stats.memo_hits += 1
+            return self._memo[spec]
+        canonical = self._canonical(spec)
+        if canonical is not spec and canonical != spec:
+            return self._derive(spec, self.run(canonical))
+        value = MISS
+        if self.cache is not None:
+            value = self.cache.get(self.config, canonical)
+            if value is not MISS:
+                self.stats.disk_hits += 1
+        if value is MISS:
+            value = canonical.run(self.config)
+            self.stats.executed += 1
+            if self.cache is not None:
+                self.cache.put(self.config, canonical, value)
+        self._memo[canonical] = value
+        return value
+
+    def prefetch(self, specs: Iterable[ExperimentSpec]) -> int:
+        """Ensure every spec's canonical outcome is available, in parallel.
+
+        Deduplicates, canonicalises transfers to their simulated windows,
+        drops everything already memoised or disk-cached, and fans the rest
+        out over :class:`ParallelRunner` with this provider's ``jobs``.
+        Returns the number of simulations actually executed.
+        """
+        todo: List[ExperimentSpec] = []
+        for spec in dict.fromkeys(self._canonical(s) for s in specs):
+            if spec in self._memo or spec in todo:
+                continue
+            if self.cache is not None:
+                value = self.cache.get(self.config, spec)
+                if value is not MISS:
+                    self._memo[spec] = value
+                    self.stats.disk_hits += 1
+                    continue
+            todo.append(spec)
+        if not todo:
+            return 0
+        runner = ParallelRunner(jobs=self.jobs)
+        outcomes = runner.run(self.config, todo)
+        self.stats.executed += len(outcomes)
+        for spec, value in outcomes.items():
+            self._memo[spec] = value
+            if self.cache is not None:
+                self.cache.put(self.config, spec, value)
+        return len(outcomes)
+
+    # -- convenience API (the benchmark suite's historical signature) -------
+
+    def get(
+        self,
+        design_point: DesignPoint,
+        direction: TransferDirection,
+        total_bytes: int,
+        sim_cap_bytes: int = DEFAULT_SIM_CAP_BYTES,
+    ) -> TransferExperiment:
+        """Fetch one plain transfer experiment (no contention, default OS)."""
+        return self.run(
+            TransferSpec(
+                design_point=design_point,
+                direction=direction,
+                total_bytes=total_bytes,
+                sim_cap_bytes=sim_cap_bytes,
+            )
+        )
+
+
+__all__ = [
+    "ExperimentProvider",
+    "ParallelRunner",
+    "ProviderStats",
+    "default_jobs",
+]

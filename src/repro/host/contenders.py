@@ -16,7 +16,7 @@ Two families of contenders exist:
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional, Protocol
+from typing import Callable, Protocol
 
 from repro.memctrl.request import MemoryRequest, RequestStream
 from repro.sim.engine import SimulationEngine

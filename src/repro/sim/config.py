@@ -341,6 +341,47 @@ class SystemConfig:
         """The Table I configuration (512 PIM cores)."""
         return cls()
 
+    @classmethod
+    def small_test(cls) -> "SystemConfig":
+        """A scaled-down system for fast simulations (32 PIM cores).
+
+        2 channels x 1 rank on both domains, 4 bank groups x 4 banks per rank
+        and a small LLC.  The geometry keeps every structural property of the
+        paper configuration (separate DRAM/PIM domains, bank-level PIM cores)
+        at a fraction of the simulation cost; the test suite and the CLI's
+        ``--config small`` mode both use it.
+        """
+        dram = MemoryDomainConfig(
+            name="dram",
+            channels=2,
+            ranks_per_channel=1,
+            bankgroups_per_rank=4,
+            banks_per_group=4,
+            rows_per_bank=4096,
+            row_size_bytes=8192,
+        )
+        pim = MemoryDomainConfig(
+            name="pim",
+            channels=2,
+            ranks_per_channel=1,
+            bankgroups_per_rank=4,
+            banks_per_group=4,
+            rows_per_bank=4096,
+            row_size_bytes=8192,
+        )
+        cpu = CpuConfig(llc_capacity_bytes=1024 * 1024)
+        return cls(cpu=cpu, dram=dram, pim=pim)
+
+    def stable_key(self) -> str:
+        """A canonical, process-independent string identity for this config.
+
+        Every field of the configuration tree is a frozen dataclass of
+        scalars/enums, so ``repr`` enumerates fields in declaration order and
+        is deterministic across interpreter runs -- unlike ``hash()``, which
+        is salted per process.  The experiment cache keys on this string.
+        """
+        return repr(self)
+
     def with_memory_geometry(
         self, channels: int, ranks_per_channel: int
     ) -> "SystemConfig":

@@ -23,17 +23,26 @@ class Event:
 
     Events compare by ``(time, sequence)`` so that simultaneous events fire in
     scheduling order.  ``cancelled`` events stay in the heap but are skipped
-    when popped, which makes cancellation O(1).
+    when popped, which makes cancellation O(1); the engine tracks how many
+    cancelled events remain queued so ``len(engine)`` stays O(1) and the heap
+    can be compacted once cancellations dominate it.
     """
 
     time: float
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _engine: Optional["SimulationEngine"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._engine is not None:
+            self._engine._note_cancelled()
 
 
 class SimulationEngine:
@@ -50,10 +59,15 @@ class SimulationEngine:
     [1.0, 5.0]
     """
 
+    #: Compact the heap once at least this many cancelled events are queued
+    #: *and* they make up at least half of the heap.
+    COMPACTION_THRESHOLD = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._sequence: int = 0
         self._queue: List[Event] = []
+        self._cancelled_pending: int = 0
         self._running: bool = False
 
     @property
@@ -71,7 +85,9 @@ class SimulationEngine:
             raise ValueError(
                 f"cannot schedule event at {time} ns; current time is {self._now} ns"
             )
-        event = Event(time=time, sequence=self._sequence, callback=callback)
+        event = Event(
+            time=time, sequence=self._sequence, callback=callback, _engine=self
+        )
         self._sequence += 1
         heapq.heappush(self._queue, event)
         return event
@@ -82,10 +98,44 @@ class SimulationEngine:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.schedule_at(self._now + delay, callback)
 
+    def _note_cancelled(self) -> None:
+        """Record that a queued event was cancelled; compact when they dominate."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending >= self.COMPACTION_THRESHOLD
+            and self._cancelled_pending * 2 >= len(self._queue)
+        ):
+            self.compact()
+
+    def _discard(self, event: Event) -> None:
+        """Detach an event that left the queue so late ``cancel()``s are no-ops."""
+        event._engine = None
+
+    def compact(self) -> None:
+        """Drop every cancelled event from the heap and re-heapify.
+
+        Called automatically once cancelled events make up at least half of
+        the queue (see :meth:`_note_cancelled`); keeping them out bounds the
+        heap at the number of *live* events, so long runs that cancel heavily
+        (e.g. speculative wake-ups) don't grow the queue without bound.
+        """
+        if self._cancelled_pending == 0:
+            return
+        live = []
+        for event in self._queue:
+            if event.cancelled:
+                self._discard(event)
+            else:
+                live.append(event)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+
     def peek_next_time(self) -> Optional[float]:
         """Return the time of the next pending event, or ``None`` if idle."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            self._discard(heapq.heappop(self._queue))
+            self._cancelled_pending -= 1
         if not self._queue:
             return None
         return self._queue[0].time
@@ -94,7 +144,9 @@ class SimulationEngine:
         """Fire the next pending event.  Returns ``False`` if none remain."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            self._discard(event)
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             event.callback()
@@ -129,10 +181,14 @@ class SimulationEngine:
 
     def drain(self) -> None:
         """Discard all pending events without firing them (used in tests)."""
+        for event in self._queue:
+            self._discard(event)
         self._queue.clear()
+        self._cancelled_pending = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) pending events, in O(1)."""
+        return len(self._queue) - self._cancelled_pending
 
 
 __all__ = ["Event", "SimulationEngine"]

@@ -11,7 +11,7 @@ buffers (Figure 10a).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.sim.config import CACHE_LINE_BYTES

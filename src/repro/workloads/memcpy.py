@@ -12,7 +12,7 @@ with the channel count (Figure 14).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Sequence
+from typing import Callable, Deque, Optional
 
 from repro.memctrl.request import MemoryRequest, RequestStream
 from repro.sim.config import CACHE_LINE_BYTES

@@ -73,7 +73,8 @@ class TransferExperiment:
         return (self.requested_bytes / 1e9) / self.energy_joules
 
 
-def _per_core_bytes(total_bytes: int, num_cores: int) -> int:
+def per_core_bytes(total_bytes: int, num_cores: int) -> int:
+    """Cache-line-aligned bytes each PIM core receives out of ``total_bytes``."""
     per_core = total_bytes // num_cores
     per_core = max(CACHE_LINE_BYTES, per_core - per_core % CACHE_LINE_BYTES)
     return per_core
@@ -136,16 +137,25 @@ def run_transfer_experiment(
     num_pim_cores: Optional[int] = None,
     sim_cap_bytes: int = 1 * MIB,
     contender_factory: Optional[ContenderFactory] = None,
-    include_energy: bool = True,
+    scheduling_quantum_ns: Optional[float] = None,
 ) -> TransferExperiment:
-    """Run (and, beyond ``sim_cap_bytes``, extrapolate) one transfer experiment."""
+    """Run (and, beyond ``sim_cap_bytes``, extrapolate) one transfer experiment.
+
+    ``scheduling_quantum_ns`` overrides the OS scheduling quantum of the
+    supplied configuration (the Figure 13 contention study scales it down to
+    keep the transfer-to-quantum ratio of the paper's much larger transfers).
+    """
     config = config if config is not None else SystemConfig.paper_baseline()
+    if scheduling_quantum_ns is not None:
+        config = replace(
+            config, os=replace(config.os, scheduling_quantum_ns=scheduling_quantum_ns)
+        )
     system = build_system(config=config, design_point=design_point)
     cores = num_pim_cores if num_pim_cores is not None else system.topology.num_dpus
     core_ids = list(range(cores))
 
-    requested_per_core = _per_core_bytes(total_bytes, cores)
-    simulated_per_core = min(requested_per_core, _per_core_bytes(sim_cap_bytes, cores))
+    requested_per_core = per_core_bytes(total_bytes, cores)
+    simulated_per_core = min(requested_per_core, per_core_bytes(sim_cap_bytes, cores))
     requested_bytes = requested_per_core * cores
     simulated_bytes = simulated_per_core * cores
 
@@ -180,4 +190,58 @@ def run_transfer_experiment(
     )
 
 
-__all__ = ["ContenderFactory", "TransferExperiment", "execute_transfer", "run_transfer_experiment"]
+def extrapolate_experiment(
+    window: TransferExperiment,
+    total_bytes: int,
+    config: Optional[SystemConfig] = None,
+) -> TransferExperiment:
+    """Derive the experiment for ``total_bytes`` from a simulated window.
+
+    ``run_transfer_experiment`` simulates the steady state up to
+    ``sim_cap_bytes`` and extrapolates the remainder; this helper applies the
+    exact same extrapolation rule to an already-simulated window experiment,
+    so cached windows can serve any larger requested size without re-running
+    the simulation.  The result is bit-identical to what
+    ``run_transfer_experiment`` returns for the same inputs.
+    """
+    config = config if config is not None else SystemConfig.paper_baseline()
+    descriptor = window.result.descriptor
+    cores = descriptor.num_cores
+    simulated_per_core = descriptor.size_per_core_bytes
+    requested_per_core = per_core_bytes(total_bytes, cores)
+    if requested_per_core < simulated_per_core:
+        raise ValueError(
+            f"cannot extrapolate down: window simulates {simulated_per_core} B/core, "
+            f"requested {requested_per_core} B/core"
+        )
+    full_descriptor = TransferDescriptor.contiguous(
+        direction=window.direction,
+        dram_base=0,
+        size_per_core_bytes=requested_per_core,
+        pim_core_ids=list(descriptor.pim_core_ids),
+    )
+    factor = requested_per_core / simulated_per_core
+    result = _scale_result(window.result, full_descriptor, factor)
+    energy = SystemEnergyModel(config).evaluate(
+        result, include_pim_mmu=window.design_point.uses_dce
+    )
+    return TransferExperiment(
+        design_point=window.design_point,
+        direction=window.direction,
+        requested_bytes=requested_per_core * cores,
+        simulated_bytes=window.simulated_bytes,
+        result=result,
+        energy=energy,
+        pim_peak_gbps=window.pim_peak_gbps,
+        dram_peak_gbps=window.dram_peak_gbps,
+    )
+
+
+__all__ = [
+    "ContenderFactory",
+    "TransferExperiment",
+    "execute_transfer",
+    "extrapolate_experiment",
+    "per_core_bytes",
+    "run_transfer_experiment",
+]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.config import CpuConfig, MemoryDomainConfig, SystemConfig
+from repro.sim.config import SystemConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import StatsRegistry
 
@@ -32,30 +32,5 @@ def paper_config() -> SystemConfig:
 
 @pytest.fixture
 def small_config() -> SystemConfig:
-    """A scaled-down system for fast simulation tests.
-
-    2 channels x 1 rank on both domains, 4 bank groups x 4 banks per rank,
-    i.e. 32 PIM cores, with a small LLC.  The geometry keeps every structural
-    property of the paper configuration (separate DRAM/PIM domains, bank-level
-    PIM cores) at a fraction of the simulation cost.
-    """
-    dram = MemoryDomainConfig(
-        name="dram",
-        channels=2,
-        ranks_per_channel=1,
-        bankgroups_per_rank=4,
-        banks_per_group=4,
-        rows_per_bank=4096,
-        row_size_bytes=8192,
-    )
-    pim = MemoryDomainConfig(
-        name="pim",
-        channels=2,
-        ranks_per_channel=1,
-        bankgroups_per_rank=4,
-        banks_per_group=4,
-        rows_per_bank=4096,
-        row_size_bytes=8192,
-    )
-    cpu = CpuConfig(llc_capacity_bytes=1024 * 1024)
-    return SystemConfig(cpu=cpu, dram=dram, pim=pim)
+    """A scaled-down system for fast simulation tests (32 PIM cores)."""
+    return SystemConfig.small_test()

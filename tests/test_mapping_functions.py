@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.mapping.bios import BiosInterleaveConfig, bios_mapping
 from repro.mapping.locality import locality_centric_mapping
 from repro.mapping.mlp import mlp_centric_mapping

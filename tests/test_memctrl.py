@@ -11,8 +11,6 @@ from repro.memctrl.controller import ChannelController
 from repro.memctrl.request import MemoryRequest, RequestStream
 from repro.memctrl.system import MemorySystem
 from repro.sim.config import MemCtrlConfig, MemoryDomainConfig
-from repro.sim.engine import SimulationEngine
-from repro.sim.stats import StatsRegistry
 
 GEOMETRY = MemoryDomainConfig.paper_dram()
 

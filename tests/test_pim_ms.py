@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-import pytest
-
 from repro.core.pim_ms import PimAwareScheduler, get_pim_core_id
 from repro.mapping.partition import pim_core_coordinates
 from repro.sim.config import MemoryDomainConfig

@@ -10,7 +10,6 @@ from repro.sim.config import (
     DramTimingConfig,
     MemoryDomainConfig,
     PimMmuConfig,
-    SystemConfig,
 )
 
 

@@ -129,6 +129,67 @@ def test_drain_discards_everything(engine):
     assert fired == []
 
 
+def test_len_stays_consistent_with_peek(engine):
+    """Regression: ``peek_next_time`` pops cancelled events off the heap while
+    ``__len__`` counts them out via a bookkeeping counter; the two views must
+    agree whatever order they are consulted in."""
+    events = [engine.schedule_after(float(i + 1), lambda: None) for i in range(10)]
+    for event in events[:3]:
+        event.cancel()
+    assert len(engine) == 7
+    # Peeking pops the cancelled head events; the live count must not change.
+    assert engine.peek_next_time() == 4.0
+    assert len(engine) == 7
+    # Cancelling after a peek keeps the counter in sync too.
+    events[5].cancel()
+    assert len(engine) == 6
+    fired = engine.run()
+    assert fired == 6
+    assert len(engine) == 0
+
+
+def test_cancel_is_idempotent_and_safe_after_firing(engine):
+    fired = []
+    event = engine.schedule_after(1.0, lambda: fired.append(1))
+    keeper = engine.schedule_after(2.0, lambda: fired.append(2))
+    engine.run(until=1.5)
+    # The event already fired; cancelling it now must not corrupt the count.
+    event.cancel()
+    event.cancel()
+    assert len(engine) == 1
+    keeper.cancel()
+    keeper.cancel()
+    assert len(engine) == 0
+    engine.run()
+    assert fired == [1]
+
+
+def test_heavy_cancellation_compacts_the_heap(engine):
+    threshold = SimulationEngine.COMPACTION_THRESHOLD
+    events = [
+        engine.schedule_after(float(i + 1), lambda: None) for i in range(2 * threshold)
+    ]
+    for event in events[: 2 * threshold - 1]:
+        event.cancel()
+    # The compacting sweep kicked in: the heap is bounded by the live events
+    # plus at most one sub-threshold batch of fresh cancellations, rather than
+    # retaining all 2*threshold-1 cancelled entries.
+    assert len(engine) == 1
+    assert len(engine._queue) < 2 * threshold - 1
+    assert len(engine._queue) <= len(engine) + threshold
+    assert engine.peek_next_time() == float(2 * threshold)
+    assert engine.run() == 1
+
+
+def test_drain_resets_cancellation_bookkeeping(engine):
+    event = engine.schedule_after(1.0, lambda: None)
+    event.cancel()
+    engine.drain()
+    assert len(engine) == 0
+    engine.schedule_after(2.0, lambda: None)
+    assert len(engine) == 1
+
+
 def test_zero_delay_fires_at_current_time(engine):
     engine.schedule_after(5.0, lambda: engine.schedule_after(0.0, lambda: None))
     count = engine.run()

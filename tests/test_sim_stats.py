@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.stats import BandwidthTracker, Counter, Histogram, StatsRegistry
+from repro.sim.stats import BandwidthTracker, Counter, Histogram
 
 
 class TestCounter:
