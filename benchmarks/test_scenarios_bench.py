@@ -1,0 +1,42 @@
+"""Scenario benchmark -- regenerate the built-in multi-tenant mixes.
+
+Runs every registered scenario of :mod:`repro.scenarios.mixes` on the full
+Table I system and writes the per-tenant tables under ``results/`` (the same
+files ``python -m repro scenarios`` produces).  Structural assertions check
+the properties every mix must have: tenants finish, latencies are ordered
+(p99 >= p50 > 0) and sharing never speeds a tenant up (slowdown >= 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import SCENARIOS, render_scenario
+from benchmarks.conftest import write_figure
+
+pytestmark = [pytest.mark.slow]
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_mix(name, benchmark, experiments, results_dir):
+    scenario = SCENARIOS[name]
+    outcome = benchmark.pedantic(
+        lambda: experiments.run(scenario.spec), rounds=1, iterations=1
+    )
+    write_figure(results_dir, scenario.filename, render_scenario(outcome))
+
+    assert outcome.design_label == scenario.spec.design_point.label
+    assert len(outcome.tenants) == len(scenario.spec.tenants)
+    assert outcome.makespan_ns > 0
+    for tenant in outcome.tenants:
+        assert tenant.duration_ns > 0, f"{tenant.name} never finished"
+        assert tenant.requests > 0
+        assert tenant.p99_latency_ns >= tenant.p50_latency_ns > 0
+        if tenant.slowdown is not None:
+            assert tenant.slowdown >= 1.0
+
+    benchmark.extra_info["makespan_us"] = outcome.makespan_ns / 1e3
+    benchmark.extra_info["aggregate_gbps"] = outcome.aggregate_throughput_gbps
+    slowdowns = [t.slowdown for t in outcome.tenants if t.slowdown is not None]
+    if slowdowns:
+        benchmark.extra_info["max_slowdown"] = max(slowdowns)

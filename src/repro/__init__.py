@@ -10,7 +10,11 @@ evaluation.
 
 The :mod:`repro.exp` subpackage orchestrates experiments declaratively
 (sweeps, a parallel process-pool runner, an on-disk result cache) and powers
-the ``python -m repro`` CLI; see ``docs/experiments.md``.
+the ``python -m repro`` CLI; see ``docs/experiments.md``.  The
+:mod:`repro.scenarios` subpackage layers trace record/replay and multi-tenant
+workload mixes on top of it; see ``docs/scenarios.md``.  A subsystem map with
+a request-lifecycle walkthrough lives in ``docs/architecture.md`` and the
+public-API reference in ``docs/api.md``.
 
 Quickstart
 ----------
@@ -38,8 +42,9 @@ from repro.sim.config import (
 )
 from repro.system import PimSystem, build_system
 from repro.transfer import TransferDescriptor, TransferDirection, TransferResult
+from repro.scenarios import ScenarioSpec, TenantSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CpuConfig",
@@ -49,7 +54,9 @@ __all__ = [
     "MemoryDomainConfig",
     "PimMmuConfig",
     "PimSystem",
+    "ScenarioSpec",
     "SystemConfig",
+    "TenantSpec",
     "TransferDescriptor",
     "TransferDirection",
     "TransferResult",

@@ -1,13 +1,19 @@
 """Result analysis: table formatting and end-to-end workload modelling."""
 
 from repro.analysis.end_to_end import PrimEndToEndResult, evaluate_prim_suite, evaluate_prim_workload
-from repro.analysis.report import format_table, geometric_mean, normalise
+from repro.analysis.report import (
+    format_table,
+    format_tenant_table,
+    geometric_mean,
+    normalise,
+)
 
 __all__ = [
     "PrimEndToEndResult",
     "evaluate_prim_suite",
     "evaluate_prim_workload",
     "format_table",
+    "format_tenant_table",
     "geometric_mean",
     "normalise",
 ]

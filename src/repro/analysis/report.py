@@ -23,6 +23,31 @@ def normalise(values: Sequence[float], reference: float) -> List[float]:
     return [value / reference for value in values]
 
 
+#: Column order of the per-tenant scenario tables (``repro scenarios``).
+TENANT_TABLE_COLUMNS = (
+    "tenant",
+    "workload",
+    "MiB",
+    "duration_us",
+    "throughput_gbps",
+    "p50_lat_ns",
+    "p99_lat_ns",
+    "slowdown",
+)
+
+
+def format_tenant_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render per-tenant scenario rows (throughput, p50/p99 latency, slowdown).
+
+    ``rows`` is what :meth:`repro.scenarios.tenant.ScenarioOutcome.rows`
+    produces; keeping the renderer here keeps every report table of the
+    reproduction in one module.
+    """
+    return format_table(
+        rows, columns=list(TENANT_TABLE_COLUMNS), title=title, float_format="{:.2f}"
+    )
+
+
 def format_table(
     rows: Sequence[Dict[str, object]],
     columns: Sequence[str],
@@ -51,4 +76,10 @@ def format_table(
     return "\n".join(lines)
 
 
-__all__ = ["format_table", "geometric_mean", "normalise"]
+__all__ = [
+    "TENANT_TABLE_COLUMNS",
+    "format_table",
+    "format_tenant_table",
+    "geometric_mean",
+    "normalise",
+]

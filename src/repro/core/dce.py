@@ -24,7 +24,7 @@ point, :class:`~repro.sim.config.DcePolicy`).
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Deque, Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Iterator, Optional
 
 from repro.core.pim_ms import PimAwareScheduler, ScheduledAccess
 from repro.memctrl.request import MemoryRequest, RequestStream
@@ -59,6 +59,10 @@ class DataCopyEngine:
         self._done = False
         self._finish_ns = 0.0
         self.offsets: Dict[int, int] = {}
+        # Completion plumbing shared by the blocking and non-blocking paths.
+        self._result: Optional[TransferResult] = None
+        self._on_complete: Optional[Callable[[TransferResult], None]] = None
+        self._baselines: Optional[dict] = None
 
     # --------------------------------------------------------------- capacity
     @property
@@ -98,8 +102,19 @@ class DataCopyEngine:
         return self._descriptor.dram_base_addrs[access.descriptor_index] + offset
 
     # ----------------------------------------------------------------- execute
-    def execute(self, descriptor: TransferDescriptor) -> TransferResult:
-        """Run one offloaded transfer to completion and return its result."""
+    def begin(
+        self,
+        descriptor: TransferDescriptor,
+        on_complete: Optional[Callable[[TransferResult], None]] = None,
+    ) -> None:
+        """Start one offloaded transfer without blocking.
+
+        The transfer advances as the simulation engine is stepped (by
+        :meth:`execute`, or by an external loop such as the multi-tenant
+        scenario composer, which runs several engines on one clock).
+        ``on_complete`` fires -- with the finished :class:`TransferResult` --
+        once the completion interrupt has been delivered.
+        """
         if self._descriptor is not None:
             raise RuntimeError("the DCE is already executing a transfer")
         if not self.address_buffer_capacity_ok(descriptor):
@@ -117,6 +132,8 @@ class DataCopyEngine:
         self._deferred_reads.clear()
         self._retry_channels.clear()
         self._done = False
+        self._result = None
+        self._on_complete = on_complete
         self.offsets = {core: 0 for core in descriptor.pim_core_ids}
         if self.policy is DcePolicy.PIM_MS:
             self._iterator = self.scheduler.schedule(descriptor)
@@ -124,11 +141,16 @@ class DataCopyEngine:
             self._iterator = self.scheduler.schedule_serial(descriptor)
 
         start_ns = system.now
-        start_cpu_busy = system.cpu.total_core_busy_ns()
-        dram_read0, dram_write0 = system.dram.read_bytes(), system.dram.write_bytes()
-        pim_read0, pim_write0 = system.pim.read_bytes(), system.pim.write_bytes()
-        pim_channel0 = system.pim.per_channel_bytes("all")
-        dram_channel0 = system.dram.per_channel_bytes("all")
+        self._baselines = {
+            "start_ns": start_ns,
+            "cpu_busy": system.cpu.total_core_busy_ns(),
+            "dram_read": system.dram.read_bytes(),
+            "dram_write": system.dram.write_bytes(),
+            "pim_read": system.pim.read_bytes(),
+            "pim_write": system.pim.write_bytes(),
+            "pim_channel": system.pim.per_channel_bytes("all"),
+            "dram_channel": system.dram.per_channel_bytes("all"),
+        }
 
         # The single CPU thread writes the pim_mmu_op descriptor array through
         # the device driver and rings the MMIO doorbell, then sleeps.
@@ -136,32 +158,36 @@ class DataCopyEngine:
         system.cpu.record_busy_interval(start_ns, start_ns + setup_ns)
         system.engine.schedule_after(setup_ns, self._pump)
 
-        events = 0
-        while not self._done:
+    def execute(self, descriptor: TransferDescriptor) -> TransferResult:
+        """Run one offloaded transfer to completion and return its result."""
+        self.begin(descriptor)
+        system = self.system
+        while self._result is None:
             if not system.engine.step():
                 raise RuntimeError("simulation ran dry before the DCE transfer completed")
-            events += 1
+        return self._result
 
-        end_ns = self._finish_ns + self.config.interrupt_latency_ns
-        # Interrupt handling wakes the sleeping user thread briefly; advance
-        # the clock so a subsequent transfer cannot start before the interrupt
-        # of this one has been delivered.
-        system.cpu.record_busy_interval(self._finish_ns, end_ns)
-        system.engine.run(until=end_ns)
-
+    def _finalize(self) -> None:
+        """Deliver the completion interrupt and assemble the result (at ``end_ns``)."""
+        system = self.system
+        assert self._descriptor is not None and self._baselines is not None
+        descriptor, baselines = self._descriptor, self._baselines
+        end_ns = system.now
         pim_channel1 = system.pim.per_channel_bytes("all")
         dram_channel1 = system.dram.per_channel_bytes("all")
+        pim_channel0 = baselines["pim_channel"]
+        dram_channel0 = baselines["dram_channel"]
         result = TransferResult(
             descriptor=descriptor,
             design_label=system.design_point.label,
-            start_ns=start_ns,
+            start_ns=baselines["start_ns"],
             end_ns=end_ns,
-            cpu_core_busy_ns=system.cpu.total_core_busy_ns() - start_cpu_busy,
-            dce_busy_ns=end_ns - start_ns,
-            dram_read_bytes=system.dram.read_bytes() - dram_read0,
-            dram_write_bytes=system.dram.write_bytes() - dram_write0,
-            pim_read_bytes=system.pim.read_bytes() - pim_read0,
-            pim_write_bytes=system.pim.write_bytes() - pim_write0,
+            cpu_core_busy_ns=system.cpu.total_core_busy_ns() - baselines["cpu_busy"],
+            dce_busy_ns=end_ns - baselines["start_ns"],
+            dram_read_bytes=system.dram.read_bytes() - baselines["dram_read"],
+            dram_write_bytes=system.dram.write_bytes() - baselines["dram_write"],
+            pim_read_bytes=system.pim.read_bytes() - baselines["pim_read"],
+            pim_write_bytes=system.pim.write_bytes() - baselines["pim_write"],
             per_channel_pim_bytes={
                 channel: pim_channel1[channel] - pim_channel0.get(channel, 0)
                 for channel in pim_channel1
@@ -175,7 +201,10 @@ class DataCopyEngine:
         result.extra["dce_chunks"] = float(self._total_chunks)
         self._descriptor = None
         self._iterator = None
-        return result
+        self._baselines = None
+        self._result = result
+        if self._on_complete is not None:
+            self._on_complete(result)
 
     def _descriptor_setup_ns(self, descriptor: TransferDescriptor) -> float:
         """CPU time spent filling the address buffer and ringing the doorbell."""
@@ -249,6 +278,7 @@ class DataCopyEngine:
             is_write=is_write,
             stream=stream,
             pim_core_id=access.pim_core_id,
+            tenant=self._descriptor.tenant if self._descriptor is not None else None,
             on_complete=on_complete,
         )
         request.domain, request.dram_addr = self.system.decode(phys_addr)
@@ -319,6 +349,12 @@ class DataCopyEngine:
         if self._completed_chunks >= self._total_chunks:
             self._done = True
             self._finish_ns = self.system.now
+            # Interrupt handling wakes the sleeping user thread briefly;
+            # result assembly happens only once the interrupt has been
+            # delivered, so a subsequent transfer cannot start before it.
+            end_ns = self._finish_ns + self.config.interrupt_latency_ns
+            self.system.cpu.record_busy_interval(self._finish_ns, end_ns)
+            self.system.engine.schedule_at(end_ns, self._finalize)
         else:
             self._pump()
 

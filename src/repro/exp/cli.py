@@ -8,6 +8,9 @@ Subcommands
     reusing the on-disk cache, so a warm rerun executes zero simulations.
 ``repro sweep``
     Run an ad-hoc grid of transfer experiments and print the result table.
+``repro scenarios [NAME...]``
+    Run registered multi-tenant scenarios (per-tenant tables under
+    ``results/``), or an ad-hoc mix given via ``--tenants``/``--trace``.
 ``repro clean-cache``
     Delete the on-disk experiment cache (``results/.cache``).
 """
@@ -106,6 +109,74 @@ def parse_contention(text: str) -> Optional[ContentionSpec]:
     raise argparse.ArgumentTypeError(
         f"cannot parse contention {text!r}; expected 'none', 'compute:<count>' "
         "or 'memory:<count>:<intensity>'"
+    )
+
+
+def parse_tenant(text: str) -> "TenantSpec":
+    """Parse one ``--tenants`` item into a :class:`TenantSpec`.
+
+    Forms (sizes accept the usual ``512KiB``/``16MB`` suffixes; an optional
+    trailing ``:+<ns>`` delays the tenant's start):
+
+    * ``transfer:<size>[:d2p|:p2d]`` -- bulk DRAM<->PIM transfer
+    * ``memcpy:<size>``              -- multi-threaded DRAM->DRAM copy
+    * ``prim:<WORKLOAD>[:<cap>]``    -- a PrIM workload's input push
+    * ``uniform|bursty|skewed|phased:<size>`` -- synthetic trace tenant
+    """
+    from repro.scenarios.tenant import TenantSpec
+    from repro.scenarios.trace import TRACE_PATTERNS
+    from repro.workloads.prim import PRIM_WORKLOADS
+
+    parts = [part for part in text.strip().split(":") if part != ""]
+    offset_ns = 0.0
+    if len(parts) > 1 and parts[-1].startswith("+"):
+        try:
+            offset_ns = float(parts.pop()[1:])
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"cannot parse start offset in {text!r}")
+    try:
+        kind = parts[0].lower()
+        # Placeholder name; cmd_scenarios renames tenants by list position so
+        # ad-hoc spec names (and cache keys) are stable across invocations.
+        name = kind
+        if kind == "transfer" and len(parts) in (2, 3):
+            direction = TransferDirection.DRAM_TO_PIM
+            if len(parts) == 3:
+                directions = _DIRECTION_ALIASES[parts[2].lower()]
+                if len(directions) != 1:
+                    raise KeyError(parts[2])
+                direction = directions[0]
+            return TenantSpec.transfer(
+                name, parse_size(parts[1]), direction=direction,
+                start_offset_ns=offset_ns,
+            )
+        if kind == "memcpy" and len(parts) == 2:
+            return TenantSpec.memcpy(
+                name, parse_size(parts[1]), start_offset_ns=offset_ns
+            )
+        if kind == "prim" and len(parts) in (2, 3):
+            workload = parts[1].upper()
+            if workload not in PRIM_WORKLOADS:
+                raise argparse.ArgumentTypeError(
+                    f"unknown PrIM workload {parts[1]!r}; known: "
+                    + ", ".join(PRIM_WORKLOADS)
+                )
+            cap = parse_size(parts[2]) if len(parts) == 3 else 1024**2
+            return TenantSpec.prim(
+                name, workload, cap_bytes=cap, start_offset_ns=offset_ns
+            )
+        if kind in TRACE_PATTERNS and len(parts) == 2:
+            return TenantSpec.synthetic(
+                name, kind, parse_size(parts[1]), start_offset_ns=offset_ns
+            )
+    except argparse.ArgumentTypeError:
+        raise
+    except (KeyError, ValueError):
+        pass
+    raise argparse.ArgumentTypeError(
+        f"cannot parse tenant {text!r}; expected 'transfer:<size>[:d2p|p2d]', "
+        "'memcpy:<size>', 'prim:<WORKLOAD>[:<cap>]' or "
+        "'uniform|bursty|skewed|phased:<size>' (each optionally ':+<start-ns>')"
     )
 
 
@@ -238,6 +309,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(sweep)
 
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run multi-tenant scenarios (registered mixes or an ad-hoc --tenants mix)",
+    )
+    scenarios.add_argument(
+        "names",
+        nargs="*",
+        metavar="SCENARIO",
+        help="registered scenarios to run (default: all; see --list)",
+    )
+    scenarios.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    scenarios.add_argument(
+        "--tenants",
+        dest="tenants",
+        type=parse_tenant,
+        action="append",
+        help="ad-hoc tenant (repeatable): transfer:<size>[:d2p|p2d], memcpy:<size>, "
+        "prim:<WORKLOAD>[:<cap>], or uniform|bursty|skewed|phased:<size>; "
+        "append ':+<ns>' to delay the tenant's start",
+    )
+    scenarios.add_argument(
+        "--trace",
+        dest="traces",
+        type=Path,
+        action="append",
+        metavar="TRACE_FILE",
+        help="replay a recorded trace file (JSONL/CSV) as an additional tenant "
+        "(repeatable)",
+    )
+    scenarios.add_argument(
+        "--design-point",
+        type=parse_design_point,
+        default=DesignPoint.BASE_DHP,
+        help="design point for the ad-hoc --tenants/--trace mix only; registered "
+        "scenarios carry their own (default: pim-mmu)",
+    )
+    scenarios.add_argument(
+        "--no-isolated",
+        action="store_true",
+        help="skip the per-tenant isolated baseline runs (no slowdown column); "
+        "applies to registered and ad-hoc scenarios alike",
+    )
+    add_common(scenarios)
+
     clean = sub.add_parser("clean-cache", help="delete the on-disk experiment cache")
     clean.add_argument(
         "--results-dir",
@@ -353,6 +470,94 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.scenarios import (
+        SCENARIOS,
+        ScenarioSpec,
+        generate_scenarios,
+        render_scenario,
+        select_scenarios,
+    )
+    from repro.scenarios.tenant import TenantSpec
+
+    if args.list:
+        rows = [
+            {
+                "scenario": scenario.name,
+                "design": scenario.spec.design_point.label,
+                "tenants": len(scenario.spec.tenants),
+                "file": scenario.filename,
+                "description": scenario.description,
+            }
+            for scenario in SCENARIOS.values()
+        ]
+        print(
+            format_table(
+                rows, columns=["scenario", "design", "tenants", "file", "description"]
+            )
+        )
+        return 0
+
+    adhoc_tenants = list(args.tenants or [])
+    for trace_path in args.traces or []:
+        adhoc_tenants.append(TenantSpec.trace_file("replay", str(trace_path)))
+    if adhoc_tenants and args.names:
+        print(
+            "error: give registered scenario names OR an ad-hoc --tenants/--trace "
+            "mix, not both",
+            file=sys.stderr,
+        )
+        return 2
+
+    provider = _build_provider(args)
+    started = time.perf_counter()
+    if adhoc_tenants:
+        # Rename tenants by position so the spec (and its cache key) is a pure
+        # function of the command line.
+        tenants = tuple(
+            dc_replace(spec, name=f"t{index}-{spec.name}")
+            for index, spec in enumerate(adhoc_tenants)
+        )
+        spec = ScenarioSpec(
+            name="adhoc",
+            design_point=args.design_point,
+            tenants=tenants,
+            include_isolated=not args.no_isolated,
+        )
+        outcome = provider.run(spec)
+        print(render_scenario(outcome))
+    else:
+        try:
+            selected = select_scenarios(args.names)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        if args.no_isolated:
+            selected = [
+                dc_replace(
+                    scenario,
+                    spec=dc_replace(scenario.spec, include_isolated=False),
+                )
+                for scenario in selected
+            ]
+        if args.config != "paper" and args.results_dir == Path("results"):
+            # Same guard as `figures`: results/ holds the committed
+            # paper-config golden tables.
+            print(
+                "error: --config small would overwrite the paper-config tables "
+                "in results/; pass an explicit --results-dir",
+                file=sys.stderr,
+            )
+            return 2
+        paths = generate_scenarios(provider, selected, args.results_dir)
+        for path in paths:
+            print(f"wrote {path}")
+    _print_stats(provider, time.perf_counter() - started)
+    return 0
+
+
 def cmd_clean_cache(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
     cache = ResultCache(Path(cache_dir))
@@ -369,6 +574,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "figures": cmd_figures,
         "sweep": cmd_sweep,
+        "scenarios": cmd_scenarios,
         "clean-cache": cmd_clean_cache,
     }
     return handlers[args.command](args)

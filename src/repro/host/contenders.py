@@ -15,7 +15,6 @@ Two families of contenders exist:
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Protocol
 
 from repro.memctrl.request import MemoryRequest, RequestStream
@@ -92,7 +91,15 @@ class MemoryContenderThread:
         self.intensity = intensity
         self.think_time_ns = MEMORY_INTENSITY_THINK_NS[intensity]
         self.max_outstanding = max_outstanding
-        self._rng = random.Random(seed)
+        # Endless pointer-chasing stream over the private buffer (truncated to
+        # whole cache lines), shared with the scenario trace synthesisers.
+        # Imported lazily: repro.workloads pulls in repro.host at package
+        # import time, so a module-level import here would be circular.
+        from repro.workloads.streams import random_blocks
+
+        self._addresses = random_blocks(
+            buffer_base, (buffer_bytes // 64) * 64, seed=seed
+        )
         self._running = False
         self._outstanding = 0
         self.requests_issued = 0
@@ -110,14 +117,10 @@ class MemoryContenderThread:
         return False
 
     # ----------------------------------------------------------------- traffic
-    def _random_address(self) -> int:
-        blocks = self.buffer_bytes // 64
-        return self.buffer_base + self._rng.randrange(blocks) * 64
-
     def _pump(self) -> None:
         while self._running and self._outstanding < self.max_outstanding:
             request = MemoryRequest(
-                phys_addr=self._random_address(),
+                phys_addr=next(self._addresses),
                 is_write=False,
                 stream=RequestStream.CONTENDER,
                 on_complete=self._on_complete,

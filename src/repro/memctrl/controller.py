@@ -150,6 +150,16 @@ class ChannelController:
     def _finish(self, request: MemoryRequest, time_ns: float) -> None:
         if request.arrival_ns is not None:
             self._latency_hist.add(time_ns - request.arrival_ns)
+            if request.tenant is not None:
+                # Per-tenant breakdowns for the scenario composer: latency is
+                # bucketed across every channel (and both memory domains,
+                # since the registry is system-wide), bytes per direction.
+                self.stats.histogram(f"tenant/{request.tenant}/latency_ns").add(
+                    time_ns - request.arrival_ns
+                )
+                self.stats.counter(f"tenant/{request.tenant}/bytes").add(
+                    request.size_bytes
+                )
         request.complete(time_ns)
 
     # ------------------------------------------------------------------ stats

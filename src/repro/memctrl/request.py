@@ -39,6 +39,9 @@ class MemoryRequest:
     stream: RequestStream = RequestStream.OTHER
     source_id: int = 0
     pim_core_id: Optional[int] = None
+    #: Scenario tenant this request belongs to (``None`` outside multi-tenant
+    #: runs).  Controllers bucket per-tenant latency/traffic stats on it.
+    tenant: Optional[str] = None
     on_complete: Optional[Callable[["MemoryRequest"], None]] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
 

@@ -97,6 +97,16 @@ class MemorySystem:
             result[controller.channel.channel_id] = value
         return result
 
+    def queue_occupancies(self) -> Dict[int, Dict[str, int]]:
+        """Current read/write queue occupancy per channel (scenario telemetry)."""
+        return {
+            controller.channel.channel_id: {
+                "read": controller.read_queue_occupancy,
+                "write": controller.write_queue_occupancy,
+            }
+            for controller in self.controllers
+        }
+
     def bandwidth_utilization(self, elapsed_ns: float) -> float:
         """Achieved bandwidth over ``elapsed_ns`` as a fraction of the peak."""
         if elapsed_ns <= 0:

@@ -1,0 +1,79 @@
+"""Scenario subsystem: trace replay and multi-tenant workload mixes.
+
+The paper's evaluation exercises steady-state microbenchmarks and
+one-workload-at-a-time PrIM runs; this package grows the reproduction toward
+"as many scenarios as you can imagine" on top of the :mod:`repro.exp`
+orchestration layer:
+
+* :mod:`repro.scenarios.trace` -- record any simulated transfer stream to a
+  compact JSONL/CSV trace and replay it deterministically under any design
+  point (:class:`TraceRecorder`, :class:`TraceReplayer`,
+  :func:`synthesize_trace`).
+* :mod:`repro.scenarios.tenant` -- interleave N concurrent tenants (PrIM
+  workload profiles, memcpy streams, replayed traces) through the PIM-aware
+  memory scheduler with per-tenant throughput, p50/p99 transfer latency and
+  slowdown-vs-isolated stats (:class:`TenantSpec`, :func:`run_scenario`).
+* :mod:`repro.scenarios.registry` -- every scenario is a picklable
+  :class:`ScenarioSpec` that plugs into the parallel runner and the on-disk
+  experiment cache; :data:`SCENARIOS` names the built-in mixes of
+  :mod:`repro.scenarios.mixes`.
+
+Run them with ``python -m repro scenarios`` (see ``docs/scenarios.md``).
+"""
+
+from repro.scenarios.registry import (
+    SCENARIOS,
+    Scenario,
+    ScenarioSpec,
+    generate_scenarios,
+    register_scenario,
+    render_scenario,
+    select_scenarios,
+)
+from repro.scenarios.tenant import (
+    TENANT_KINDS,
+    ScenarioOutcome,
+    TenantResult,
+    TenantSpec,
+    run_scenario,
+)
+from repro.scenarios.trace import (
+    TRACE_FORMAT,
+    TRACE_PATTERNS,
+    ReplayResult,
+    Trace,
+    TraceEvent,
+    TraceRecorder,
+    TraceReplayer,
+    load_trace,
+    save_trace,
+    synthesize_trace,
+)
+
+# Importing the package registers the built-in mixes.
+from repro.scenarios import mixes as _mixes  # noqa: F401
+
+__all__ = [
+    "SCENARIOS",
+    "TENANT_KINDS",
+    "TRACE_FORMAT",
+    "TRACE_PATTERNS",
+    "ReplayResult",
+    "Scenario",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "TenantResult",
+    "TenantSpec",
+    "Trace",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceReplayer",
+    "generate_scenarios",
+    "load_trace",
+    "register_scenario",
+    "render_scenario",
+    "run_scenario",
+    "save_trace",
+    "select_scenarios",
+    "synthesize_trace",
+]

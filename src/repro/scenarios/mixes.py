@@ -1,0 +1,136 @@
+"""The built-in multi-tenant workload mixes.
+
+Each mix is a :class:`~repro.scenarios.registry.ScenarioSpec` registered under
+a stable name; ``repro scenarios --list`` enumerates them and
+``repro scenarios NAME`` regenerates the per-tenant table under ``results/``.
+The mixes are sized for the paper's Table I system (512 PIM cores) but run on
+any configuration -- a few hundred KiB to ~2 MiB per tenant keeps every
+scenario simulable in seconds while still spanning several scheduling quanta
+of interleaved traffic.
+
+The shapes are chosen to stress different sharing axes:
+
+* **solo-transfer** -- one bulk transfer, no sharing.  The determinism anchor:
+  its tenant matches the equivalent plain :class:`~repro.exp.spec.TransferSpec`
+  experiment exactly.
+* **prim-pair** -- two PrIM workloads pushing their inputs concurrently
+  (PIM-channel + DCE sharing).
+* **memcpy-vs-transfer** -- ordinary DRAM traffic against a PIM offload
+  (the HetMap story: both compete for the DRAM side).
+* **bursty-vs-stream** -- a bursty trace against a steady streamer
+  (queue-depth interference).
+* **skewed-tenants** -- three skewed-trace tenants hammering hot rows.
+* **phase-shift** -- staggered start offsets, so tenants overlap only
+  partially (arrival-pattern diversity).
+* **baseline-prim-pair** -- the prim-pair mix on the software baseline, for
+  before/after comparisons against the PIM-MMU design point.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import DesignPoint
+from repro.transfer.descriptor import TransferDirection
+
+from repro.scenarios.registry import ScenarioSpec, register_scenario
+from repro.scenarios.tenant import TenantSpec
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+register_scenario(
+    "solo-transfer",
+    "one bulk DRAM->PIM transfer on PIM-MMU (determinism anchor, no sharing)",
+    ScenarioSpec(
+        name="solo-transfer",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(TenantSpec.transfer("xfer", total_bytes=512 * KIB),),
+    ),
+)
+
+register_scenario(
+    "prim-pair",
+    "GEMV and BS push their PrIM inputs concurrently through the PIM-MMU",
+    ScenarioSpec(
+        name="prim-pair",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.prim("gemv", "GEMV", cap_bytes=512 * KIB),
+            TenantSpec.prim("bs", "BS", cap_bytes=512 * KIB),
+        ),
+    ),
+)
+
+register_scenario(
+    "memcpy-vs-transfer",
+    "an 8-thread DRAM memcpy competes with a DRAM->PIM offload for DRAM bandwidth",
+    ScenarioSpec(
+        name="memcpy-vs-transfer",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.memcpy("memcpy", total_bytes=1 * MIB),
+            TenantSpec.transfer("xfer", total_bytes=512 * KIB),
+        ),
+    ),
+)
+
+register_scenario(
+    "bursty-vs-stream",
+    "a bursty reader interferes with a steady streaming reader (queue depth)",
+    ScenarioSpec(
+        name="bursty-vs-stream",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.synthetic("bursty", "bursty", total_bytes=256 * KIB, mean_gap_ns=4.0),
+            TenantSpec.synthetic("stream", "uniform", total_bytes=256 * KIB, mean_gap_ns=8.0),
+        ),
+    ),
+)
+
+register_scenario(
+    "skewed-tenants",
+    "three skewed (hot-set) trace tenants hammer overlapping hot rows",
+    ScenarioSpec(
+        name="skewed-tenants",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.synthetic("skew-a", "skewed", total_bytes=128 * KIB, mean_gap_ns=6.0, seed=1),
+            TenantSpec.synthetic("skew-b", "skewed", total_bytes=128 * KIB, mean_gap_ns=6.0, seed=2),
+            TenantSpec.synthetic(
+                "skew-w", "skewed", total_bytes=128 * KIB, mean_gap_ns=6.0,
+                write_fraction=0.5, seed=3,
+            ),
+        ),
+    ),
+)
+
+register_scenario(
+    "phase-shift",
+    "phase-shifted tenants: a transfer starts mid-way through a phased trace",
+    ScenarioSpec(
+        name="phase-shift",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.synthetic("phased", "phased", total_bytes=256 * KIB, mean_gap_ns=6.0),
+            TenantSpec.transfer(
+                "late-xfer",
+                total_bytes=256 * KIB,
+                direction=TransferDirection.PIM_TO_DRAM,
+                start_offset_ns=200_000.0,
+            ),
+        ),
+    ),
+)
+
+register_scenario(
+    "baseline-prim-pair",
+    "the prim-pair mix on the software baseline (compare against prim-pair)",
+    ScenarioSpec(
+        name="baseline-prim-pair",
+        design_point=DesignPoint.BASELINE,
+        tenants=(
+            TenantSpec.prim("gemv", "GEMV", cap_bytes=256 * KIB),
+            TenantSpec.prim("bs", "BS", cap_bytes=256 * KIB),
+        ),
+    ),
+)

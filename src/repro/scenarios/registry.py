@@ -1,0 +1,140 @@
+"""Scenario specs and the scenario registry (the figure registry's sibling).
+
+:class:`ScenarioSpec` is an :class:`~repro.exp.spec.ExperimentSpec`: frozen,
+hashable and picklable, so scenarios plug into the exact same orchestration
+path as the paper's figures -- :class:`~repro.exp.runner.ParallelRunner`
+fan-out, the in-memory memo and the on-disk
+:class:`~repro.exp.cache.ResultCache` all work unchanged.  Running a scenario
+twice costs one simulation; ``-j N`` runs distinct scenarios in parallel and
+is bit-identical to a serial run.
+
+:data:`SCENARIOS` maps scenario names to registered entries the way
+:data:`repro.exp.figures.FIGURES` maps figure names; the ``repro scenarios``
+CLI renders each outcome as a per-tenant table under ``results/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_tenant_table
+from repro.exp.runner import ExperimentProvider
+from repro.exp.spec import ExperimentSpec
+from repro.sim.config import DesignPoint, SystemConfig
+
+from repro.scenarios.tenant import ScenarioOutcome, TenantSpec, run_scenario
+
+
+@dataclass(frozen=True)
+class ScenarioSpec(ExperimentSpec):
+    """One multi-tenant scenario as a cacheable, picklable experiment spec."""
+
+    KIND = "scenario"
+
+    name: str
+    design_point: DesignPoint
+    tenants: Tuple[TenantSpec, ...]
+    include_isolated: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        if not self.tenants:
+            raise ValueError("a scenario needs at least one tenant")
+
+    def run(self, config: SystemConfig) -> ScenarioOutcome:
+        """Execute the scenario (shared run + isolated baselines) on ``config``."""
+        return run_scenario(
+            config,
+            self.design_point,
+            self.tenants,
+            name=self.name,
+            include_isolated=self.include_isolated,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered, regenerable scenario (mirrors ``exp.figures.Figure``)."""
+
+    name: str
+    filename: str
+    description: str
+    spec: ScenarioSpec
+
+
+#: Registry of named scenarios, populated by :mod:`repro.scenarios.mixes`
+#: (imported from ``repro.scenarios.__init__``) and extensible by users.
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(
+    name: str,
+    description: str,
+    spec: ScenarioSpec,
+    filename: Optional[str] = None,
+) -> Scenario:
+    """Register a scenario under ``name`` (it then shows up in ``--list``)."""
+    if name in SCENARIOS:
+        raise ValueError(f"scenario {name!r} is already registered")
+    scenario = Scenario(
+        name=name,
+        filename=filename if filename is not None else f"scenario_{name.replace('-', '_')}.txt",
+        description=description,
+        spec=spec,
+    )
+    SCENARIOS[name] = scenario
+    return scenario
+
+
+def select_scenarios(names: Optional[Sequence[str]] = None) -> List[Scenario]:
+    """Resolve scenario names (or the full registry) to registry entries."""
+    if not names:
+        return list(SCENARIOS.values())
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown scenario(s) {unknown}; known: {known}")
+    return [SCENARIOS[name] for name in dict.fromkeys(names)]
+
+
+def render_scenario(outcome: ScenarioOutcome) -> str:
+    """Render one scenario outcome as the per-tenant text table."""
+    title = (
+        f"Scenario '{outcome.name}' on {outcome.design_label} "
+        f"({outcome.num_pim_cores} PIM cores): "
+        f"{len(outcome.tenants)} tenant(s), "
+        f"makespan {outcome.makespan_ns / 1e3:.1f} us, "
+        f"aggregate {outcome.aggregate_throughput_gbps:.2f} GB/s"
+    )
+    return format_tenant_table(outcome.rows(), title=title)
+
+
+def generate_scenarios(
+    provider: ExperimentProvider,
+    scenarios: Sequence[Scenario],
+    results_dir: Path,
+) -> List[Path]:
+    """Prefetch every scenario (in parallel, cache-aware), render and write."""
+    from repro.exp.figures import write_figure
+
+    provider.prefetch([scenario.spec for scenario in scenarios])
+    paths: List[Path] = []
+    for scenario in scenarios:
+        outcome = provider.run(scenario.spec)
+        paths.append(
+            write_figure(results_dir, scenario.filename, render_scenario(outcome))
+        )
+    return paths
+
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioSpec",
+    "generate_scenarios",
+    "register_scenario",
+    "render_scenario",
+    "select_scenarios",
+]

@@ -17,7 +17,7 @@ design points.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.hetmap import HeterogeneousMapper
 from repro.host.cpu import HostCpu
@@ -70,6 +70,8 @@ class PimSystem:
             num_cores=config.cpu.num_cores,
             quantum_ns=config.os.scheduling_quantum_ns,
         )
+        # Observers of every *accepted* memory request (trace recording).
+        self._trace_hooks: List[Callable[[MemoryRequest, float], None]] = []
 
     # ------------------------------------------------------------- addressing
     @property
@@ -106,7 +108,28 @@ class PimSystem:
             domain, dram_addr = self.decode(request.phys_addr)
             request.domain = domain
             request.dram_addr = dram_addr
-        return self.domain_system(request.domain).submit(request)
+        accepted = self.domain_system(request.domain).submit(request)
+        if accepted and self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(request, self.engine.now)
+        return accepted
+
+    def attach_trace_hook(
+        self, hook: Callable[[MemoryRequest, float], None]
+    ) -> None:
+        """Observe every accepted memory request (used by the trace recorder).
+
+        The hook fires synchronously after a request is accepted into a
+        controller queue, with ``(request, submit_time_ns)``.  Hooks must not
+        mutate the request; they exist purely for capture.
+        """
+        self._trace_hooks.append(hook)
+
+    def detach_trace_hook(
+        self, hook: Callable[[MemoryRequest, float], None]
+    ) -> None:
+        """Remove a hook registered with :meth:`attach_trace_hook`."""
+        self._trace_hooks.remove(hook)
 
     def retry_when_possible(
         self, request: MemoryRequest, callback: Callable[[], None]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.sim.config import CACHE_LINE_BYTES
 
@@ -43,6 +43,10 @@ class TransferDescriptor:
     pim_core_ids: Sequence[int]
     dram_base_addrs: Sequence[int]
     pim_heap_offset: int = 0
+    #: Scenario tenant that owns this transfer (``None`` outside multi-tenant
+    #: runs).  The transfer engines stamp it onto every memory request they
+    #: issue, which is what keys the per-tenant controller stats.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.size_per_core_bytes <= 0:
@@ -81,6 +85,7 @@ class TransferDescriptor:
         size_per_core_bytes: int,
         pim_core_ids: Sequence[int],
         pim_heap_offset: int = 0,
+        tenant: Optional[str] = None,
     ) -> "TransferDescriptor":
         """Build a descriptor for a contiguous DRAM buffer split across PIM cores.
 
@@ -97,6 +102,7 @@ class TransferDescriptor:
             pim_core_ids=tuple(pim_core_ids),
             dram_base_addrs=tuple(bases),
             pim_heap_offset=pim_heap_offset,
+            tenant=tenant,
         )
 
 

@@ -10,7 +10,7 @@ with wall time, per-channel traffic and CPU busy time.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.host.os_scheduler import SchedulableThread
 from repro.mapping.partition import pim_core_coordinates
@@ -42,11 +42,19 @@ def _interleave(primary: Sequence, secondary: Sequence) -> List:
 class SoftwareTransferEngine:
     """Runs baseline (CPU-orchestrated) DRAM<->PIM transfers on a system."""
 
-    def __init__(self, system: PimSystem) -> None:
+    def __init__(self, system: PimSystem, stop_scheduler_on_finish: bool = True) -> None:
+        # The multi-tenant scenario composer runs several engines on one OS
+        # scheduler and passes False, so one tenant finishing cannot preempt
+        # the copy threads of the others.
         self.system = system
+        self.stop_scheduler_on_finish = stop_scheduler_on_finish
         self._finished_threads = 0
         self._total_threads = 0
         self._last_finish_ns = 0.0
+        self._descriptor: Optional[TransferDescriptor] = None
+        self._baselines: Optional[Dict[str, object]] = None
+        self._result: Optional[TransferResult] = None
+        self._on_complete: Optional[Callable[[TransferResult], None]] = None
 
     # ----------------------------------------------------------------- helpers
     def _thread_order(self, threads: List[SoftwareCopyThread]) -> List[SoftwareCopyThread]:
@@ -74,27 +82,42 @@ class SoftwareTransferEngine:
     def _on_thread_finished(self, thread: SoftwareCopyThread) -> None:
         self._finished_threads += 1
         self._last_finish_ns = max(self._last_finish_ns, self.system.now)
+        if self._finished_threads >= self._total_threads and self._result is None:
+            self._finalize()
 
     # ----------------------------------------------------------------- execute
-    def execute(
+    def begin(
         self,
         descriptor: TransferDescriptor,
         contenders: Sequence[SchedulableThread] = (),
-        max_events: Optional[int] = None,
-    ) -> TransferResult:
-        """Run the transfer to completion and return its result.
+        on_complete: Optional[Callable[[TransferResult], None]] = None,
+    ) -> None:
+        """Start the transfer without blocking.
 
-        ``contenders`` are co-located threads that share the CPU run queue
-        (Figure 13); they keep running until the measured transfer completes,
-        at which point the scheduler is stopped.
+        Work advances as the simulation engine is stepped (by :meth:`execute`
+        or by an external loop such as the multi-tenant scenario composer);
+        ``on_complete`` fires with the finished result as soon as the last
+        copy thread completes.  ``contenders`` are co-located threads that
+        share the CPU run queue (Figure 13); they keep running until the
+        measured transfer completes, at which point the scheduler is stopped.
         """
+        if self._descriptor is not None:
+            raise RuntimeError("the engine is already executing a transfer")
         system = self.system
         start_ns = system.now
-        start_cpu_busy = system.cpu.total_core_busy_ns()
-        dram_read0, dram_write0 = system.dram.read_bytes(), system.dram.write_bytes()
-        pim_read0, pim_write0 = system.pim.read_bytes(), system.pim.write_bytes()
-        pim_channel0 = system.pim.per_channel_bytes("all")
-        dram_channel0 = system.dram.per_channel_bytes("all")
+        self._descriptor = descriptor
+        self._on_complete = on_complete
+        self._result = None
+        self._baselines = {
+            "start_ns": start_ns,
+            "cpu_busy": system.cpu.total_core_busy_ns(),
+            "dram_read": system.dram.read_bytes(),
+            "dram_write": system.dram.write_bytes(),
+            "pim_read": system.pim.read_bytes(),
+            "pim_write": system.pim.write_bytes(),
+            "pim_channel": system.pim.per_channel_bytes("all"),
+            "dram_channel": system.dram.per_channel_bytes("all"),
+        }
 
         copy_threads = [
             SoftwareCopyThread(
@@ -105,6 +128,7 @@ class SoftwareTransferEngine:
                 size_bytes=descriptor.size_per_core_bytes,
                 pim_heap_offset=descriptor.pim_heap_offset,
                 on_finished=self._on_thread_finished,
+                tenant=descriptor.tenant,
             )
             for core_id, base in zip(descriptor.pim_core_ids, descriptor.dram_base_addrs)
         ]
@@ -117,23 +141,19 @@ class SoftwareTransferEngine:
             system.scheduler.add_thread(thread)
         system.scheduler.start()
 
-        events = 0
-        while self._finished_threads < self._total_threads:
-            if max_events is not None and events >= max_events:
-                raise RuntimeError(
-                    "software transfer did not complete within the event budget; "
-                    "likely a backpressure deadlock"
-                )
-            if not system.engine.step():
-                raise RuntimeError(
-                    "simulation ran out of events before the transfer completed"
-                )
-            events += 1
-        system.scheduler.stop()
+    def _finalize(self) -> None:
+        """Stop the scheduler and assemble the result (last copy thread done)."""
+        system = self.system
+        assert self._descriptor is not None and self._baselines is not None
+        descriptor, baselines = self._descriptor, self._baselines
+        if self.stop_scheduler_on_finish:
+            system.scheduler.stop()
 
         end_ns = self._last_finish_ns
         pim_channel1 = system.pim.per_channel_bytes("all")
         dram_channel1 = system.dram.per_channel_bytes("all")
+        pim_channel0 = baselines["pim_channel"]
+        dram_channel0 = baselines["dram_channel"]
         per_channel_pim: Dict[int, int] = {
             channel: pim_channel1[channel] - pim_channel0.get(channel, 0)
             for channel in pim_channel1
@@ -145,13 +165,13 @@ class SoftwareTransferEngine:
         result = TransferResult(
             descriptor=descriptor,
             design_label=system.design_point.label,
-            start_ns=start_ns,
+            start_ns=baselines["start_ns"],
             end_ns=end_ns,
-            cpu_core_busy_ns=system.cpu.total_core_busy_ns() - start_cpu_busy,
-            dram_read_bytes=system.dram.read_bytes() - dram_read0,
-            dram_write_bytes=system.dram.write_bytes() - dram_write0,
-            pim_read_bytes=system.pim.read_bytes() - pim_read0,
-            pim_write_bytes=system.pim.write_bytes() - pim_write0,
+            cpu_core_busy_ns=system.cpu.total_core_busy_ns() - baselines["cpu_busy"],
+            dram_read_bytes=system.dram.read_bytes() - baselines["dram_read"],
+            dram_write_bytes=system.dram.write_bytes() - baselines["dram_write"],
+            pim_read_bytes=system.pim.read_bytes() - baselines["pim_read"],
+            pim_write_bytes=system.pim.write_bytes() - baselines["pim_write"],
             per_channel_pim_bytes=per_channel_pim,
             per_channel_dram_bytes=per_channel_dram,
         )
@@ -159,7 +179,34 @@ class SoftwareTransferEngine:
             2 * descriptor.total_bytes // 64
         )  # load + store stream through the core/caches
         result.extra["direction"] = 1.0 if descriptor.direction is TransferDirection.DRAM_TO_PIM else 0.0
-        return result
+        self._descriptor = None
+        self._baselines = None
+        self._result = result
+        if self._on_complete is not None:
+            self._on_complete(result)
+
+    def execute(
+        self,
+        descriptor: TransferDescriptor,
+        contenders: Sequence[SchedulableThread] = (),
+        max_events: Optional[int] = None,
+    ) -> TransferResult:
+        """Run the transfer to completion and return its result."""
+        self.begin(descriptor, contenders=contenders)
+        system = self.system
+        events = 0
+        while self._result is None:
+            if max_events is not None and events >= max_events:
+                raise RuntimeError(
+                    "software transfer did not complete within the event budget; "
+                    "likely a backpressure deadlock"
+                )
+            if not system.engine.step():
+                raise RuntimeError(
+                    "simulation ran out of events before the transfer completed"
+                )
+            events += 1
+        return self._result
 
 
 __all__ = ["SoftwareTransferEngine"]

@@ -40,6 +40,7 @@ class SoftwareCopyThread:
         pim_heap_offset: int = 0,
         on_finished: Optional[Callable[["SoftwareCopyThread"], None]] = None,
         name: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         if size_bytes % CACHE_LINE_BYTES != 0:
             raise ValueError("size_bytes must be a multiple of the 64 B chunk size")
@@ -51,6 +52,7 @@ class SoftwareCopyThread:
         self.pim_heap_offset = pim_heap_offset
         self.on_finished = on_finished
         self.name = name if name is not None else f"copy-dpu{pim_core_id}"
+        self.tenant = tenant
 
         cpu_config = system.config.cpu
         self.max_outstanding = cpu_config.transfer_outstanding_per_thread
@@ -113,6 +115,7 @@ class SoftwareCopyThread:
                 is_write=False,
                 stream=RequestStream.TRANSFER_READ,
                 pim_core_id=self.pim_core_id,
+                tenant=self.tenant,
                 on_complete=lambda req, c=chunk: self._on_read_complete(c),
             )
             if not self.system.submit(request):
@@ -151,6 +154,7 @@ class SoftwareCopyThread:
             is_write=True,
             stream=RequestStream.TRANSFER_WRITE,
             pim_core_id=self.pim_core_id,
+            tenant=self.tenant,
             on_complete=lambda req: self._on_write_complete(),
         )
         if not self.system.submit(request):

@@ -32,6 +32,7 @@ class MemcpyThread:
         size_bytes: int,
         on_finished: Optional[Callable[["MemcpyThread"], None]] = None,
         name: str = "memcpy",
+        tenant: Optional[str] = None,
     ) -> None:
         if size_bytes % CACHE_LINE_BYTES != 0:
             raise ValueError("size_bytes must be a multiple of 64")
@@ -41,6 +42,7 @@ class MemcpyThread:
         self.size_bytes = size_bytes
         self.on_finished = on_finished
         self.name = name
+        self.tenant = tenant
         cpu = system.config.cpu
         self.max_outstanding = cpu.streaming_outstanding_per_thread
         # Plain memcpy has no transpose stage; only address generation and the
@@ -83,6 +85,7 @@ class MemcpyThread:
                 phys_addr=self.src_base + chunk * CACHE_LINE_BYTES,
                 is_write=False,
                 stream=RequestStream.MEMCPY_READ,
+                tenant=self.tenant,
                 on_complete=lambda req, c=chunk: self._on_read_complete(c),
             )
             if not self.system.submit(request):
@@ -117,6 +120,7 @@ class MemcpyThread:
             phys_addr=self.dst_base + chunk * CACHE_LINE_BYTES,
             is_write=True,
             stream=RequestStream.MEMCPY_WRITE,
+            tenant=self.tenant,
             on_complete=lambda req: self._on_write_complete(),
         )
         if not self.system.submit(request):
@@ -152,19 +156,49 @@ class MemcpyThread:
 class MemcpyEngine:
     """Runs a multi-threaded DRAM->DRAM copy and reports its DRAM throughput."""
 
-    def __init__(self, system: PimSystem, num_threads: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        system: PimSystem,
+        num_threads: Optional[int] = None,
+        tenant: Optional[str] = None,
+        stop_scheduler_on_finish: bool = True,
+    ) -> None:
+        # The multi-tenant scenario composer runs several engines on one OS
+        # scheduler and passes stop_scheduler_on_finish=False, so one tenant
+        # finishing cannot preempt the copy threads of the others.
         self.system = system
         self.num_threads = (
             num_threads if num_threads is not None else system.config.cpu.num_cores
         )
+        self.tenant = tenant
+        self.stop_scheduler_on_finish = stop_scheduler_on_finish
         self._finished = 0
+        self._total_threads = 0
+        self._last_finish_ns = 0.0
+        self._baselines: Optional[dict] = None
+        self._result: Optional[TransferResult] = None
+        self._on_complete: Optional[Callable[[TransferResult], None]] = None
 
     def _on_finished(self, thread: MemcpyThread) -> None:
         self._finished += 1
         self._last_finish_ns = max(self._last_finish_ns, self.system.now)
+        if self._finished >= self._total_threads and self._result is None:
+            self._finalize()
 
-    def execute(self, src_base: int, dst_base: int, total_bytes: int) -> TransferResult:
-        """Copy ``total_bytes`` from ``src_base`` to ``dst_base`` using all threads."""
+    def begin(
+        self,
+        src_base: int,
+        dst_base: int,
+        total_bytes: int,
+        on_complete: Optional[Callable[[TransferResult], None]] = None,
+    ) -> None:
+        """Start the copy without blocking (see :meth:`execute` for semantics).
+
+        Work advances as the simulation engine is stepped; ``on_complete``
+        fires with the finished result when the last copy thread completes.
+        """
+        if self._baselines is not None:
+            raise RuntimeError("the engine is already executing a copy")
         if total_bytes % (self.num_threads * CACHE_LINE_BYTES) != 0:
             raise ValueError(
                 "total_bytes must divide evenly across threads in 64 B chunks"
@@ -172,9 +206,17 @@ class MemcpyEngine:
         system = self.system
         slice_bytes = total_bytes // self.num_threads
         start_ns = system.now
-        dram_read0, dram_write0 = system.dram.read_bytes(), system.dram.write_bytes()
-        dram_channel0 = system.dram.per_channel_bytes("all")
-        cpu_busy0 = system.cpu.total_core_busy_ns()
+        self._baselines = {
+            "start_ns": start_ns,
+            "src_base": src_base,
+            "total_bytes": total_bytes,
+            "dram_read": system.dram.read_bytes(),
+            "dram_write": system.dram.write_bytes(),
+            "dram_channel": system.dram.per_channel_bytes("all"),
+            "cpu_busy": system.cpu.total_core_busy_ns(),
+        }
+        self._result = None
+        self._on_complete = on_complete
         self._finished = 0
         self._last_finish_ns = start_ns
         threads = [
@@ -185,42 +227,62 @@ class MemcpyEngine:
                 size_bytes=slice_bytes,
                 on_finished=self._on_finished,
                 name=f"memcpy-{index}",
+                tenant=self.tenant,
             )
             for index in range(self.num_threads)
         ]
+        self._total_threads = len(threads)
         for thread in threads:
             system.scheduler.add_thread(thread)
         system.scheduler.start()
-        while self._finished < len(threads):
-            if not system.engine.step():
-                raise RuntimeError("simulation ran dry before memcpy completed")
-        system.scheduler.stop()
+
+    def _finalize(self) -> None:
+        system = self.system
+        assert self._baselines is not None
+        baselines = self._baselines
+        if self.stop_scheduler_on_finish:
+            system.scheduler.stop()
         end_ns = self._last_finish_ns
 
         dram_channel1 = system.dram.per_channel_bytes("all")
+        dram_channel0 = baselines["dram_channel"]
         # memcpy is described with a synthetic single-core-id descriptor purely
         # so it can reuse TransferResult; it never touches the PIM domain.
         descriptor = TransferDescriptor(
             direction=TransferDirection.DRAM_TO_PIM,
-            size_per_core_bytes=total_bytes,
+            size_per_core_bytes=baselines["total_bytes"],
             pim_core_ids=(0,),
-            dram_base_addrs=(src_base,),
+            dram_base_addrs=(baselines["src_base"],),
+            tenant=self.tenant,
         )
         result = TransferResult(
             descriptor=descriptor,
             design_label=system.design_point.label,
-            start_ns=start_ns,
+            start_ns=baselines["start_ns"],
             end_ns=end_ns,
-            cpu_core_busy_ns=system.cpu.total_core_busy_ns() - cpu_busy0,
-            dram_read_bytes=system.dram.read_bytes() - dram_read0,
-            dram_write_bytes=system.dram.write_bytes() - dram_write0,
+            cpu_core_busy_ns=system.cpu.total_core_busy_ns() - baselines["cpu_busy"],
+            dram_read_bytes=system.dram.read_bytes() - baselines["dram_read"],
+            dram_write_bytes=system.dram.write_bytes() - baselines["dram_write"],
             per_channel_dram_bytes={
                 channel: dram_channel1[channel] - dram_channel0.get(channel, 0)
                 for channel in dram_channel1
             },
         )
-        result.extra["llc_accesses"] = float(2 * total_bytes // CACHE_LINE_BYTES)
-        return result
+        result.extra["llc_accesses"] = float(
+            2 * baselines["total_bytes"] // CACHE_LINE_BYTES
+        )
+        self._baselines = None
+        self._result = result
+        if self._on_complete is not None:
+            self._on_complete(result)
+
+    def execute(self, src_base: int, dst_base: int, total_bytes: int) -> TransferResult:
+        """Copy ``total_bytes`` from ``src_base`` to ``dst_base`` using all threads."""
+        self.begin(src_base, dst_base, total_bytes)
+        while self._result is None:
+            if not self.system.engine.step():
+                raise RuntimeError("simulation ran dry before memcpy completed")
+        return self._result
 
 
 __all__ = ["MemcpyEngine", "MemcpyThread"]

@@ -16,6 +16,7 @@ from typing import Iterator, Optional
 from repro.memctrl.request import MemoryRequest, RequestStream
 from repro.sim.config import CACHE_LINE_BYTES
 from repro.system import PimSystem
+from repro.workloads.streams import sequential_blocks, strided_blocks
 
 
 class AccessPattern(enum.Enum):
@@ -33,25 +34,13 @@ def pattern_addresses(
 ) -> Iterator[int]:
     """Generate the block addresses of a pattern over ``[base, base+total_bytes)``.
 
-    The strided pattern walks the buffer with ``stride_bytes`` hops and wraps
-    with an offset, touching every cache line exactly once (the classic
-    column-major walk of a row-major matrix).
+    The address arithmetic lives in :mod:`repro.workloads.streams` (shared
+    with the scenario trace synthesisers); this wrapper only maps the Figure 8
+    pattern enum onto the right generator.
     """
-    if total_bytes % CACHE_LINE_BYTES != 0:
-        raise ValueError("total_bytes must be a multiple of 64")
-    num_blocks = total_bytes // CACHE_LINE_BYTES
     if pattern is AccessPattern.SEQUENTIAL:
-        for index in range(num_blocks):
-            yield base + index * CACHE_LINE_BYTES
-        return
-    stride_blocks = max(1, stride_bytes // CACHE_LINE_BYTES)
-    emitted = 0
-    for offset in range(stride_blocks):
-        index = offset
-        while index < num_blocks and emitted < num_blocks:
-            yield base + index * CACHE_LINE_BYTES
-            index += stride_blocks
-            emitted += 1
+        return sequential_blocks(base, total_bytes)
+    return strided_blocks(base, total_bytes, stride_bytes)
 
 
 @dataclass

@@ -1,0 +1,166 @@
+"""Reusable, deterministic address-stream generators.
+
+Every traffic source in the reproduction ultimately walks a sequence of 64 B
+cache-line addresses: the software copy threads walk their DRAM slice
+sequentially, the Figure 8 probe walks sequential/strided patterns, the
+Figure 13 memory contenders stream or pointer-chase through a private buffer.
+This module extracts those idioms into one set of generator functions so new
+traffic shapes (the :mod:`repro.scenarios` trace synthesisers, ad-hoc tenant
+workloads) can be composed without re-deriving the address arithmetic.
+
+All generators are **deterministic**: randomised streams take an explicit
+``seed`` and draw from a private :class:`random.Random`, so the same arguments
+always produce the same stream -- a requirement for the experiment cache and
+for replay-twice bit-identity.
+
+Address generators yield physical block addresses (64 B aligned).  Timing is
+modelled separately by :func:`interarrival_times`, which turns a mean issue
+rate plus an optional on/off burst phase into a deterministic sequence of
+inter-arrival gaps; combining the two yields a full synthetic trace (see
+:func:`repro.scenarios.trace.synthesize_trace`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.sim.config import CACHE_LINE_BYTES
+
+
+def _check_block_count(total_bytes: int) -> int:
+    if total_bytes <= 0 or total_bytes % CACHE_LINE_BYTES != 0:
+        raise ValueError(
+            f"total_bytes must be a positive multiple of {CACHE_LINE_BYTES}, "
+            f"got {total_bytes}"
+        )
+    return total_bytes // CACHE_LINE_BYTES
+
+
+def sequential_blocks(base: int, total_bytes: int) -> Iterator[int]:
+    """Walk ``[base, base+total_bytes)`` one cache line at a time (streaming copy)."""
+    for index in range(_check_block_count(total_bytes)):
+        yield base + index * CACHE_LINE_BYTES
+
+
+def strided_blocks(base: int, total_bytes: int, stride_bytes: int = 4096) -> Iterator[int]:
+    """Walk the buffer with ``stride_bytes`` hops, wrapping with an offset.
+
+    Touches every cache line exactly once -- the classic column-major walk of
+    a row-major matrix (the paper's Figure 8 "strided" pattern).
+    """
+    num_blocks = _check_block_count(total_bytes)
+    stride_blocks_count = max(1, stride_bytes // CACHE_LINE_BYTES)
+    emitted = 0
+    for offset in range(stride_blocks_count):
+        index = offset
+        while index < num_blocks and emitted < num_blocks:
+            yield base + index * CACHE_LINE_BYTES
+            index += stride_blocks_count
+            emitted += 1
+
+
+def random_blocks(
+    base: int, total_bytes: int, count: Optional[int] = None, seed: int = 0
+) -> Iterator[int]:
+    """Uniformly random cache-line addresses inside the buffer.
+
+    This is the pointer-chasing idiom of the Figure 13 memory contenders
+    (:class:`repro.host.contenders.MemoryContenderThread` draws from it):
+    addresses repeat and jump arbitrarily, defeating row-buffer locality.
+    ``count=None`` yields an endless stream, for open-ended traffic sources
+    that run until the experiment stops them.
+    """
+    num_blocks = _check_block_count(total_bytes)
+    rng = random.Random(seed)
+    emitted = 0
+    while count is None or emitted < count:
+        yield base + rng.randrange(num_blocks) * CACHE_LINE_BYTES
+        emitted += 1
+
+
+def skewed_blocks(
+    base: int,
+    total_bytes: int,
+    count: int,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    seed: int = 0,
+) -> Iterator[int]:
+    """``count`` addresses with a hot-set skew (an 80/20-style distribution).
+
+    ``hot_weight`` of the accesses land in the first ``hot_fraction`` of the
+    buffer; the rest are uniform over the remainder.  Models skewed key/value
+    traffic, where a small working set absorbs most accesses.
+    """
+    if not 0.0 < hot_fraction < 1.0:
+        raise ValueError("hot_fraction must be within (0, 1)")
+    if not 0.0 <= hot_weight <= 1.0:
+        raise ValueError("hot_weight must be within [0, 1]")
+    num_blocks = _check_block_count(total_bytes)
+    hot_blocks = max(1, int(num_blocks * hot_fraction))
+    cold_blocks = max(1, num_blocks - hot_blocks)
+    rng = random.Random(seed)
+    for _ in range(count):
+        if rng.random() < hot_weight:
+            index = rng.randrange(hot_blocks)
+        else:
+            index = hot_blocks + rng.randrange(cold_blocks)
+        yield base + min(index, num_blocks - 1) * CACHE_LINE_BYTES
+
+
+def interleaved_blocks(streams: Sequence[Iterator[int]]) -> Iterator[int]:
+    """Round-robin merge of several address streams until all are exhausted."""
+    active: List[Iterator[int]] = list(streams)
+    while active:
+        still_active: List[Iterator[int]] = []
+        for stream in active:
+            address = next(stream, None)
+            if address is None:
+                continue
+            yield address
+            still_active.append(stream)
+        active = still_active
+
+
+def interarrival_times(
+    count: int,
+    mean_gap_ns: float,
+    burst_length: int = 0,
+    idle_gap_ns: float = 0.0,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> Iterator[float]:
+    """Deterministic inter-arrival gaps for ``count`` accesses.
+
+    * Steady traffic: ``interarrival_times(n, gap)`` yields ``gap`` n times.
+    * Bursty traffic: with ``burst_length`` > 0, every ``burst_length``-th
+      access is followed by an additional ``idle_gap_ns`` off-phase, producing
+      the on/off envelope of bursty producers.
+    * ``jitter`` (0..1) perturbs each gap by up to ``+-jitter * gap`` using a
+      seeded RNG, so the stream stays deterministic.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if mean_gap_ns < 0 or idle_gap_ns < 0:
+        raise ValueError("gaps must be non-negative")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be within [0, 1]")
+    rng = random.Random(seed)
+    for index in range(count):
+        gap = mean_gap_ns
+        if jitter > 0.0:
+            gap *= 1.0 + jitter * (2.0 * rng.random() - 1.0)
+        if burst_length > 0 and index > 0 and index % burst_length == 0:
+            gap += idle_gap_ns
+        yield gap
+
+
+__all__ = [
+    "interarrival_times",
+    "interleaved_blocks",
+    "random_blocks",
+    "sequential_blocks",
+    "skewed_blocks",
+    "strided_blocks",
+]

@@ -169,6 +169,37 @@ class TestMemorySystem:
         with pytest.raises(ValueError):
             system.per_channel_bytes("sideways")
 
+    def test_queue_occupancies_reflect_pending_requests(self, engine, stats):
+        system = MemorySystem(engine, GEOMETRY, MemCtrlConfig(), stats, name="dram")
+        mapping = locality_centric_mapping(GEOMETRY)
+        occupancies = system.queue_occupancies()
+        assert set(occupancies) == set(range(GEOMETRY.channels))
+        assert all(entry == {"read": 0, "write": 0} for entry in occupancies.values())
+        # Locality-centric mapping keeps consecutive lines on one channel.
+        system.submit(decoded_request(mapping, 0))
+        system.submit(decoded_request(mapping, 64))
+        system.submit(decoded_request(mapping, 128, is_write=True))
+        busy = system.queue_occupancies()
+        assert sum(entry["read"] for entry in busy.values()) == 2
+        assert sum(entry["write"] for entry in busy.values()) == 1
+        engine.run()
+        drained = system.queue_occupancies()
+        assert all(entry == {"read": 0, "write": 0} for entry in drained.values())
+
+    def test_per_tenant_latency_and_bytes_are_bucketed(self, engine, stats):
+        system = MemorySystem(engine, GEOMETRY, MemCtrlConfig(), stats, name="dram")
+        mapping = locality_centric_mapping(GEOMETRY)
+        for index, tenant in enumerate(("a", "a", "b", None)):
+            request = decoded_request(mapping, index * 64)
+            request.tenant = tenant
+            assert system.submit(request)
+        engine.run()
+        assert stats.histogram("tenant/a/latency_ns").count == 2
+        assert stats.histogram("tenant/b/latency_ns").count == 1
+        assert stats.counter("tenant/a/bytes").value == 128
+        assert stats.counter("tenant/b/bytes").value == 64
+        assert "tenant/None/latency_ns" not in stats.histograms
+
     def test_is_idle_tracks_all_controllers(self, engine, stats):
         system = MemorySystem(engine, GEOMETRY, MemCtrlConfig(), stats, name="dram")
         mapping = locality_centric_mapping(GEOMETRY)

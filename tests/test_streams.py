@@ -1,0 +1,92 @@
+"""Tests for the reusable address/timing stream generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import CACHE_LINE_BYTES
+from repro.workloads.streams import (
+    interarrival_times,
+    interleaved_blocks,
+    random_blocks,
+    sequential_blocks,
+    skewed_blocks,
+    strided_blocks,
+)
+
+KIB = 1024
+
+
+class TestAddressStreams:
+    def test_sequential_covers_every_line_in_order(self):
+        addresses = list(sequential_blocks(4096, 4 * CACHE_LINE_BYTES))
+        assert addresses == [4096, 4160, 4224, 4288]
+
+    def test_strided_touches_every_line_exactly_once(self):
+        addresses = list(strided_blocks(0, 8 * KIB, stride_bytes=1 * KIB))
+        assert len(addresses) == 8 * KIB // CACHE_LINE_BYTES
+        assert len(set(addresses)) == len(addresses)
+        assert addresses[1] - addresses[0] == 1 * KIB
+
+    def test_unaligned_totals_are_rejected(self):
+        with pytest.raises(ValueError):
+            list(sequential_blocks(0, 100))
+        with pytest.raises(ValueError):
+            list(random_blocks(0, 0, count=4))
+
+    def test_random_blocks_are_deterministic_per_seed(self):
+        first = list(random_blocks(0, 64 * KIB, count=32, seed=7))
+        second = list(random_blocks(0, 64 * KIB, count=32, seed=7))
+        other = list(random_blocks(0, 64 * KIB, count=32, seed=8))
+        assert first == second
+        assert first != other
+        assert all(0 <= addr < 64 * KIB for addr in first)
+        assert all(addr % CACHE_LINE_BYTES == 0 for addr in first)
+
+    def test_skewed_blocks_concentrate_on_the_hot_set(self):
+        addresses = list(
+            skewed_blocks(0, 64 * KIB, count=1000, hot_fraction=0.1, hot_weight=0.9, seed=1)
+        )
+        hot_boundary = int((64 * KIB // CACHE_LINE_BYTES) * 0.1) * CACHE_LINE_BYTES
+        hot_hits = sum(1 for addr in addresses if addr < hot_boundary)
+        assert hot_hits > 800  # ~90 % expected
+        assert list(
+            skewed_blocks(0, 64 * KIB, count=1000, hot_fraction=0.1, hot_weight=0.9, seed=1)
+        ) == addresses
+
+    def test_skewed_blocks_validate_parameters(self):
+        with pytest.raises(ValueError):
+            list(skewed_blocks(0, 64 * KIB, count=1, hot_fraction=1.5))
+        with pytest.raises(ValueError):
+            list(skewed_blocks(0, 64 * KIB, count=1, hot_weight=-0.1))
+
+    def test_interleaved_blocks_round_robins_until_exhaustion(self):
+        a = sequential_blocks(0, 3 * CACHE_LINE_BYTES)
+        b = sequential_blocks(4096, 1 * CACHE_LINE_BYTES)
+        merged = list(interleaved_blocks([a, b]))
+        assert merged == [0, 4096, 64, 128]
+
+
+class TestInterarrivalTimes:
+    def test_steady_rate(self):
+        gaps = list(interarrival_times(4, 10.0))
+        assert gaps == [10.0, 10.0, 10.0, 10.0]
+
+    def test_bursts_insert_idle_gaps(self):
+        gaps = list(interarrival_times(8, 2.0, burst_length=4, idle_gap_ns=100.0))
+        assert gaps[4] == 102.0
+        assert gaps[:4] == [2.0, 2.0, 2.0, 2.0]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        gaps = list(interarrival_times(100, 10.0, jitter=0.5, seed=3))
+        assert gaps == list(interarrival_times(100, 10.0, jitter=0.5, seed=3))
+        assert all(5.0 <= gap <= 15.0 for gap in gaps)
+        assert len(set(gaps)) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(interarrival_times(-1, 1.0))
+        with pytest.raises(ValueError):
+            list(interarrival_times(1, -1.0))
+        with pytest.raises(ValueError):
+            list(interarrival_times(1, 1.0, jitter=2.0))

@@ -1,0 +1,218 @@
+"""Tests for trace recording, on-disk formats, synthesis and replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memctrl.request import RequestStream
+from repro.scenarios.trace import (
+    Trace,
+    TraceEvent,
+    TraceRecorder,
+    TraceReplayer,
+    load_trace,
+    save_trace,
+    synthesize_trace,
+)
+from repro.sim.config import DesignPoint, SystemConfig
+from repro.system import build_system
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+from repro.upmem_runtime.engine import SoftwareTransferEngine
+
+KIB = 1024
+
+
+def small_trace() -> Trace:
+    return Trace(
+        events=(
+            TraceEvent(time_ns=0.0, phys_addr=0, is_write=False),
+            TraceEvent(time_ns=12.5, phys_addr=64, is_write=True, tenant="a"),
+            TraceEvent(time_ns=40.0, phys_addr=4096, is_write=False, size_bytes=64),
+        ),
+        meta=(("source", "test"),),
+    )
+
+
+class TestTraceContainer:
+    def test_duration_and_totals(self):
+        trace = small_trace()
+        assert trace.duration_ns == 40.0
+        assert trace.total_bytes == 3 * 64
+        assert len(trace) == 3
+
+    def test_normalized_shifts_to_zero(self):
+        shifted = Trace(
+            events=tuple(
+                TraceEvent(time_ns=100.0 + i, phys_addr=i * 64, is_write=False)
+                for i in range(3)
+            )
+        )
+        normalized = shifted.normalized()
+        assert normalized.events[0].time_ns == 0.0
+        assert normalized.events[-1].time_ns == 2.0
+
+    def test_out_of_order_events_are_canonicalised_to_issue_order(self, small_config):
+        # Hand-edited / externally sorted trace files must still replay: the
+        # container restores issue order with a stable time sort.
+        scrambled = Trace(
+            events=(
+                TraceEvent(time_ns=100.0, phys_addr=128, is_write=False),
+                TraceEvent(time_ns=0.0, phys_addr=0, is_write=False),
+                TraceEvent(time_ns=50.0, phys_addr=64, is_write=False),
+            )
+        )
+        assert [event.time_ns for event in scrambled.events] == [0.0, 50.0, 100.0]
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        result = TraceReplayer(system, scrambled).execute()
+        assert result.completed == 3
+
+    def test_retagged_relabels_every_event(self):
+        retagged = small_trace().retagged("tenant-x")
+        assert all(event.tenant == "tenant-x" for event in retagged.events)
+
+    def test_stable_digest_changes_with_content(self):
+        trace = small_trace()
+        assert trace.stable_digest() == small_trace().stable_digest()
+        other = Trace(events=trace.events[:2])
+        assert other.stable_digest() != trace.stable_digest()
+
+
+class TestOnDiskFormats:
+    @pytest.mark.parametrize("suffix", [".jsonl", ".csv"])
+    def test_roundtrip(self, tmp_path, suffix):
+        trace = small_trace()
+        path = save_trace(trace, tmp_path / f"trace{suffix}")
+        loaded = load_trace(path)
+        assert loaded.events == trace.events
+
+    def test_jsonl_header_is_validated(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError):
+            load_trace(bogus)
+        not_json = tmp_path / "not.jsonl"
+        not_json.write_text("hello\n")
+        with pytest.raises(ValueError):
+            load_trace(not_json)
+
+    def test_csv_columns_are_validated(self, tmp_path):
+        bogus = tmp_path / "bogus.csv"
+        bogus.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_trace(bogus)
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("pattern", ["uniform", "bursty", "skewed", "phased"])
+    def test_patterns_are_deterministic(self, pattern):
+        first = synthesize_trace(pattern, total_bytes=16 * KIB, seed=5)
+        second = synthesize_trace(pattern, total_bytes=16 * KIB, seed=5)
+        assert first.events == second.events
+        assert len(first) == 16 * KIB // 64
+        times = [event.time_ns for event in first.events]
+        assert times == sorted(times)
+
+    def test_write_fraction_marks_writes(self):
+        trace = synthesize_trace(
+            "uniform", total_bytes=16 * KIB, write_fraction=0.25
+        )
+        writes = sum(1 for event in trace.events if event.is_write)
+        assert writes == len(trace) // 4
+
+    def test_unknown_pattern_is_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_trace("fractal", total_bytes=16 * KIB)
+
+
+class TestRecorder:
+    def test_recorder_captures_a_software_transfer(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = TransferDescriptor.contiguous(
+            TransferDirection.DRAM_TO_PIM,
+            dram_base=0,
+            size_per_core_bytes=256,
+            pim_core_ids=range(4),
+        )
+        with TraceRecorder(system) as recorder:
+            SoftwareTransferEngine(system).execute(descriptor)
+        trace = recorder.trace()
+        # One read + one write per 64 B chunk.
+        assert len(trace) == 2 * descriptor.total_bytes // 64
+        assert trace.events[0].time_ns == 0.0
+        reads = sum(1 for event in trace.events if not event.is_write)
+        assert reads == descriptor.total_bytes // 64
+        # Detached: further traffic is not recorded.
+        count = len(trace)
+        SoftwareTransferEngine(system).execute(descriptor)
+        assert len(recorder.trace()) == count
+
+    def test_recorder_stream_filter(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = TransferDescriptor.contiguous(
+            TransferDirection.DRAM_TO_PIM,
+            dram_base=0,
+            size_per_core_bytes=128,
+            pim_core_ids=range(2),
+        )
+        with TraceRecorder(system, streams=(RequestStream.TRANSFER_READ,)) as recorder:
+            SoftwareTransferEngine(system).execute(descriptor)
+        assert all(not event.is_write for event in recorder.trace().events)
+
+
+class TestReplay:
+    def replay(self, config: SystemConfig, trace: Trace):
+        system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
+        return TraceReplayer(system, trace, tenant="replay").execute()
+
+    def test_replaying_a_recorded_trace_twice_is_bit_identical(self, small_config):
+        # Record a real transfer stream ...
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        descriptor = TransferDescriptor.contiguous(
+            TransferDirection.DRAM_TO_PIM,
+            dram_base=0,
+            size_per_core_bytes=512,
+            pim_core_ids=range(8),
+        )
+        with TraceRecorder(system) as recorder:
+            SoftwareTransferEngine(system).execute(descriptor)
+        trace = recorder.trace()
+        # ... and replay it twice on identically configured fresh systems.
+        first = self.replay(small_config, trace)
+        second = self.replay(small_config, trace)
+        assert first.completed == second.completed == len(trace)
+        assert first.start_ns == second.start_ns
+        assert first.end_ns == second.end_ns
+        assert first.deferred == second.deferred
+        assert first.latency._samples == second.latency._samples
+        assert first.p50_latency_ns == second.p50_latency_ns
+        assert first.p99_latency_ns == second.p99_latency_ns
+
+    def test_replay_roundtrips_through_disk(self, small_config, tmp_path):
+        trace = synthesize_trace("bursty", total_bytes=8 * KIB, seed=2)
+        path = save_trace(trace, tmp_path / "bursty.jsonl")
+        direct = self.replay(small_config, trace)
+        from_disk = self.replay(small_config, load_trace(path))
+        assert direct.end_ns == from_disk.end_ns
+        assert direct.latency._samples == from_disk.latency._samples
+
+    def test_replay_preserves_recorded_pacing(self, small_config):
+        # A slow trace (1 access per 100 ns) must take at least as long as
+        # its recorded span: the replayer is open-loop, not as-fast-as-possible.
+        trace = synthesize_trace(
+            "uniform", total_bytes=4 * KIB, mean_gap_ns=100.0
+        )
+        result = self.replay(small_config, trace)
+        assert result.duration_ns >= trace.duration_ns
+
+    def test_empty_trace_completes_immediately(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        result = TraceReplayer(system, Trace(events=())).execute()
+        assert result.completed == 0
+        assert result.duration_ns == 0.0
+
+    def test_replayer_cannot_be_restarted(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        replayer = TraceReplayer(system, synthesize_trace("uniform", total_bytes=1 * KIB))
+        replayer.execute()
+        with pytest.raises(RuntimeError):
+            replayer.begin()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in README.md and docs/ resolve.
+
+Scans ``[text](target)`` links, ignores external URLs and pure anchors, and
+verifies that every relative target (file or directory, optionally with an
+``#anchor`` suffix) exists relative to the linking file.  Exits non-zero and
+lists every broken link otherwise.  Stdlib only, so the CI docs job needs no
+extra dependencies.
+
+Usage: python tools/check_md_links.py [FILE_OR_DIR ...]
+(default: README.md and docs/, relative to the repo root)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) -- won't catch reference-style links, which we don't use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(targets: Iterable[Path]) -> Iterable[Path]:
+    for target in targets:
+        if target.is_dir():
+            yield from sorted(target.rglob("*.md"))
+        elif target.suffix.lower() == ".md":
+            yield target
+
+
+def check_file(path: Path) -> List[Tuple[int, str]]:
+    """Return (line_number, target) for every broken relative link in ``path``."""
+    broken: List[Tuple[int, str]] = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    targets = (
+        [Path(arg) for arg in argv]
+        if argv
+        else [REPO_ROOT / "README.md", REPO_ROOT / "docs"]
+    )
+    failures = 0
+    checked = 0
+    for md_file in iter_markdown_files(targets):
+        checked += 1
+        for line_number, target in check_file(md_file):
+            failures += 1
+            print(f"{md_file.relative_to(REPO_ROOT)}:{line_number}: broken link -> {target}")
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
