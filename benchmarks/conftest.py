@@ -54,11 +54,14 @@ def paper_config() -> SystemConfig:
 def experiments(paper_config) -> ExperimentProvider:
     """Session-wide experiment source, memoised and disk-cached.
 
-    The provider deduplicates experiments across figures and persists
-    outcomes under ``results/.cache`` keyed by (config, spec, code version),
-    so figures share simulation runs within the session *and* across
-    pytest/CLI invocations.
+    Built through the :class:`repro.api.Session` facade (the same wiring the
+    CLI uses).  The provider deduplicates experiments across figures and
+    persists outcomes under ``results/.cache`` keyed by (config, spec, code
+    version), so figures share simulation runs within the session *and*
+    across pytest/CLI invocations.
     """
+    from repro.api import Session
+
     cache = ResultCache(RESULTS_DIR / ".cache")
     cache.prune_stale_versions()
-    return ExperimentProvider(paper_config, cache=cache)
+    return Session.builder().config(paper_config).cache(cache).open().provider

@@ -6,6 +6,11 @@ of spinlock-like CPU contenders is co-located with a DRAM->PIM transfer.  The
 baseline's multi-threaded copy loses CPU cores to the contenders and slows
 down; the PIM-MMU transfer runs on the Data Copy Engine and barely notices.
 
+Each design point gets one long-lived :class:`repro.Session`; the session
+isolates consecutive runs (same system, reset between runs), and the
+contenders come from the registered contender kinds behind
+:class:`repro.exp.ContentionSpec`.
+
 Run:  python examples/contention_study.py
 """
 
@@ -13,9 +18,8 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro import DesignPoint, SystemConfig, TransferDirection
-from repro.workloads.contention import compute_contender_factory
-from repro.workloads.microbench import run_transfer_experiment
+from repro import DesignPoint, Session, SystemConfig
+from repro.exp import ContentionSpec
 
 TOTAL_BYTES = 256 * 1024
 CONTENDER_COUNTS = (0, 8, 16, 24)
@@ -24,33 +28,31 @@ CONTENDER_COUNTS = (0, 8, 16, 24)
 QUANTUM_NS = 20_000.0
 
 
-def latency_us(design_point: DesignPoint, contenders: int) -> float:
+def main() -> None:
     base = SystemConfig.paper_baseline()
     config = replace(base, os=replace(base.os, scheduling_quantum_ns=QUANTUM_NS))
-    factory = compute_contender_factory(contenders) if contenders else None
-    experiment = run_transfer_experiment(
-        design_point,
-        TransferDirection.DRAM_TO_PIM,
-        total_bytes=TOTAL_BYTES,
-        config=config,
-        contender_factory=factory,
-    )
-    return experiment.duration_ns / 1e3
 
-
-def main() -> None:
     print(f"DRAM->PIM transfer of {TOTAL_BYTES // 1024} KB vs co-located spin-lock contenders\n")
     print(f"{'contenders':>10s} | {'baseline (us)':>14s} | {'PIM-MMU (us)':>13s} | "
           f"{'baseline slowdown':>17s} | {'PIM-MMU slowdown':>16s}")
     print("-" * 84)
-    baseline_ref = pim_mmu_ref = None
-    for count in CONTENDER_COUNTS:
-        baseline = latency_us(DesignPoint.BASELINE, count)
-        pim_mmu = latency_us(DesignPoint.BASE_DHP, count)
-        baseline_ref = baseline_ref or baseline
-        pim_mmu_ref = pim_mmu_ref or pim_mmu
-        print(f"{count:>10d} | {baseline:>14.1f} | {pim_mmu:>13.1f} | "
-              f"{baseline / baseline_ref:>16.2f}x | {pim_mmu / pim_mmu_ref:>15.2f}x")
+
+    with Session.open(config=config, design_point=DesignPoint.BASELINE) as baseline, \
+            Session.open(config=config, design_point=DesignPoint.BASE_DHP) as pim_mmu:
+        baseline_ref = pim_mmu_ref = None
+        for count in CONTENDER_COUNTS:
+            contention = ContentionSpec("compute", count) if count else None
+            base_us = baseline.transfer(
+                total_bytes=TOTAL_BYTES, contention=contention
+            ).duration_ns / 1e3
+            mmu_us = pim_mmu.transfer(
+                total_bytes=TOTAL_BYTES, contention=contention
+            ).duration_ns / 1e3
+            baseline_ref = baseline_ref or base_us
+            pim_mmu_ref = pim_mmu_ref or mmu_us
+            print(f"{count:>10d} | {base_us:>14.1f} | {mmu_us:>13.1f} | "
+                  f"{base_us / baseline_ref:>16.2f}x | {mmu_us / pim_mmu_ref:>15.2f}x")
+
     print("\nThe baseline degrades as contenders steal its copy threads' cores;")
     print("PIM-MMU's DCE needs no CPU cores, so it stays flat (paper Figure 13a).")
 

@@ -12,7 +12,7 @@ Run:  python examples/mapping_explorer.py
 
 from __future__ import annotations
 
-from repro import DesignPoint, MemoryDomainConfig, build_system
+from repro import DesignPoint, MemoryDomainConfig, Session
 from repro.mapping import (
     BiosInterleaveConfig,
     bios_mapping,
@@ -45,11 +45,11 @@ def main() -> None:
 
     print("\nSequential-read bandwidth achieved by each system-level mapping (Figure 8):")
     for label, point in (("locality-centric", DesignPoint.BASELINE), ("HetMap / MLP-centric", DesignPoint.BASE_DHP)):
-        system = build_system(design_point=point)
-        bandwidth = measure_read_bandwidth(
-            system, AccessPattern.SEQUENTIAL, total_bytes=1024 * 1024
-        )
-        peak = system.config.dram.peak_bandwidth_gbps
+        with Session.open(design_point=point) as session:
+            bandwidth = measure_read_bandwidth(
+                session.system, AccessPattern.SEQUENTIAL, total_bytes=1024 * 1024
+            )
+            peak = session.config.dram.peak_bandwidth_gbps
         print(f"  {label:<22s}: {bandwidth:6.1f} GB/s  ({100 * bandwidth / peak:4.1f} % of peak)")
 
 

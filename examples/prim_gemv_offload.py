@@ -7,14 +7,18 @@ the SPMD kernel on every DPU, and pulls the result vector back (PIM->DRAM).
 PIM-MMU accelerates only the two transfer phases; the kernel time -- estimated
 here with the analytical DPU roofline model -- is identical on both systems.
 
+Both stacks are driven through one :class:`repro.Session` each: the session
+picks the design point's default transfer backend (``software`` for the
+baseline, ``pim_mmu`` for the full design) and isolates the push and pull
+runs on its single system.
+
 Run:  python examples/prim_gemv_offload.py
 """
 
 from __future__ import annotations
 
-from repro import DesignPoint, TransferDirection, build_system
-from repro.core import PimMmuRuntime
-from repro.upmem_runtime import DpuSet
+from repro import DesignPoint, Session, TransferDirection
+from repro.pim.kernel import estimate_kernel_time_ns
 from repro.workloads.prim import PRIM_WORKLOADS
 
 NUM_PIM_CORES = 128
@@ -22,38 +26,28 @@ INPUT_BYTES_PER_CORE = 16 * 1024     # matrix tile per DPU
 OUTPUT_BYTES_PER_CORE = 1 * 1024     # result slice per DPU
 
 
-def baseline_end_to_end() -> dict:
-    system = build_system(design_point=DesignPoint.BASELINE)
-    dpu_set = DpuSet(system, num_dpus=NUM_PIM_CORES)
+def end_to_end(design_point: DesignPoint) -> dict:
     gemv = PRIM_WORKLOADS["GEMV"]
-
-    push = dpu_set.push_xfer(TransferDirection.DRAM_TO_PIM, INPUT_BYTES_PER_CORE)
-    kernel_ns = dpu_set.launch(gemv.kernel_profile, bytes_per_dpu=INPUT_BYTES_PER_CORE)
-    pull = dpu_set.push_xfer(TransferDirection.PIM_TO_DRAM, OUTPUT_BYTES_PER_CORE)
-    return {
-        "DRAM->PIM": push.duration_ns,
-        "PIM kernel": kernel_ns,
-        "PIM->DRAM": pull.duration_ns,
-    }
-
-
-def pim_mmu_end_to_end() -> dict:
-    system = build_system(design_point=DesignPoint.BASE_DHP)
-    runtime = PimMmuRuntime(system)
-    gemv = PRIM_WORKLOADS["GEMV"]
-
-    push_op = runtime.build_contiguous_op(
-        TransferDirection.DRAM_TO_PIM, INPUT_BYTES_PER_CORE, range(NUM_PIM_CORES)
-    )
-    push = runtime.pim_mmu_transfer(push_op)
-    # Kernel execution is unchanged by PIM-MMU: estimate it with the same model.
-    dpu = system.topology.dpu(0)
-    from repro.pim.kernel import estimate_kernel_time_ns
-    kernel_ns = estimate_kernel_time_ns(dpu, INPUT_BYTES_PER_CORE, gemv.kernel_profile)
-    pull_op = runtime.build_contiguous_op(
-        TransferDirection.PIM_TO_DRAM, OUTPUT_BYTES_PER_CORE, range(NUM_PIM_CORES)
-    )
-    pull = runtime.pim_mmu_transfer(pull_op)
+    with Session.open(design_point=design_point) as session:
+        # sim_cap_bytes covers the whole payload, so the phases are fully
+        # simulated rather than window-extrapolated.
+        push = session.transfer(
+            total_bytes=NUM_PIM_CORES * INPUT_BYTES_PER_CORE,
+            direction=TransferDirection.DRAM_TO_PIM,
+            num_pim_cores=NUM_PIM_CORES,
+            sim_cap_bytes=NUM_PIM_CORES * INPUT_BYTES_PER_CORE,
+        )
+        # Kernel execution is unchanged by PIM-MMU: estimate it with the
+        # analytical model against one of the session's DPUs.
+        kernel_ns = estimate_kernel_time_ns(
+            session.system.topology.dpu(0), INPUT_BYTES_PER_CORE, gemv.kernel_profile
+        )
+        pull = session.transfer(
+            total_bytes=NUM_PIM_CORES * OUTPUT_BYTES_PER_CORE,
+            direction=TransferDirection.PIM_TO_DRAM,
+            num_pim_cores=NUM_PIM_CORES,
+            sim_cap_bytes=NUM_PIM_CORES * OUTPUT_BYTES_PER_CORE,
+        )
     return {
         "DRAM->PIM": push.duration_ns,
         "PIM kernel": kernel_ns,
@@ -72,9 +66,9 @@ def report(label: str, phases: dict) -> float:
 def main() -> None:
     print(f"GEMV offload across {NUM_PIM_CORES} PIM cores, "
           f"{INPUT_BYTES_PER_CORE // 1024} KB in / {OUTPUT_BYTES_PER_CORE // 1024} KB out per core\n")
-    baseline_total = report("Baseline UPMEM-style stack", baseline_end_to_end())
+    baseline_total = report("Baseline UPMEM-style stack", end_to_end(DesignPoint.BASELINE))
     print()
-    pim_mmu_total = report("PIM-MMU stack", pim_mmu_end_to_end())
+    pim_mmu_total = report("PIM-MMU stack", end_to_end(DesignPoint.BASE_DHP))
     print()
     print(f"End-to-end speedup from PIM-MMU: {baseline_total / pim_mmu_total:.2f}x "
           "(only the transfer phases shrink; the kernel is untouched)")

@@ -1,84 +1,52 @@
 #!/usr/bin/env python3
 """Quickstart: move data to PIM the old way and the PIM-MMU way.
 
-This example builds two simulated PIM servers -- one baseline (software
-``dpu_push_xfer``-style transfers over a homogeneous locality-centric
-mapping) and one with PIM-MMU (DCE + HetMap + PIM-MS) -- pushes the same
-input data to every PIM core on both, and compares transfer time, bandwidth
-utilization and CPU involvement.
+Opens two sessions on identically sized servers -- one at the software
+baseline design point (CPU-orchestrated ``dpu_push_xfer`` transfers over a
+homogeneous locality-centric mapping) and one at the full PIM-MMU point
+(DCE + HetMap + PIM-MS) -- pushes the same number of bytes through each
+session's default transfer backend, and compares transfer time, bandwidth
+utilization and CPU involvement from the typed run results.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro import DesignPoint, Session
 
-from repro import DesignPoint, TransferDirection, build_system
-from repro.core import PimMmuRuntime
-from repro.upmem_runtime import DpuSet
-
-NUM_PIM_CORES = 256         # use half of the 512 PIM cores to keep this snappy
-BYTES_PER_CORE = 4 * 1024   # 4 KB of input per PIM core
+TOTAL_BYTES = 1 * 1024 * 1024   # 1 MiB spread across all 512 PIM cores
 
 
-def run_baseline() -> None:
-    print("=== Baseline: CPU-orchestrated dpu_push_xfer ===")
-    system = build_system(design_point=DesignPoint.BASELINE)
-    dpu_set = DpuSet(system, num_dpus=NUM_PIM_CORES)
-
-    data = np.arange(NUM_PIM_CORES * BYTES_PER_CORE, dtype=np.uint8)
-    result = dpu_set.push_xfer(
-        TransferDirection.DRAM_TO_PIM, BYTES_PER_CORE, host_buffer=data
-    )
-    peak = system.config.pim.peak_bandwidth_gbps
-    print(f"  transfer time      : {result.duration_ns / 1e3:8.1f} us")
-    print(f"  throughput         : {result.throughput_gbps:8.2f} GB/s "
-          f"({100 * result.throughput_gbps / peak:.1f} % of the PIM peak)")
-    print(f"  CPU core-time spent: {result.cpu_core_busy_ns / 1e3:8.1f} core-us")
-    return result
-
-
-def run_pim_mmu():
-    print("=== PIM-MMU: transfer offloaded to the Data Copy Engine ===")
-    system = build_system(design_point=DesignPoint.BASE_DHP)
-    runtime = PimMmuRuntime(system)
-
-    data = np.arange(NUM_PIM_CORES * BYTES_PER_CORE, dtype=np.uint8)
-    op = runtime.build_contiguous_op(
-        TransferDirection.DRAM_TO_PIM,
-        size_per_pim=BYTES_PER_CORE,
-        pim_core_ids=range(NUM_PIM_CORES),
-    )
-    result = runtime.pim_mmu_transfer(op, host_buffer=data)
-
-    # Pull the data back and verify integrity end to end (the DCE's
-    # preprocessing unit applied the chip-interleaving transpose both ways).
-    out = np.zeros_like(data)
-    pull = runtime.build_contiguous_op(
-        TransferDirection.PIM_TO_DRAM,
-        size_per_pim=BYTES_PER_CORE,
-        pim_core_ids=range(NUM_PIM_CORES),
-    )
-    runtime.pim_mmu_transfer(pull, host_buffer=out)
-    assert np.array_equal(out, data), "round-trip through PIM MRAM corrupted data"
-
-    peak = system.config.pim.peak_bandwidth_gbps
-    print(f"  transfer time      : {result.duration_ns / 1e3:8.1f} us")
-    print(f"  throughput         : {result.throughput_gbps:8.2f} GB/s "
-          f"({100 * result.throughput_gbps / peak:.1f} % of the PIM peak)")
-    print(f"  CPU core-time spent: {result.cpu_core_busy_ns / 1e3:8.1f} core-us")
-    print("  round-trip data integrity: OK")
-    return result
+def run_design_point(title: str, design_point: DesignPoint):
+    print(f"=== {title} ===")
+    with Session.open(design_point=design_point) as session:
+        result = session.transfer(total_bytes=TOTAL_BYTES)
+        peak = session.config.pim.peak_bandwidth_gbps
+        raw = result.raw.result  # the underlying TransferResult, if you need it
+        print(f"  backend            : {result.backend}")
+        print(f"  transfer time      : {result.duration_ns / 1e3:8.1f} us")
+        print(f"  throughput         : {result.throughput_gbps:8.2f} GB/s "
+              f"({100 * result.throughput_gbps / peak:.1f} % of the PIM peak)")
+        print(f"  p99 request latency: {result.p99_latency_ns:8.1f} ns")
+        print(f"  CPU core-time spent: {raw.cpu_core_busy_ns / 1e3:8.1f} core-us")
+        print(f"  energy             : {1e3 * result.energy_joules:8.3f} mJ")
+        return result, raw
 
 
 def main() -> None:
-    baseline = run_baseline()
-    pim_mmu = run_pim_mmu()
+    baseline, baseline_raw = run_design_point(
+        "Baseline: CPU-orchestrated dpu_push_xfer", DesignPoint.BASELINE
+    )
+    pim_mmu, pim_mmu_raw = run_design_point(
+        "PIM-MMU: transfer offloaded to the Data Copy Engine", DesignPoint.BASE_DHP
+    )
     print("=== Summary ===")
-    print(f"  PIM-MMU transfer speedup : {baseline.duration_ns / pim_mmu.duration_ns:.2f}x")
+    print(f"  PIM-MMU transfer speedup : {pim_mmu.speedup_over(baseline):.2f}x")
     print(f"  CPU core-time reduction  : "
-          f"{baseline.cpu_core_busy_ns / max(1.0, pim_mmu.cpu_core_busy_ns):.1f}x")
+          f"{baseline_raw.cpu_core_busy_ns / max(1.0, pim_mmu_raw.cpu_core_busy_ns):.1f}x")
+    print(f"  energy reduction         : "
+          f"{baseline.energy_joules / pim_mmu.energy_joules:.2f}x")
 
 
 if __name__ == "__main__":

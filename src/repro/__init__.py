@@ -8,29 +8,46 @@ Scheduler and Heterogeneous Memory Mapping Unit), together with the workloads
 and harnesses that regenerate every table and figure of the paper's
 evaluation.
 
-The :mod:`repro.exp` subpackage orchestrates experiments declaratively
-(sweeps, a parallel process-pool runner, an on-disk result cache) and powers
-the ``python -m repro`` CLI; see ``docs/experiments.md``.  The
+All traffic flows through the :mod:`repro.api` facade: a :class:`Session`
+owns one simulated server and drives transfers, trace replays and
+multi-tenant mixes through registered
+:class:`~repro.api.backends.TransferBackend`\\ s, returning one typed
+:class:`RunResult` everywhere; see ``docs/api.md``.  The :mod:`repro.exp`
+subpackage orchestrates experiments declaratively (sweeps, a parallel
+process-pool runner, an on-disk result cache) and powers the
+``python -m repro`` CLI; see ``docs/experiments.md``.  The
 :mod:`repro.scenarios` subpackage layers trace record/replay and multi-tenant
 workload mixes on top of it; see ``docs/scenarios.md``.  A subsystem map with
-a request-lifecycle walkthrough lives in ``docs/architecture.md`` and the
-public-API reference in ``docs/api.md``.
+a request-lifecycle walkthrough lives in ``docs/architecture.md``.
 
 Quickstart
 ----------
->>> from repro import build_system, DesignPoint
->>> from repro.core import PimMmuRuntime
->>> from repro.transfer import TransferDirection
->>> system = build_system(design_point=DesignPoint.BASE_DHP)
->>> runtime = PimMmuRuntime(system)
->>> op = runtime.build_contiguous_op(
-...     TransferDirection.DRAM_TO_PIM, size_per_pim=4096,
-...     pim_core_ids=range(64))
->>> result = runtime.pim_mmu_transfer(op)
+>>> from repro import DesignPoint, Session
+>>> with Session.open(design_point=DesignPoint.BASE_DHP) as session:
+...     result = session.transfer(total_bytes=1 << 20)
+>>> result.backend
+'pim_mmu'
 >>> result.throughput_gbps > 0
 True
+
+The pre-facade entry points (``build_system`` + hand-constructed engines)
+keep working behind ``DeprecationWarning`` shims and produce byte-identical
+numbers.
 """
 
+import warnings as _warnings
+from typing import Optional as _Optional
+
+from repro.api import (
+    RunResult,
+    Session,
+    SessionBuilder,
+    TenantBreakdown,
+    TransferBackend,
+    available_backends,
+    default_backend_name,
+    register_backend,
+)
 from repro.sim.config import (
     CpuConfig,
     DcePolicy,
@@ -40,11 +57,39 @@ from repro.sim.config import (
     PimMmuConfig,
     SystemConfig,
 )
-from repro.system import PimSystem, build_system
+from repro.sim.engine import SimulationEngine as _SimulationEngine
+from repro.sim.stats import StatsRegistry as _StatsRegistry
+from repro.system import PimSystem
+from repro.system import build_system as _build_system
 from repro.transfer import TransferDescriptor, TransferDirection, TransferResult
 from repro.scenarios import ScenarioSpec, TenantSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+
+def build_system(
+    config: _Optional[SystemConfig] = None,
+    design_point: DesignPoint = DesignPoint.BASELINE,
+    engine: _Optional[_SimulationEngine] = None,
+    stats: _Optional[_StatsRegistry] = None,
+) -> PimSystem:
+    """Deprecated shim for the pre-``Session`` quickstart path.
+
+    Builds the same :class:`~repro.system.PimSystem` it always did (internal
+    code keeps using :func:`repro.system.build_system`, which does not warn),
+    but new code should open a :class:`Session` instead -- it owns the system
+    lifecycle, isolates consecutive runs and returns typed results.
+    """
+    _warnings.warn(
+        "repro.build_system() is deprecated; open a repro.Session instead "
+        "(Session.open(config=..., design_point=...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_system(
+        config=config, design_point=design_point, engine=engine, stats=stats
+    )
+
 
 __all__ = [
     "CpuConfig",
@@ -54,12 +99,20 @@ __all__ = [
     "MemoryDomainConfig",
     "PimMmuConfig",
     "PimSystem",
+    "RunResult",
     "ScenarioSpec",
+    "Session",
+    "SessionBuilder",
     "SystemConfig",
+    "TenantBreakdown",
     "TenantSpec",
+    "TransferBackend",
     "TransferDescriptor",
     "TransferDirection",
     "TransferResult",
     "__version__",
+    "available_backends",
     "build_system",
+    "default_backend_name",
+    "register_backend",
 ]

@@ -1,0 +1,196 @@
+"""The one typed result schema every ``repro.api`` entry point returns.
+
+Historically each transfer stack reported its own shape -- the engines return
+:class:`~repro.transfer.result.TransferResult`, the microbenchmark harness a
+:class:`~repro.workloads.microbench.TransferExperiment`, the trace replayer a
+:class:`~repro.scenarios.trace.ReplayResult` and the multi-tenant composer a
+:class:`~repro.scenarios.tenant.ScenarioOutcome` -- and every caller had to
+know which one it was holding.  :class:`RunResult` is the single, versioned
+envelope :class:`repro.api.Session` wraps all of them in:
+
+* the headline numbers every run has (bytes, wall time, throughput);
+* p50/p99/mean request latency where the run observed individual requests
+  (transfers and replays; ``None`` where the notion doesn't apply);
+* a per-tenant breakdown for multi-tenant mixes;
+* the energy estimate when the run's backend has an energy model;
+* the full :meth:`~repro.sim.stats.StatsRegistry.snapshot` of the run;
+* ``raw``, the untouched underlying outcome for callers that need the
+  engine-specific detail.
+
+``RunResult`` is picklable (it serializes through the existing
+:class:`~repro.exp.cache.ResultCache` unchanged) and :meth:`to_dict` /
+:meth:`from_dict` give a stable JSON-able form for transport; bump
+:data:`RUN_RESULT_SCHEMA_VERSION` when the dict layout changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Version of the serialized :class:`RunResult` layout.  Consumers should
+#: reject payloads with a *newer* major version than they were written for.
+RUN_RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TenantBreakdown:
+    """Per-tenant slice of a multi-tenant run (one row of the mix table)."""
+
+    name: str
+    kind: str
+    label: str
+    requested_bytes: int
+    start_ns: float
+    end_ns: float
+    requests: int
+    mean_latency_ns: float
+    p50_latency_ns: float
+    p99_latency_ns: float
+    slowdown: Optional[float] = None
+
+    @property
+    def duration_ns(self) -> float:
+        return max(0.0, self.end_ns - self.start_ns)
+
+    @property
+    def throughput_gbps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.requested_bytes / self.duration_ns
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TenantBreakdown":
+        return cls(**payload)
+
+
+@dataclass
+class RunResult:
+    """Typed, versioned summary of one :class:`repro.api.Session` run.
+
+    ``kind`` names the entry point that produced it (``transfer``,
+    ``replay``, ``mix`` or ``workload``); ``backend`` is the registered
+    :class:`~repro.api.backends.TransferBackend` that moved the bytes, or
+    ``None`` for runs that inject traffic directly (trace replay).  ``raw``
+    keeps the engine-specific outcome for detailed inspection; it is excluded
+    from :meth:`to_dict` but survives pickling.
+    """
+
+    kind: str
+    design_label: str
+    requested_bytes: int
+    start_ns: float
+    end_ns: float
+    backend: Optional[str] = None
+    requests: int = 0
+    mean_latency_ns: Optional[float] = None
+    p50_latency_ns: Optional[float] = None
+    p99_latency_ns: Optional[float] = None
+    tenants: Tuple[TenantBreakdown, ...] = ()
+    energy_joules: Optional[float] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+    extra: Dict[str, float] = field(default_factory=dict)
+    schema_version: int = RUN_RESULT_SCHEMA_VERSION
+    raw: object = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------ derived
+    @property
+    def duration_ns(self) -> float:
+        return max(0.0, self.end_ns - self.start_ns)
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Payload bytes over wall time (bytes/ns == GB/s)."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.requested_bytes / self.duration_ns
+
+    @property
+    def per_tenant(self) -> Dict[str, TenantBreakdown]:
+        """The tenant breakdown keyed by tenant name."""
+        return {tenant.name: tenant for tenant in self.tenants}
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run was than ``other`` (same payload)."""
+        if self.duration_ns <= 0:
+            return float("inf")
+        return other.duration_ns / self.duration_ns
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, object]:
+        """A plain JSON-able dict (``raw`` is intentionally dropped)."""
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "backend": self.backend,
+            "design_label": self.design_label,
+            "requested_bytes": self.requested_bytes,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "requests": self.requests,
+            "mean_latency_ns": self.mean_latency_ns,
+            "p50_latency_ns": self.p50_latency_ns,
+            "p99_latency_ns": self.p99_latency_ns,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "energy_joules": self.energy_joules,
+            "stats": dict(self.stats),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (``raw`` is lost)."""
+        version = payload.get("schema_version", 0)
+        if version > RUN_RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"RunResult schema version {version} is newer than the "
+                f"supported {RUN_RESULT_SCHEMA_VERSION}"
+            )
+        tenants: List[TenantBreakdown] = [
+            TenantBreakdown.from_dict(item) for item in payload.get("tenants", [])
+        ]
+        return cls(
+            kind=payload["kind"],
+            backend=payload.get("backend"),
+            design_label=payload["design_label"],
+            requested_bytes=payload["requested_bytes"],
+            start_ns=payload["start_ns"],
+            end_ns=payload["end_ns"],
+            requests=payload.get("requests", 0),
+            mean_latency_ns=payload.get("mean_latency_ns"),
+            p50_latency_ns=payload.get("p50_latency_ns"),
+            p99_latency_ns=payload.get("p99_latency_ns"),
+            tenants=tuple(tenants),
+            energy_joules=payload.get("energy_joules"),
+            stats=dict(payload.get("stats", {})),
+            extra=dict(payload.get("extra", {})),
+            schema_version=version,
+        )
+
+
+def tenant_breakdown_from_result(result) -> TenantBreakdown:
+    """Convert one :class:`~repro.scenarios.tenant.TenantResult` row."""
+    return TenantBreakdown(
+        name=result.name,
+        kind=result.kind,
+        label=result.label,
+        requested_bytes=result.requested_bytes,
+        start_ns=result.start_ns,
+        end_ns=result.end_ns,
+        requests=result.requests,
+        mean_latency_ns=result.mean_latency_ns,
+        p50_latency_ns=result.p50_latency_ns,
+        p99_latency_ns=result.p99_latency_ns,
+        slowdown=result.slowdown,
+    )
+
+
+__all__ = [
+    "RUN_RESULT_SCHEMA_VERSION",
+    "RunResult",
+    "TenantBreakdown",
+    "tenant_breakdown_from_result",
+]

@@ -175,6 +175,27 @@ class DdrChannel:
             is_write=is_write,
         )
 
+    # ------------------------------------------------------------------ reset
+    def reset(self) -> None:
+        """Forget all timing state, as if the channel had just powered on.
+
+        Every piece of channel state carries absolute timestamps (open rows'
+        ready times, CAS history, refresh deadlines, bus occupancy), so a
+        clean reset paired with rewinding the simulation clock reproduces a
+        freshly built channel exactly.
+        """
+        self._banks.clear()
+        self._ranks = [
+            RankState(timing=self.timing)
+            for _ in range(self.geometry.ranks_per_channel)
+        ]
+        self._last_cas_bankgroup.clear()
+        self._last_cas_channel = float("-inf")
+        self._last_read_cas = float("-inf")
+        self._last_write_data_end = float("-inf")
+        self.bus_free_time = 0.0
+        self.busy_data_ns = 0.0
+
     # ------------------------------------------------------------------ stats
     @property
     def total_row_hits(self) -> int:

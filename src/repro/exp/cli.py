@@ -11,8 +11,14 @@ Subcommands
 ``repro scenarios [NAME...]``
     Run registered multi-tenant scenarios (per-tenant tables under
     ``results/``), or an ad-hoc mix given via ``--tenants``/``--trace``.
+``repro backends``
+    List the registered transfer backends and which design point each one is
+    the default for.
 ``repro clean-cache``
     Delete the on-disk experiment cache (``results/.cache``).
+
+Every subcommand builds one :class:`repro.api.Session` and drives its
+simulations through the session's experiment provider.
 """
 
 from __future__ import annotations
@@ -196,14 +202,26 @@ def _resolve_config(name: str) -> SystemConfig:
     return SystemConfig.small_test()
 
 
-def _build_provider(args: argparse.Namespace) -> ExperimentProvider:
-    config = _resolve_config(args.config)
-    cache = None
+def _build_session(args: argparse.Namespace) -> "Session":
+    """One :class:`repro.api.Session` per CLI invocation.
+
+    Every subcommand drives its simulations through the session's experiment
+    provider, so the CLI shares the facade's config/cache/jobs wiring with
+    programmatic users.
+    """
+    from repro.api import Session
+
+    builder = Session.builder().config(_resolve_config(args.config)).jobs(args.jobs)
     if not args.no_cache:
         cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
         cache = ResultCache(Path(cache_dir))
         cache.prune_stale_versions()
-    return ExperimentProvider(config, cache=cache, jobs=args.jobs)
+        builder.cache(cache)
+    return builder.open()
+
+
+def _build_provider(args: argparse.Namespace) -> ExperimentProvider:
+    return _build_session(args).provider
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -354,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
         "applies to registered and ad-hoc scenarios alike",
     )
     add_common(scenarios)
+
+    sub.add_parser(
+        "backends",
+        help="list the registered transfer backends and design-point defaults",
+    )
 
     clean = sub.add_parser("clean-cache", help="delete the on-disk experiment cache")
     clean.add_argument(
@@ -558,6 +581,34 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    from repro.api.backends import available_backends, create_backend, default_backend_name
+
+    rows = []
+    for name in available_backends():
+        backend = create_backend(name)
+        rows.append(
+            {
+                "backend": name,
+                "default for": ", ".join(
+                    point.label
+                    for point in DesignPoint
+                    if default_backend_name(point) == name
+                )
+                or "-",
+                "description": backend.description,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            columns=["backend", "default for", "description"],
+            title="Registered transfer backends",
+        )
+    )
+    return 0
+
+
 def cmd_clean_cache(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
     cache = ResultCache(Path(cache_dir))
@@ -575,6 +626,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figures": cmd_figures,
         "sweep": cmd_sweep,
         "scenarios": cmd_scenarios,
+        "backends": cmd_backends,
         "clean-cache": cmd_clean_cache,
     }
     return handlers[args.command](args)

@@ -42,8 +42,9 @@ MIB = 1024 * 1024
 
 #: Bytes actually simulated per transfer experiment; larger requested sizes
 #: are extrapolated from this steady-state window (same rule the paper's
-#: hybrid methodology applies to PIM kernels).
-DEFAULT_SIM_CAP_BYTES = 512 * KIB
+#: hybrid methodology applies to PIM kernels).  Re-exported from the facade
+#: so Session.transfer and TransferSpec share one default.
+from repro.api.session import DEFAULT_SIM_CAP_BYTES  # noqa: E402
 
 
 @dataclass(frozen=True)
@@ -70,14 +71,16 @@ class ContentionSpec:
             raise ValueError("memory contention requires an intensity")
 
     def factory(self) -> ContenderFactory:
-        from repro.workloads.contention import (
-            compute_contender_factory,
-            memory_contender_factory,
-        )
+        from repro.host.contenders import create_contender_factory
 
         if self.kind == "compute":
-            return compute_contender_factory(self.count)
-        return memory_contender_factory(self.count, self.intensity, self.buffer_bytes)
+            return create_contender_factory("compute", count=self.count)
+        return create_contender_factory(
+            "memory",
+            count=self.count,
+            intensity=self.intensity,
+            buffer_bytes=self.buffer_bytes,
+        )
 
     @property
     def label(self) -> str:
@@ -158,14 +161,17 @@ class MemcpySpec(ExperimentSpec):
     series_windows: Optional[int] = None
 
     def run(self, config: SystemConfig) -> Dict[str, object]:
-        from repro.workloads.memcpy import MemcpyEngine
+        from repro.api.backends import CopySpan, create_backend
 
         if self.channels is not None:
             config = config.with_memory_geometry(self.channels, self.ranks_per_channel)
         system = build_system(config=config, design_point=self.design_point)
         dst_base = self.dst_base if self.dst_base is not None else self.total_bytes
-        result = MemcpyEngine(system).execute(
-            src_base=self.src_base, dst_base=dst_base, total_bytes=self.total_bytes
+        result = create_backend("memcpy").execute(
+            system,
+            CopySpan(
+                src_base=self.src_base, dst_base=dst_base, total_bytes=self.total_bytes
+            ),
         )
         outcome: Dict[str, object] = {
             "duration_ns": result.duration_ns,
@@ -193,7 +199,7 @@ class SoftwareTransferSeriesSpec(ExperimentSpec):
     series_windows: int = 8
 
     def run(self, config: SystemConfig) -> Dict[str, object]:
-        from repro.upmem_runtime.engine import SoftwareTransferEngine
+        from repro.api.backends import create_backend
 
         system = build_system(config=config, design_point=DesignPoint.BASELINE)
         descriptor = TransferDescriptor.contiguous(
@@ -202,7 +208,7 @@ class SoftwareTransferSeriesSpec(ExperimentSpec):
             size_per_core_bytes=self.size_per_core_bytes,
             pim_core_ids=range(config.num_pim_cores),
         )
-        result = SoftwareTransferEngine(system).execute(descriptor)
+        result = create_backend("software").execute(system, descriptor)
         window_ns = result.duration_ns / self.series_windows
         series = system.pim.per_channel_window_series(
             window_ns, "write", result.start_ns, result.end_ns
@@ -248,7 +254,7 @@ class DceOrderSpec(ExperimentSpec):
     size_per_core_bytes: int = 1 * KIB
 
     def run(self, config: SystemConfig) -> float:
-        from repro.core.dce import DataCopyEngine
+        from repro.api.backends import create_backend
 
         if self.data_buffer_bytes is not None:
             config = replace(
@@ -262,7 +268,10 @@ class DceOrderSpec(ExperimentSpec):
             size_per_core_bytes=self.size_per_core_bytes,
             pim_core_ids=range(config.num_pim_cores),
         )
-        result = DataCopyEngine(system, policy=self.policy).execute(descriptor)
+        backend = create_backend(
+            "pim_mmu" if self.policy is DcePolicy.PIM_MS else "dce_serial"
+        )
+        result = backend.execute(system, descriptor)
         return result.throughput_gbps
 
 
@@ -276,7 +285,7 @@ class SoftwareThreadPolicySpec(ExperimentSpec):
     size_per_core_bytes: int = 1 * KIB
 
     def run(self, config: SystemConfig) -> float:
-        from repro.upmem_runtime.engine import SoftwareTransferEngine
+        from repro.api.backends import create_backend
 
         config = replace(
             config, os=replace(config.os, thread_to_dpu_policy=self.thread_policy)
@@ -288,7 +297,7 @@ class SoftwareThreadPolicySpec(ExperimentSpec):
             size_per_core_bytes=self.size_per_core_bytes,
             pim_core_ids=range(config.num_pim_cores),
         )
-        result = SoftwareTransferEngine(system).execute(descriptor)
+        result = create_backend("software").execute(system, descriptor)
         return result.throughput_gbps
 
 

@@ -15,7 +15,7 @@ Two families of contenders exist:
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Callable, Dict, Protocol, Tuple
 
 from repro.memctrl.request import MemoryRequest, RequestStream
 from repro.sim.engine import SimulationEngine
@@ -141,9 +141,56 @@ class MemoryContenderThread:
                 self._pump()
 
 
+# ---------------------------------------------------------------------------
+# Contender registry
+# ---------------------------------------------------------------------------
+
+#: Builders keyed by contender kind, mirroring the transfer-backend registry
+#: of :mod:`repro.api.backends`: a builder takes kind-specific keyword
+#: arguments (``count``, ``intensity``, ...) and returns a picklable-free
+#: per-system factory (a ``ContenderFactory`` in microbench terms).  The
+#: Figure 13 kinds (``compute``, ``memory``) register themselves when
+#: :mod:`repro.workloads.contention` is imported; new contender families
+#: plug in here and become reachable from :class:`repro.exp.spec.
+#: ContentionSpec` and :meth:`repro.api.Session.transfer` without touching
+#: either.
+_CONTENDER_BUILDERS: Dict[str, Callable[..., Callable]] = {}
+
+
+def register_contender(
+    kind: str, builder: Callable[..., Callable], replace: bool = False
+) -> None:
+    """Register a contender-factory builder under ``kind``."""
+    if not replace and kind in _CONTENDER_BUILDERS:
+        raise ValueError(f"contender kind {kind!r} is already registered")
+    _CONTENDER_BUILDERS[kind] = builder
+
+
+def available_contenders() -> Tuple[str, ...]:
+    """The registered contender kinds, sorted (built-ins register on import)."""
+    import repro.workloads.contention  # noqa: F401  (registers the built-ins)
+
+    return tuple(sorted(_CONTENDER_BUILDERS))
+
+
+def create_contender_factory(kind: str, **kwargs) -> Callable:
+    """Build the per-system contender factory registered under ``kind``."""
+    import repro.workloads.contention  # noqa: F401  (registers the built-ins)
+
+    try:
+        builder = _CONTENDER_BUILDERS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_CONTENDER_BUILDERS))
+        raise KeyError(f"unknown contender kind {kind!r}; registered: {known}") from None
+    return builder(**kwargs)
+
+
 __all__ = [
     "ComputeContenderThread",
     "MEMORY_INTENSITY_THINK_NS",
     "MemoryContenderThread",
     "TrafficPort",
+    "available_contenders",
+    "create_contender_factory",
+    "register_contender",
 ]

@@ -80,5 +80,10 @@ class LastLevelCache:
         self.misses = 0
         self.evictions = 0
 
+    def reset(self) -> None:
+        """Invalidate the whole cache and zero the counters."""
+        self._sets.clear()
+        self.reset_stats()
+
 
 __all__ = ["LastLevelCache"]

@@ -98,6 +98,14 @@ class RoundRobinScheduler:
             self._tick_event.cancel()
             self._tick_event = None
 
+    def reset(self) -> None:
+        """Forget every registered thread and return to the pre-start state."""
+        self.stop()
+        self._running.clear()
+        self._scheduled_since.clear()
+        self._started = False
+        self._stopped = False
+
     def notify_finished(self, thread: SchedulableThread) -> None:
         """A thread completed its work; free its core and run someone else."""
         if thread in self._running:

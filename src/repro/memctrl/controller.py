@@ -162,6 +162,18 @@ class ChannelController:
                 )
         request.complete(time_ns)
 
+    # ------------------------------------------------------------------ reset
+    def reset(self) -> None:
+        """Reset scheduling state to power-on.  The controller must be idle."""
+        if not self.is_idle():
+            raise RuntimeError(
+                f"cannot reset controller {self.name!r} with requests in flight"
+            )
+        self._drain_mode = False
+        self._next_decision_ns = 0.0
+        self._slot_listeners.clear()
+        self.channel.reset()
+
     # ------------------------------------------------------------------ stats
     @property
     def read_bytes(self) -> int:

@@ -68,6 +68,11 @@ class MemorySystem:
     def is_idle(self) -> bool:
         return all(controller.is_idle() for controller in self.controllers)
 
+    def reset(self) -> None:
+        """Reset every (idle) channel controller to power-on state."""
+        for controller in self.controllers:
+            controller.reset()
+
     # ------------------------------------------------------------------ stats
     @property
     def peak_bandwidth_gbps(self) -> float:

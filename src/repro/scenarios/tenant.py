@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.config import CACHE_LINE_BYTES, DesignPoint, DcePolicy, SystemConfig
+from repro.sim.config import CACHE_LINE_BYTES, DesignPoint, SystemConfig
 from repro.system import PimSystem, build_system
 from repro.transfer.descriptor import TransferDescriptor, TransferDirection
 from repro.workloads.microbench import per_core_bytes
@@ -342,36 +342,28 @@ class _TenantDriver:
             on_done()
 
         if self.spec.kind == "transfer":
-            if system.design_point is DesignPoint.BASELINE:
-                from repro.upmem_runtime.engine import SoftwareTransferEngine
+            # The design-point -> backend rule lives in repro.api.backends;
+            # imported lazily to keep the package import graph acyclic.
+            from repro.api.backends import resolve_backend
 
-                engine = SoftwareTransferEngine(
-                    system, stop_scheduler_on_finish=not shared
-                )
-                engine.begin(self._transfer_descriptor(system), on_complete=finished)
-            else:
-                from repro.core.dce import DataCopyEngine
-
-                policy = (
-                    DcePolicy.PIM_MS
-                    if system.design_point.uses_pim_ms
-                    else DcePolicy.SERIAL_PER_CORE
-                )
-                engine = DataCopyEngine(system, policy=policy)
-                engine.begin(self._transfer_descriptor(system), on_complete=finished)
-        elif self.spec.kind == "memcpy":
-            from repro.workloads.memcpy import MemcpyEngine
-
-            engine = MemcpyEngine(
+            backend = resolve_backend(system.design_point)
+            backend.begin(
                 system,
-                tenant=self.spec.name,
-                stop_scheduler_on_finish=not shared,
+                self._transfer_descriptor(system),
+                on_complete=finished,
+                shared=shared,
             )
-            engine.begin(
+        elif self.spec.kind == "memcpy":
+            from repro.api.backends import CopySpan, create_backend
+
+            span = CopySpan(
                 src_base=self.dram_base,
                 dst_base=self.dram_base + self.spec.total_bytes,
                 total_bytes=self.spec.total_bytes,
-                on_complete=finished,
+                tenant=self.spec.name,
+            )
+            create_backend("memcpy").begin(
+                system, span, on_complete=finished, shared=shared
             )
         else:  # trace
             replayer = TraceReplayer(system, self._resolve_trace(), tenant=self.spec.name)
@@ -393,7 +385,7 @@ class _TenantDriver:
 # ---------------------------------------------------------------------------
 
 
-def _allocate(
+def allocate_tenants(
     tenants: Sequence[TenantSpec], config: SystemConfig
 ) -> List[Tuple[int, int]]:
     """Deterministic disjoint ``(dram_base, pim_heap_offset)`` per tenant.
@@ -442,14 +434,24 @@ def _gather_tenant_stats(
     )
 
 
-def _run_tenants(
+def run_tenants(
     config: SystemConfig,
     design_point: DesignPoint,
     tenants: Sequence[TenantSpec],
     allocations: Sequence[Tuple[int, int]],
+    system_factory: Optional[Callable[[], PimSystem]] = None,
 ) -> List[TenantResult]:
-    """Run the given tenants concurrently on one fresh system."""
-    system = build_system(config=config, design_point=design_point)
+    """Run the given tenants concurrently on one fresh (or quiesced) system.
+
+    ``system_factory`` lets a :class:`repro.api.Session` supply its own
+    long-lived system (reset to the just-built state between calls) instead
+    of constructing a new one; the default builds a fresh system, which is
+    bit-identical.
+    """
+    if system_factory is not None:
+        system = system_factory()
+    else:
+        system = build_system(config=config, design_point=design_point)
     drivers = [
         _TenantDriver(spec, dram_base, heap_offset)
         for spec, (dram_base, heap_offset) in zip(tenants, allocations)
@@ -499,12 +501,24 @@ def _run_tenants(
     return [_gather_tenant_stats(system, driver) for driver in drivers]
 
 
+def validate_tenants(tenants: Sequence[TenantSpec]) -> List[TenantSpec]:
+    """Check a tenant list is runnable (non-empty, unique names)."""
+    specs = list(tenants)
+    if not specs:
+        raise ValueError("a scenario needs at least one tenant")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+    return specs
+
+
 def run_scenario(
     config: SystemConfig,
     design_point: DesignPoint,
     tenants: Sequence[TenantSpec],
     name: str = "scenario",
     include_isolated: bool = True,
+    system_factory: Optional[Callable[[], PimSystem]] = None,
 ) -> ScenarioOutcome:
     """Run a multi-tenant scenario and (optionally) its isolated baselines.
 
@@ -513,23 +527,32 @@ def run_scenario(
     identically configured system -- with the *same* buffer allocation, so the
     comparison isolates contention rather than address-mapping differences --
     and the per-tenant ``slowdown`` is the ratio of the two durations.
+
+    ``system_factory`` (see :func:`run_tenants`) makes every constituent run
+    reuse a caller-owned quiesced system; the isolated baselines then run
+    *before* the shared run, so the caller's system (and stats registry) is
+    left holding the shared run's state.
     """
-    specs = list(tenants)
-    if not specs:
-        raise ValueError("a scenario needs at least one tenant")
-    names = [spec.name for spec in specs]
-    if len(set(names)) != len(names):
-        raise ValueError(f"tenant names must be unique, got {names}")
-    allocations = _allocate(specs, config)
-    results = _run_tenants(config, design_point, specs, allocations)
+    specs = validate_tenants(tenants)
+    allocations = allocate_tenants(specs, config)
+    isolated_durations: List[Optional[float]] = [None] * len(specs)
     if include_isolated and len(specs) > 1:
         for index, spec in enumerate(specs):
             solo_spec = replace(spec, start_offset_ns=0.0)
-            solo = _run_tenants(
-                config, design_point, [solo_spec], [allocations[index]]
+            solo = run_tenants(
+                config,
+                design_point,
+                [solo_spec],
+                [allocations[index]],
+                system_factory=system_factory,
             )[0]
-            results[index].isolated_duration_ns = solo.duration_ns
-    elif include_isolated:
+            isolated_durations[index] = solo.duration_ns
+    results = run_tenants(
+        config, design_point, specs, allocations, system_factory=system_factory
+    )
+    for result, duration in zip(results, isolated_durations):
+        result.isolated_duration_ns = duration
+    if include_isolated and len(specs) == 1:
         # One tenant: the shared run *is* the isolated run.
         results[0].isolated_duration_ns = results[0].duration_ns
     return ScenarioOutcome(
@@ -545,5 +568,8 @@ __all__ = [
     "ScenarioOutcome",
     "TenantResult",
     "TenantSpec",
+    "allocate_tenants",
     "run_scenario",
+    "run_tenants",
+    "validate_tenants",
 ]

@@ -41,7 +41,7 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
 from repro.memctrl.request import MemoryRequest, RequestStream
 from repro.sim.config import CACHE_LINE_BYTES
 from repro.sim.stats import Histogram
-from repro.system import PimSystem
+from repro.system import PimSystem, TraceHookHandle
 from repro.workloads import streams
 
 TRACE_FORMAT = "repro-trace-v1"
@@ -154,7 +154,7 @@ class TraceRecorder:
         self.system = system
         self._streams = frozenset(streams) if streams is not None else None
         self._events: List[TraceEvent] = []
-        self._attached = False
+        self._handle: Optional["TraceHookHandle"] = None
 
     # -- capture -------------------------------------------------------------
     def _hook(self, request: MemoryRequest, time_ns: float) -> None:
@@ -171,15 +171,15 @@ class TraceRecorder:
         )
 
     def attach(self) -> "TraceRecorder":
-        if not self._attached:
-            self.system.attach_trace_hook(self._hook)
-            self._attached = True
+        if self._handle is None:
+            self._handle = self.system.attach_trace_hook(self._hook)
         return self
 
     def detach(self) -> None:
-        if self._attached:
-            self.system.detach_trace_hook(self._hook)
-            self._attached = False
+        """Stop capturing.  Idempotent, like the handle it delegates to."""
+        if self._handle is not None:
+            self._handle.detach()
+            self._handle = None
 
     def __enter__(self) -> "TraceRecorder":
         return self.attach()

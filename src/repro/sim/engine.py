@@ -186,6 +186,21 @@ class SimulationEngine:
         self._queue.clear()
         self._cancelled_pending = 0
 
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to 0 ns.
+
+        Used by :meth:`repro.system.PimSystem.reset_state` to make consecutive
+        runs on one long-lived system bit-identical to runs on freshly built
+        systems: with every component's absolute timestamps cleared alongside,
+        a run that starts at the rewound clock replays the exact same event
+        sequence as a cold start.  Calling it from inside :meth:`run` raises.
+        """
+        if self._running:
+            raise RuntimeError("cannot reset the engine while it is running")
+        self.drain()
+        self._now = 0.0
+        self._sequence = 0
+
     def __len__(self) -> int:
         """Number of live (non-cancelled) pending events, in O(1)."""
         return len(self._queue) - self._cancelled_pending

@@ -72,6 +72,15 @@ class Histogram:
         index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
         return ordered[index]
 
+    def extend(self, samples: List[float]) -> None:
+        """Bulk-append samples (used when merging per-channel histograms)."""
+        self._samples.extend(samples)
+
+    @property
+    def samples(self) -> List[float]:
+        """A copy of the raw samples, in insertion order."""
+        return list(self._samples)
+
     def reset(self) -> None:
         self._samples.clear()
 
@@ -169,17 +178,39 @@ class StatsRegistry:
         return self.bandwidth[name]
 
     def snapshot(self) -> Dict[str, float]:
-        """Flatten everything into a name -> value mapping (for reports)."""
+        """Flatten everything into a name -> value mapping.
+
+        The snapshot is a plain, picklable/JSON-able dict, so it can travel
+        inside a :class:`repro.api.RunResult` and through the on-disk result
+        cache.  Together with :meth:`reset` it lets a long-lived
+        :class:`repro.api.Session` isolate consecutive runs on one system:
+        snapshot after a run, reset before the next.
+        """
         snapshot: Dict[str, float] = {}
         for name, counter in self.counters.items():
             snapshot[f"counter/{name}"] = counter.value
         for name, histogram in self.histograms.items():
             snapshot[f"hist/{name}/count"] = float(histogram.count)
             snapshot[f"hist/{name}/mean"] = histogram.mean
+            snapshot[f"hist/{name}/p50"] = histogram.percentile(0.50)
+            snapshot[f"hist/{name}/p99"] = histogram.percentile(0.99)
         for name, tracker in self.bandwidth.items():
             snapshot[f"bw/{name}/total_bytes"] = float(tracker.total_bytes)
             snapshot[f"bw/{name}/avg_gbps"] = tracker.average_bandwidth_gbps()
         return snapshot
+
+    def merged_histogram(self, suffix: str, name: str = "merged") -> Histogram:
+        """Merge every histogram whose name ends with ``suffix`` into one.
+
+        Used by :class:`repro.api.Session` to aggregate the per-channel
+        ``<domain>/ch<N>/latency_ns`` histograms into a system-wide latency
+        distribution for the run result's p50/p99 fields.
+        """
+        merged = Histogram(name)
+        for hist_name, histogram in self.histograms.items():
+            if hist_name.endswith(suffix):
+                merged.extend(histogram.samples)
+        return merged
 
     def reset(self) -> None:
         for counter in self.counters.values():

@@ -39,6 +39,24 @@ from repro.sim.engine import SimulationEngine
 from repro.sim.stats import StatsRegistry
 
 
+class TraceHookHandle:
+    """Detachable registration of one trace hook (idempotent ``detach``)."""
+
+    def __init__(
+        self, system: "PimSystem", hook: Callable[[MemoryRequest, float], None]
+    ) -> None:
+        self._system = system
+        self._hook = hook
+
+    @property
+    def attached(self) -> bool:
+        return self._hook in self._system._trace_hooks
+
+    def detach(self) -> None:
+        """Remove the hook; safe to call any number of times."""
+        self._system.detach_trace_hook(self._hook)
+
+
 class PimSystem:
     """A fully wired simulated PIM server."""
 
@@ -116,20 +134,31 @@ class PimSystem:
 
     def attach_trace_hook(
         self, hook: Callable[[MemoryRequest, float], None]
-    ) -> None:
+    ) -> "TraceHookHandle":
         """Observe every accepted memory request (used by the trace recorder).
 
         The hook fires synchronously after a request is accepted into a
         controller queue, with ``(request, submit_time_ns)``.  Hooks must not
         mutate the request; they exist purely for capture.
+
+        Returns a :class:`TraceHookHandle` whose :meth:`~TraceHookHandle.detach`
+        removes the hook again; detaching is idempotent.
         """
         self._trace_hooks.append(hook)
+        return TraceHookHandle(self, hook)
 
     def detach_trace_hook(
         self, hook: Callable[[MemoryRequest, float], None]
     ) -> None:
-        """Remove a hook registered with :meth:`attach_trace_hook`."""
-        self._trace_hooks.remove(hook)
+        """Remove a hook registered with :meth:`attach_trace_hook`.
+
+        Idempotent: detaching a hook that is not (or no longer) attached is a
+        no-op, so teardown paths that run more than once stay raise-free.
+        """
+        try:
+            self._trace_hooks.remove(hook)
+        except ValueError:
+            pass
 
     def retry_when_possible(
         self, request: MemoryRequest, callback: Callable[[], None]
@@ -151,6 +180,31 @@ class PimSystem:
 
     def is_memory_idle(self) -> bool:
         return self.dram.is_idle() and self.pim.is_idle()
+
+    def reset_state(self) -> None:
+        """Return the quiesced system to its just-built state.
+
+        Rewinds the simulation clock to 0 ns and resets every component that
+        carries absolute timestamps or run-local state: channel controllers
+        (open rows, CAS history, refresh deadlines), the OS scheduler's run
+        queue, CPU busy-interval accounting, the LLC and the stats registry.
+        Pending simulation events are discarded (the memory systems must be
+        idle -- resetting mid-transfer raises).
+
+        A run started after ``reset_state`` is bit-identical to the same run
+        on a freshly built system, which is how :class:`repro.api.Session`
+        isolates consecutive runs without paying system construction again.
+        Trace hooks survive the reset: they are observer wiring, not run state.
+        """
+        if not self.is_memory_idle():
+            raise RuntimeError("cannot reset a system with memory requests in flight")
+        self.scheduler.reset()
+        self.engine.reset()
+        self.dram.reset()
+        self.pim.reset()
+        self.cpu.reset()
+        self.llc.reset()
+        self.stats.reset()
 
 
 def build_mapper(
@@ -185,4 +239,4 @@ def build_system(
     )
 
 
-__all__ = ["PimSystem", "build_mapper", "build_system"]
+__all__ = ["PimSystem", "TraceHookHandle", "build_mapper", "build_system"]

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from repro.host.contenders import ComputeContenderThread, MemoryContenderThread
+from repro.host.contenders import (
+    ComputeContenderThread,
+    MemoryContenderThread,
+    register_contender,
+)
 from repro.host.os_scheduler import SchedulableThread
 from repro.system import PimSystem
 from repro.workloads.microbench import ContenderFactory
@@ -57,5 +61,11 @@ def memory_contender_factory(
 
     return factory
 
+
+# The Figure 13 contender families, reachable by kind through
+# repro.host.contenders.create_contender_factory (and from there through
+# ContentionSpec and Session.transfer).
+register_contender("compute", compute_contender_factory)
+register_contender("memory", memory_contender_factory)
 
 __all__ = ["compute_contender_factory", "memory_contender_factory"]

@@ -16,21 +16,21 @@ figure's shape while keeping the cycle-level simulation tractable in Python.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from repro.core.dce import DataCopyEngine
 from repro.energy.system import EnergyBreakdown, SystemEnergyModel
 from repro.host.os_scheduler import SchedulableThread
 from repro.sim.config import (
     CACHE_LINE_BYTES,
-    DcePolicy,
     DesignPoint,
     SystemConfig,
 )
 from repro.system import PimSystem, build_system
 from repro.transfer.descriptor import TransferDescriptor, TransferDirection
 from repro.transfer.result import TransferResult
-from repro.upmem_runtime.engine import SoftwareTransferEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.backends import TransferBackend
 
 MIB = 1024 * 1024
 
@@ -113,20 +113,21 @@ def execute_transfer(
     system: PimSystem,
     descriptor: TransferDescriptor,
     contenders: Sequence[SchedulableThread] = (),
+    backend: Optional["TransferBackend"] = None,
 ) -> TransferResult:
-    """Dispatch a descriptor to the engine implied by the system's design point."""
-    design_point = system.design_point
-    if design_point is DesignPoint.BASELINE:
-        return SoftwareTransferEngine(system).execute(descriptor, contenders=contenders)
-    policy = DcePolicy.PIM_MS if design_point.uses_pim_ms else DcePolicy.SERIAL_PER_CORE
-    if contenders:
-        # Contenders occupy CPU cores independently of the DCE; they join the
-        # scheduler so their memory traffic competes with the offloaded
-        # transfer (Figure 13b), but they cannot slow the DCE down directly.
-        for contender in contenders:
-            system.scheduler.add_thread(contender)
-        system.scheduler.start()
-    return DataCopyEngine(system, policy=policy).execute(descriptor)
+    """Dispatch a descriptor to the backend implied by the system's design point.
+
+    The design-point -> backend rule lives in
+    :func:`repro.api.backends.default_backend_name`; pass ``backend`` to run
+    the same descriptor through a different registered stack.
+    """
+    # Imported lazily: repro.api composes engines from several subpackages
+    # (including this one), so a module-level import would be circular.
+    from repro.api.backends import resolve_backend
+
+    if backend is None:
+        backend = resolve_backend(system.design_point)
+    return backend.execute(system, descriptor, contenders=contenders)
 
 
 def run_transfer_experiment(
@@ -151,6 +152,36 @@ def run_transfer_experiment(
             config, os=replace(config.os, scheduling_quantum_ns=scheduling_quantum_ns)
         )
     system = build_system(config=config, design_point=design_point)
+    return run_transfer_experiment_on(
+        system,
+        direction,
+        total_bytes,
+        num_pim_cores=num_pim_cores,
+        sim_cap_bytes=sim_cap_bytes,
+        contender_factory=contender_factory,
+    )
+
+
+def run_transfer_experiment_on(
+    system: PimSystem,
+    direction: TransferDirection,
+    total_bytes: int,
+    num_pim_cores: Optional[int] = None,
+    sim_cap_bytes: int = 1 * MIB,
+    contender_factory: Optional[ContenderFactory] = None,
+    backend: Optional["TransferBackend"] = None,
+) -> TransferExperiment:
+    """Run one transfer experiment on an already-built (quiesced) system.
+
+    The on-system variant of :func:`run_transfer_experiment`; it is what
+    :meth:`repro.api.Session.transfer` calls against the session's long-lived
+    system.  ``backend`` overrides the design point's default transfer stack.
+    """
+    from repro.api.backends import resolve_backend
+
+    config = system.config
+    if backend is None:
+        backend = resolve_backend(system.design_point)
     cores = num_pim_cores if num_pim_cores is not None else system.topology.num_dpus
     core_ids = list(range(cores))
 
@@ -172,14 +203,16 @@ def run_transfer_experiment(
         pim_core_ids=core_ids,
     )
     contenders = tuple(contender_factory(system)) if contender_factory else ()
-    raw_result = execute_transfer(system, sim_descriptor, contenders=contenders)
+    raw_result = execute_transfer(
+        system, sim_descriptor, contenders=contenders, backend=backend
+    )
     factor = requested_per_core / simulated_per_core
     result = _scale_result(raw_result, full_descriptor, factor)
 
     energy_model = SystemEnergyModel(config)
-    energy = energy_model.evaluate(result, include_pim_mmu=design_point.uses_dce)
+    energy = energy_model.evaluate(result, include_pim_mmu=backend.uses_dce)
     return TransferExperiment(
-        design_point=design_point,
+        design_point=system.design_point,
         direction=direction,
         requested_bytes=requested_bytes,
         simulated_bytes=simulated_bytes,
@@ -244,4 +277,5 @@ __all__ = [
     "extrapolate_experiment",
     "per_core_bytes",
     "run_transfer_experiment",
+    "run_transfer_experiment_on",
 ]

@@ -1,0 +1,154 @@
+"""Tests for the TransferBackend registry (repro.api.backends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.backends import (
+    CopySpan,
+    available_backends,
+    create_backend,
+    default_backend_name,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.sim.config import DcePolicy, DesignPoint
+from repro.system import build_system
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+
+
+def _descriptor(config, size_per_core=512):
+    return TransferDescriptor.contiguous(
+        TransferDirection.DRAM_TO_PIM,
+        dram_base=0,
+        size_per_core_bytes=size_per_core,
+        pim_core_ids=range(config.num_pim_cores),
+    )
+
+
+class TestRegistry:
+    def test_builtin_backends_are_registered(self):
+        assert set(available_backends()) >= {"pim_mmu", "dce_serial", "software", "memcpy"}
+
+    def test_every_registered_backend_instantiates(self):
+        for name in available_backends():
+            backend = create_backend(name)
+            assert backend.name == name
+            assert backend.description
+            assert isinstance(backend.uses_dce, bool)
+
+    def test_unknown_backend_is_rejected_with_known_names(self):
+        with pytest.raises(KeyError, match="pim_mmu"):
+            create_backend("quantum_teleport")
+
+    def test_duplicate_registration_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("pim_mmu", lambda: None)
+
+    def test_custom_backend_registers_and_resolves(self):
+        class NullBackend:
+            name = "null"
+            description = "does nothing"
+            uses_dce = False
+
+            def accepts(self, work):
+                return False
+
+            def execute(self, system, work, contenders=()):
+                raise NotImplementedError
+
+            def begin(self, system, work, on_complete=None, shared=False):
+                raise NotImplementedError
+
+        register_backend("null", NullBackend)
+        try:
+            assert "null" in available_backends()
+            assert resolve_backend(DesignPoint.BASE_DHP, "null").name == "null"
+        finally:
+            unregister_backend("null")
+        assert "null" not in available_backends()
+
+
+class TestDesignPointResolution:
+    def test_every_design_point_has_a_default(self):
+        for point in DesignPoint:
+            name = default_backend_name(point)
+            assert name in available_backends()
+
+    def test_default_mapping_matches_the_paper(self):
+        assert default_backend_name(DesignPoint.BASELINE) == "software"
+        assert default_backend_name(DesignPoint.BASE_D) == "dce_serial"
+        assert default_backend_name(DesignPoint.BASE_DH) == "dce_serial"
+        assert default_backend_name(DesignPoint.BASE_DHP) == "pim_mmu"
+
+    def test_dce_policies(self):
+        assert create_backend("pim_mmu").policy is DcePolicy.PIM_MS
+        assert create_backend("dce_serial").policy is DcePolicy.SERIAL_PER_CORE
+
+
+class TestWorkTypes:
+    def test_descriptor_backend_rejects_copy_span(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        backend = create_backend("pim_mmu")
+        assert not backend.accepts(CopySpan(0, 64, 64))
+        with pytest.raises(TypeError, match="TransferDescriptor"):
+            backend.execute(system, CopySpan(0, 64, 64))
+
+    def test_memcpy_backend_rejects_descriptor(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        backend = create_backend("memcpy")
+        descriptor = _descriptor(small_config)
+        assert not backend.accepts(descriptor)
+        with pytest.raises(TypeError, match="CopySpan"):
+            backend.execute(system, descriptor)
+
+    def test_copy_span_validates_size(self):
+        with pytest.raises(ValueError):
+            CopySpan(src_base=0, dst_base=64, total_bytes=0)
+
+
+class TestBackendExecution:
+    def test_backend_execute_matches_direct_engine(self, small_config):
+        from repro.core.dce import DataCopyEngine
+
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        via_backend = create_backend("pim_mmu").execute(system, _descriptor(small_config))
+        fresh = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        direct = DataCopyEngine(fresh).execute(_descriptor(small_config))
+        assert via_backend.duration_ns == direct.duration_ns
+        assert via_backend.pim_write_bytes == direct.pim_write_bytes
+
+    def test_memcpy_backend_matches_direct_engine(self, small_config):
+        from repro.workloads.memcpy import MemcpyEngine
+
+        span = CopySpan(src_base=0, dst_base=1 << 20, total_bytes=128 * 1024)
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        via_backend = create_backend("memcpy").execute(system, span)
+        fresh = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        direct = MemcpyEngine(fresh).execute(
+            src_base=span.src_base, dst_base=span.dst_base, total_bytes=span.total_bytes
+        )
+        assert via_backend.duration_ns == direct.duration_ns
+        assert via_backend.dram_write_bytes == direct.dram_write_bytes
+
+
+class TestContenderRegistry:
+    def test_builtin_contender_kinds(self):
+        from repro.host.contenders import available_contenders
+
+        assert set(available_contenders()) >= {"compute", "memory"}
+
+    def test_unknown_contender_kind_is_rejected(self):
+        from repro.host.contenders import create_contender_factory
+
+        with pytest.raises(KeyError, match="compute"):
+            create_contender_factory("gpu")
+
+    def test_contention_spec_goes_through_the_registry(self, small_config):
+        from repro.exp.spec import ContentionSpec
+
+        system = build_system(config=small_config, design_point=DesignPoint.BASELINE)
+        contenders = ContentionSpec("memory", 2, "high").factory()(system)
+        assert len(contenders) == 2
+        assert all(thread.intensity == "high" for thread in contenders)

@@ -1,0 +1,309 @@
+"""Tests for the Session facade and the RunResult schema (repro.api)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    RUN_RESULT_SCHEMA_VERSION,
+    RunResult,
+    Session,
+    SessionBuilder,
+)
+from repro.scenarios.tenant import TenantSpec, run_scenario
+from repro.scenarios.trace import synthesize_trace
+from repro.sim.config import DesignPoint
+from repro.transfer.descriptor import TransferDirection
+
+KIB = 1024
+
+
+def _transfer_key(result):
+    """Comparable fingerprint of a TransferResult."""
+    return (
+        result.start_ns,
+        result.end_ns,
+        result.cpu_core_busy_ns,
+        result.dram_read_bytes,
+        result.dram_write_bytes,
+        result.pim_read_bytes,
+        result.pim_write_bytes,
+        tuple(sorted(result.per_channel_pim_bytes.items())),
+    )
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, small_config):
+        with Session.open(config=small_config) as session:
+            session.transfer(total_bytes=32 * KIB)
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.transfer(total_bytes=32 * KIB)
+
+    def test_close_is_idempotent(self, small_config):
+        session = Session.open(config=small_config)
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_default_design_point_is_full_pim_mmu(self, small_config):
+        session = Session.open(config=small_config)
+        assert session.design_point is DesignPoint.BASE_DHP
+        assert session.backend_name == "pim_mmu"
+
+    def test_session_owns_one_engine_stats_system(self, small_config):
+        with Session.open(config=small_config) as session:
+            assert session.system.engine is session.engine
+            assert session.system.stats is session.stats
+            first = session.system
+            session.transfer(total_bytes=32 * KIB)
+            assert session.system is first
+
+    def test_unknown_backend_fails_fast(self, small_config):
+        with pytest.raises(KeyError):
+            Session.open(config=small_config, backend="warp_drive")
+
+    def test_builder_fluent_chain(self, small_config):
+        session = (
+            SessionBuilder()
+            .config(small_config)
+            .baseline()
+            .jobs(2)
+            .open()
+        )
+        assert session.design_point is DesignPoint.BASELINE
+        assert session.backend_name == "software"
+        assert session.provider.jobs == 2
+
+
+class TestTransfer:
+    def test_transfer_matches_legacy_spec_path(self, small_config):
+        from repro.exp.spec import TransferSpec
+
+        with Session.open(config=small_config) as session:
+            ours = session.transfer(total_bytes=64 * KIB)
+        legacy = TransferSpec(
+            DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM, 64 * KIB
+        ).run(small_config)
+        assert _transfer_key(ours.raw.result) == _transfer_key(legacy.result)
+        assert ours.energy_joules == legacy.energy_joules
+
+    def test_back_to_back_runs_match_fresh_runs(self, small_config):
+        """Two runs on one session == two runs on two fresh sessions (satellite)."""
+        with Session.open(config=small_config) as session:
+            first = session.transfer(total_bytes=64 * KIB)
+            second = session.transfer(total_bytes=64 * KIB)
+        fresh = []
+        for _ in range(2):
+            with Session.open(config=small_config) as session:
+                fresh.append(session.transfer(total_bytes=64 * KIB))
+        assert _transfer_key(first.raw.result) == _transfer_key(fresh[0].raw.result)
+        assert _transfer_key(second.raw.result) == _transfer_key(fresh[1].raw.result)
+        assert first.stats == second.stats == fresh[0].stats
+
+    def test_backend_override_per_call(self, small_config):
+        with Session.open(config=small_config) as session:
+            default = session.transfer(total_bytes=32 * KIB)
+            serial = session.transfer(total_bytes=32 * KIB, backend="dce_serial")
+        assert default.backend == "pim_mmu"
+        assert serial.backend == "dce_serial"
+        # PIM-MS keeps far more chunks in flight than the serial DMA window.
+        assert default.duration_ns < serial.duration_ns
+
+    def test_memcpy_backend_transfer(self, small_config):
+        with Session.open(config=small_config) as session:
+            result = session.transfer(total_bytes=128 * KIB, backend="memcpy")
+        assert result.backend == "memcpy"
+        assert result.requested_bytes == 128 * KIB
+        assert result.throughput_gbps > 0
+        assert result.raw.dram_write_bytes == 128 * KIB
+
+    def test_transfer_populates_latency_and_stats(self, small_config):
+        with Session.open(config=small_config) as session:
+            result = session.transfer(total_bytes=64 * KIB)
+        assert result.requests > 0
+        assert 0 < result.p50_latency_ns <= result.p99_latency_ns
+        assert any(key.startswith("counter/") for key in result.stats)
+
+    def test_contention_slows_the_baseline(self, small_config):
+        from repro.exp.spec import ContentionSpec
+
+        with Session.open(
+            config=small_config, design_point=DesignPoint.BASELINE
+        ) as session:
+            quiet = session.transfer(total_bytes=64 * KIB)
+            contended = session.transfer(
+                total_bytes=64 * KIB, contention=ContentionSpec("compute", 8)
+            )
+        assert contended.duration_ns > quiet.duration_ns
+
+
+class TestReplay:
+    def test_replay_matches_legacy_replayer(self, small_config):
+        from repro.scenarios.trace import TraceReplayer
+        from repro.system import build_system
+
+        trace = synthesize_trace("bursty", total_bytes=64 * KIB, mean_gap_ns=4.0)
+        with Session.open(config=small_config) as session:
+            ours = session.replay(trace)
+        legacy = TraceReplayer(
+            build_system(config=small_config, design_point=DesignPoint.BASE_DHP), trace
+        ).execute()
+        assert ours.duration_ns == legacy.duration_ns
+        assert ours.requests == legacy.completed
+        assert ours.p99_latency_ns == legacy.p99_latency_ns
+        assert ours.extra["deferred"] == float(legacy.deferred)
+
+    def test_replay_accepts_a_trace_file(self, small_config, tmp_path):
+        from repro.scenarios.trace import save_trace
+
+        trace = synthesize_trace("uniform", total_bytes=16 * KIB)
+        path = save_trace(trace, tmp_path / "t.jsonl")
+        with Session.open(config=small_config) as session:
+            from_file = session.replay(path)
+            again = session.replay(trace)
+        assert from_file.duration_ns == again.duration_ns
+
+    def test_replay_rejects_garbage(self, small_config):
+        with Session.open(config=small_config) as session:
+            with pytest.raises(TypeError, match="Trace"):
+                session.replay(42)
+
+
+class TestMix:
+    def test_two_tenant_mix_matches_legacy_run_scenario(self, small_config):
+        tenants = (
+            TenantSpec.transfer("xfer", total_bytes=64 * KIB),
+            TenantSpec.memcpy("copy", total_bytes=64 * KIB),
+        )
+        with Session.open(config=small_config) as session:
+            ours = session.mix(tenants, name="pair")
+        legacy = run_scenario(
+            small_config, DesignPoint.BASE_DHP, tenants, name="pair"
+        )
+        assert ours.kind == "mix"
+        assert len(ours.tenants) == 2
+        for mine, theirs in zip(ours.tenants, legacy.tenants):
+            assert mine.name == theirs.name
+            assert mine.start_ns == theirs.start_ns
+            assert mine.end_ns == theirs.end_ns
+            assert mine.p99_latency_ns == theirs.p99_latency_ns
+            assert mine.slowdown == theirs.slowdown
+
+    def test_mix_aggregates(self, small_config):
+        tenants = (
+            TenantSpec.synthetic("a", "uniform", total_bytes=32 * KIB),
+            TenantSpec.synthetic("b", "skewed", total_bytes=32 * KIB),
+        )
+        with Session.open(config=small_config) as session:
+            result = session.mix(tenants, include_isolated=False)
+        assert result.requested_bytes == 64 * KIB
+        assert result.per_tenant["a"].slowdown is None  # no isolated baselines
+        assert result.duration_ns > 0
+
+
+class TestRunWorkload:
+    def test_registered_scenario_by_name(self, small_config):
+        with Session.open(config=small_config) as session:
+            result = session.run_workload("solo-transfer")
+        assert result.kind == "mix"
+        assert [t.name for t in result.tenants] == ["xfer"]
+
+    def test_unknown_scenario_name(self, small_config):
+        with Session.open(config=small_config) as session:
+            with pytest.raises(KeyError, match="solo-transfer"):
+                session.run_workload("does-not-exist")
+
+    def test_transfer_spec_workload_is_memoised(self, small_config):
+        from repro.exp.spec import TransferSpec
+
+        spec = TransferSpec(
+            DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM, 32 * KIB
+        )
+        with Session.open(config=small_config) as session:
+            first = session.run_workload(spec)
+            second = session.run_workload(spec)
+            memo_hits = session.provider.stats.memo_hits
+        assert first.kind == "transfer"
+        assert first.backend == "pim_mmu"
+        assert memo_hits >= 1
+        assert first.duration_ns == second.duration_ns
+
+    def test_scalar_workload_is_wrapped(self, small_config):
+        from repro.exp.spec import ReadBandwidthSpec
+        from repro.workloads.patterns import AccessPattern
+
+        spec = ReadBandwidthSpec(
+            AccessPattern.SEQUENTIAL, DesignPoint.BASELINE, total_bytes=64 * KIB
+        )
+        with Session.open(config=small_config) as session:
+            result = session.run_workload(spec)
+        assert result.kind == "workload"
+        assert result.extra["value"] == result.raw > 0
+
+    def test_rejects_non_specs(self, small_config):
+        with Session.open(config=small_config) as session:
+            with pytest.raises(TypeError, match="ExperimentSpec"):
+                session.run_workload(3.14)
+
+
+class TestRecorderIntegration:
+    def test_record_then_replay_on_one_session(self, small_config):
+        with Session.open(config=small_config) as session:
+            with session.recorder() as recorder:
+                session.transfer(total_bytes=32 * KIB)
+            trace = recorder.trace()
+            assert len(trace) > 0
+            replayed = session.replay(trace)
+        assert replayed.requests == len(trace)
+
+
+class TestRunResultSchema:
+    def test_json_roundtrip(self, small_config):
+        with Session.open(config=small_config) as session:
+            result = session.mix(
+                (
+                    TenantSpec.transfer("xfer", total_bytes=32 * KIB),
+                    TenantSpec.memcpy("copy", total_bytes=32 * KIB),
+                ),
+            )
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = RunResult.from_dict(payload)
+        assert rebuilt.schema_version == RUN_RESULT_SCHEMA_VERSION
+        assert rebuilt.kind == result.kind
+        assert rebuilt.requested_bytes == result.requested_bytes
+        assert rebuilt.duration_ns == result.duration_ns
+        assert [t.name for t in rebuilt.tenants] == [t.name for t in result.tenants]
+        assert rebuilt.tenants[0].throughput_gbps == result.tenants[0].throughput_gbps
+
+    def test_newer_schema_versions_are_rejected(self):
+        with pytest.raises(ValueError, match="schema version"):
+            RunResult.from_dict(
+                {"schema_version": RUN_RESULT_SCHEMA_VERSION + 1, "kind": "transfer"}
+            )
+
+    def test_result_serializes_through_the_result_cache(self, small_config, tmp_path):
+        from repro.exp.cache import ResultCache
+        from repro.exp.spec import TransferSpec
+
+        with Session.open(config=small_config) as session:
+            result = session.transfer(total_bytes=32 * KIB)
+        cache = ResultCache(tmp_path / "cache")
+        spec = TransferSpec(
+            DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM, 32 * KIB
+        )
+        cache.put(small_config, spec, result)
+        restored = cache.get(small_config, spec)
+        assert isinstance(restored, RunResult)
+        assert restored.duration_ns == result.duration_ns
+        assert restored.stats == result.stats
+
+    def test_speedup_over(self, small_config):
+        with Session.open(config=small_config) as fast, Session.open(
+            config=small_config, design_point=DesignPoint.BASELINE
+        ) as slow:
+            a = fast.transfer(total_bytes=64 * KIB)
+            b = slow.transfer(total_bytes=64 * KIB)
+        assert a.speedup_over(b) == b.duration_ns / a.duration_ns

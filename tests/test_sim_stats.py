@@ -97,3 +97,47 @@ class TestStatsRegistry:
         assert snapshot["bw/bw/total_bytes"] == 128
         stats.reset()
         assert stats.counter("served").value == 0
+
+
+class TestSnapshotPercentiles:
+    def test_snapshot_includes_histogram_percentiles(self, stats):
+        histogram = stats.histogram("latency")
+        for sample in range(1, 101):
+            histogram.add(float(sample))
+        snapshot = stats.snapshot()
+        assert snapshot["hist/latency/p50"] == histogram.percentile(0.50)
+        assert snapshot["hist/latency/p99"] == histogram.percentile(0.99)
+
+    def test_snapshot_reset_snapshot_roundtrip(self, stats):
+        """A Session isolates runs by snapshotting then resetting (satellite)."""
+        stats.counter("served").add(3)
+        stats.histogram("lat").add(10.0)
+        before = stats.snapshot()
+        stats.reset()
+        cleared = stats.snapshot()
+        assert before["counter/served"] == 3
+        assert cleared["counter/served"] == 0
+        assert cleared["hist/lat/count"] == 0
+        # The key set is stable across reset, so snapshots stay comparable.
+        assert set(before) == set(cleared)
+
+
+class TestMergedHistogram:
+    def test_merges_matching_suffixes(self, stats):
+        stats.histogram("dram/ch0/latency_ns").add(10.0)
+        stats.histogram("dram/ch1/latency_ns").add(30.0)
+        stats.histogram("pim/ch0/latency_ns").add(20.0)
+        stats.histogram("dram/ch0/other").add(999.0)
+        merged = stats.merged_histogram("/latency_ns")
+        assert merged.count == 3
+        assert merged.mean == 20.0
+
+    def test_histogram_samples_and_extend(self):
+        from repro.sim.stats import Histogram
+
+        source = Histogram("a")
+        source.add(1.0)
+        sink = Histogram("b")
+        sink.extend(source.samples)
+        sink.extend([2.0])
+        assert sink.samples == [1.0, 2.0]

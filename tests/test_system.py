@@ -88,3 +88,83 @@ class TestSubmitAndDecode:
         system = build_system(config=small_config)
         with pytest.raises(ValueError):
             system.domain_system("flash")
+
+
+class TestTraceHooks:
+    def _hook(self):
+        captured = []
+        return captured, lambda request, now: captured.append((request, now))
+
+    def test_attach_returns_a_detach_handle(self, small_config):
+        system = build_system(config=small_config)
+        captured, hook = self._hook()
+        handle = system.attach_trace_hook(hook)
+        assert handle.attached
+        assert system.submit(MemoryRequest(phys_addr=0, is_write=False))
+        assert len(captured) == 1
+        handle.detach()
+        assert not handle.attached
+        assert system.submit(MemoryRequest(phys_addr=64, is_write=False))
+        assert len(captured) == 1
+
+    def test_detach_is_idempotent(self, small_config):
+        system = build_system(config=small_config)
+        _, hook = self._hook()
+        handle = system.attach_trace_hook(hook)
+        handle.detach()
+        handle.detach()  # raise-free on double-detach (satellite)
+        system.detach_trace_hook(hook)  # and on the direct API too
+
+    def test_detaching_an_unknown_hook_is_a_no_op(self, small_config):
+        system = build_system(config=small_config)
+        system.detach_trace_hook(lambda request, now: None)
+
+
+class TestResetState:
+    def test_reset_rewinds_the_clock_and_clears_state(self, small_config):
+        system = build_system(config=small_config)
+        assert system.submit(MemoryRequest(phys_addr=0, is_write=False))
+        system.engine.run()
+        assert system.now > 0
+        system.reset_state()
+        assert system.now == 0.0
+        assert len(system.engine) == 0
+        assert system.dram.read_bytes() == 0  # stats were reset too
+
+    def test_reset_refuses_requests_in_flight(self, small_config):
+        system = build_system(config=small_config)
+        assert system.submit(MemoryRequest(phys_addr=0, is_write=False))
+        with pytest.raises(RuntimeError, match="in flight"):
+            system.reset_state()
+
+    def test_back_to_back_requests_are_bit_identical_to_fresh(self, small_config):
+        def burst(system):
+            finished = []
+            for index in range(32):
+                assert system.submit(
+                    MemoryRequest(
+                        phys_addr=index * 64,
+                        is_write=False,
+                        on_complete=lambda r: finished.append((r.issue_ns, r.latency_ns)),
+                    )
+                )
+            system.engine.run()
+            return finished
+
+        system = build_system(config=small_config)
+        first = burst(system)
+        system.reset_state()
+        second = burst(system)
+        fresh = burst(build_system(config=small_config))
+        assert first == fresh
+        assert second == fresh
+
+    def test_trace_hooks_survive_reset(self, small_config):
+        system = build_system(config=small_config)
+        captured = []
+        system.attach_trace_hook(lambda request, now: captured.append(now))
+        assert system.submit(MemoryRequest(phys_addr=0, is_write=False))
+        system.engine.run()
+        system.reset_state()
+        assert system.submit(MemoryRequest(phys_addr=0, is_write=False))
+        assert len(captured) == 2

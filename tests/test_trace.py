@@ -216,3 +216,14 @@ class TestReplay:
         replayer.execute()
         with pytest.raises(RuntimeError):
             replayer.begin()
+
+
+class TestRecorderDetach:
+    def test_recorder_detach_is_idempotent(self, small_config):
+        system = build_system(config=small_config)
+        recorder = TraceRecorder(system).attach()
+        recorder.detach()
+        recorder.detach()  # raise-free on double-detach (satellite)
+        with TraceRecorder(system) as ctx:
+            pass
+        ctx.detach()  # also after the context manager already detached
