@@ -48,6 +48,7 @@ from repro.api import (
     default_backend_name,
     register_backend,
 )
+from repro.memctrl.policies import available_policies, register_policy
 from repro.sim.config import (
     CpuConfig,
     DcePolicy,
@@ -112,7 +113,9 @@ __all__ = [
     "TransferResult",
     "__version__",
     "available_backends",
+    "available_policies",
     "build_system",
     "default_backend_name",
     "register_backend",
+    "register_policy",
 ]

@@ -77,7 +77,17 @@ class Session:
         backend: Optional[str] = None,
         cache=None,
         jobs: int = 1,
+        memctrl_policy: Optional[str] = None,
     ) -> None:
+        if memctrl_policy is not None:
+            from dataclasses import replace as _replace
+
+            from repro.memctrl.policies import create_policy
+
+            create_policy(memctrl_policy)  # fail fast on unknown specs
+            config = _replace(
+                config, memctrl=_replace(config.memctrl, policy=memctrl_policy)
+            )
         self.config = config
         self.design_point = design_point
         self._backend_name = backend
@@ -101,12 +111,15 @@ class Session:
         backend: Optional[str] = None,
         cache=None,
         jobs: int = 1,
+        memctrl_policy: Optional[str] = None,
     ) -> "Session":
         """Open a session on ``config`` (Table I by default) and a design point.
 
         ``backend`` overrides the design point's default transfer backend for
-        :meth:`transfer`; ``cache``/``jobs`` configure the experiment provider
-        behind :meth:`run_workload`.
+        :meth:`transfer`; ``memctrl_policy`` selects a registered
+        memory-scheduler policy spec (``repro policies`` lists them; the
+        default is the config's FR-FCFS); ``cache``/``jobs`` configure the
+        experiment provider behind :meth:`run_workload`.
         """
         return cls(
             config=config if config is not None else SystemConfig.paper_baseline(),
@@ -114,6 +127,7 @@ class Session:
             backend=backend,
             cache=cache,
             jobs=jobs,
+            memctrl_policy=memctrl_policy,
         )
 
     @classmethod
@@ -541,6 +555,7 @@ class SessionBuilder:
         self._backend: Optional[str] = None
         self._cache = None
         self._jobs = 1
+        self._memctrl_policy: Optional[str] = None
 
     def config(self, config: SystemConfig) -> "SessionBuilder":
         self._config = config
@@ -569,6 +584,11 @@ class SessionBuilder:
         self._backend = name
         return self
 
+    def policy(self, spec: str) -> "SessionBuilder":
+        """Select a registered memory-scheduler policy (``repro policies``)."""
+        self._memctrl_policy = spec
+        return self
+
     def cache(self, cache) -> "SessionBuilder":
         """Attach a :class:`~repro.exp.cache.ResultCache` (or a root path)."""
         if isinstance(cache, (str, Path)):
@@ -591,6 +611,7 @@ class SessionBuilder:
             backend=self._backend,
             cache=self._cache,
             jobs=self._jobs,
+            memctrl_policy=self._memctrl_policy,
         )
 
 

@@ -23,7 +23,9 @@ point, :class:`~repro.sim.config.DcePolicy`).
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
+from functools import partial
 from typing import TYPE_CHECKING, Callable, Deque, Dict, Iterator, Optional
 
 from repro.core.pim_ms import PimAwareScheduler, ScheduledAccess
@@ -47,14 +49,28 @@ class DataCopyEngine:
         # Transfer-in-progress state.
         self._iterator: Optional[Iterator[ScheduledAccess]] = None
         self._descriptor: Optional[TransferDescriptor] = None
+        self._max_in_flight = self.max_in_flight
         self._in_flight = 0
         self._writes_outstanding = 0
         self._completed_chunks = 0
         self._total_chunks = 0
-        # Parked work, stored as (access, target_key) pairs so retries can skip
-        # channels that are already known to be full.
-        self._pending_writes: Deque[tuple] = deque()
+        # Parked writes, grouped per target (domain, channel, direction) key.
+        # Each deque holds (park_seq, access, request) triples in FIFO order;
+        # the park_seq preserves the *global* arrival order across targets, so
+        # a retry pass attempts parked writes in exactly the order the seed's
+        # single rotated deque did -- without touching the entries whose
+        # target is already known to be full.  (The write pass never returns
+        # early, so a full pass preserves relative order; the read pass *can*
+        # return early mid-pass, which leaves the seed's deque rotated, so
+        # deferred reads keep the seed's single-deque form.)  Requests are
+        # built (and pre-decoded) once when first parked, never again.
+        self._parked_writes: Dict[tuple, Deque[tuple]] = {}
         self._deferred_reads: Deque[tuple] = deque()
+        #: Multiset of target keys present in the deferred-read deque, so a
+        #: pump can prove in O(#channels) that the whole retry pass would be
+        #: a no-op (every represented target still full).
+        self._deferred_keys: Dict[tuple, int] = {}
+        self._park_seq = 0
         self._retry_channels: set = set()
         self._done = False
         self._finish_ns = 0.0
@@ -128,13 +144,16 @@ class DataCopyEngine:
         self._completed_chunks = 0
         self._in_flight = 0
         self._writes_outstanding = 0
-        self._pending_writes.clear()
+        self._parked_writes.clear()
         self._deferred_reads.clear()
+        self._deferred_keys.clear()
+        self._park_seq = 0
         self._retry_channels.clear()
         self._done = False
         self._result = None
         self._on_complete = on_complete
         self.offsets = {core: 0 for core in descriptor.pim_core_ids}
+        self._max_in_flight = self.max_in_flight
         if self.policy is DcePolicy.PIM_MS:
             self._iterator = self.scheduler.schedule(descriptor)
         else:
@@ -224,65 +243,143 @@ class DataCopyEngine:
         """
         if self._done:
             return
-        # Channels observed full during this pass; parked entries targeting
-        # them are skipped instead of re-attempted, keeping the pass O(queue).
+        max_in_flight = self._max_in_flight
+        system = self.system
+        # Targets observed full during this pass are abandoned immediately;
+        # the per-target parking means their other parked entries are never
+        # even visited (the seed rotated every parked entry through a deque
+        # on every pass).  A key still awaiting its slot-listener retry is
+        # *provably* full -- any freed slot fires the retry (which clears the
+        # key) before control returns here -- so attempts on it are the
+        # no-ops the seed performed and can be skipped outright.
+        retry_channels = self._retry_channels
         full_targets: set = set()
-        # 1. Drain data-buffer entries whose write can now be enqueued.
-        for _ in range(len(self._pending_writes)):
-            access, key = self._pending_writes.popleft()
-            if key in full_targets:
-                self._pending_writes.append((access, key))
-                continue
-            submitted, key = self._submit_write(access)
-            if not submitted:
-                full_targets.add(key)
-                self._pending_writes.append((access, key))
-        # 2. Retry reads that were previously blocked on a full read queue.
-        for _ in range(len(self._deferred_reads)):
-            if self._in_flight >= self.max_in_flight:
-                return
-            access, key = self._deferred_reads.popleft()
-            if key in full_targets:
-                self._deferred_reads.append((access, key))
-                continue
-            submitted, key = self._submit_read(access)
-            if not submitted:
-                full_targets.add(key)
-                self._deferred_reads.append((access, key))
-        # 3. Pull new accesses from the PIM-MS schedule.
-        while (
-            self._in_flight < self.max_in_flight
-            and len(self._deferred_reads) < self.max_in_flight
+        # 1. Drain data-buffer entries whose write can now be enqueued, in
+        # global park order across targets (min-heap over per-target heads).
+        parked_writes = self._parked_writes
+        if parked_writes and any(
+            key not in retry_channels for key in parked_writes
         ):
-            assert self._iterator is not None
-            access = next(self._iterator, None)
+            heap = [(dq[0][0], key) for key, dq in parked_writes.items()]
+            heapq.heapify(heap)
+            while heap:
+                _, key = heapq.heappop(heap)
+                if key in retry_channels or key in full_targets:
+                    continue
+                dq = parked_writes[key]
+                entry = dq[0]
+                if self._submit_write(entry[1], request=entry[2]):
+                    dq.popleft()
+                    if dq:
+                        heapq.heappush(heap, (dq[0][0], key))
+                    else:
+                        del parked_writes[key]
+                else:
+                    full_targets.add(key)
+        # 2. Retry reads that were previously blocked on a full read queue.
+        # The seed's rotation semantics are kept exactly: a mid-pass window
+        # stall leaves the unprocessed tail ahead of this pass's skipped
+        # entries for the next pass.
+        deferred = self._deferred_reads
+        if deferred and not all(
+            key in retry_channels or key in full_targets
+            for key in self._deferred_keys
+        ):
+            if self._in_flight >= max_in_flight:
+                # The pass would stall on its very first entry (the seed's
+                # first loop iteration); the deque is untouched in that case,
+                # so skip the snapshot entirely -- this is the steady-state
+                # common case while the read window is saturated.
+                return
+            entries = list(deferred)
+            kept = []
+            for index, entry in enumerate(entries):
+                if self._in_flight >= max_in_flight:
+                    deferred.clear()
+                    deferred.extend(entries[index:])
+                    deferred.extend(kept)
+                    return
+                key = entry[1]
+                if key in retry_channels or key in full_targets:
+                    kept.append(entry)
+                    continue
+                if self._submit_read(entry[0], request=entry[2]):
+                    count = self._deferred_keys[key] - 1
+                    if count:
+                        self._deferred_keys[key] = count
+                    else:
+                        del self._deferred_keys[key]
+                else:
+                    full_targets.add(key)
+                    kept.append(entry)
+            deferred.clear()
+            deferred.extend(kept)
+        # 3. Pull new accesses from the PIM-MS schedule.
+        iterator = self._iterator
+        while self._in_flight < max_in_flight and len(deferred) < max_in_flight:
+            assert iterator is not None
+            access = next(iterator, None)
             if access is None:
                 return
-            submitted, key = self._submit_read(access, skip_targets=full_targets)
-            if not submitted:
+            request = self._build_request(access, is_write=False)
+            key = self._target_key(request)
+            if key in retry_channels or key in full_targets:
+                deferred.append((access, key, request))
+                self._deferred_keys[key] = self._deferred_keys.get(key, 0) + 1
+                continue
+            if not system.submit(request):
+                self._register_retry(request, key)
                 full_targets.add(key)
-                self._deferred_reads.append((access, key))
+                deferred.append((access, key, request))
+                self._deferred_keys[key] = self._deferred_keys.get(key, 0) + 1
+                continue
+            self._in_flight += 1
+
+    def _park_write(self, key: tuple, access: ScheduledAccess, request: MemoryRequest) -> None:
+        dq = self._parked_writes.get(key)
+        if dq is None:
+            dq = self._parked_writes[key] = deque()
+        dq.append((self._park_seq, access, request))
+        self._park_seq += 1
 
     def _build_request(self, access: ScheduledAccess, is_write: bool) -> MemoryRequest:
         """Create and pre-decode one request so its target channel is known."""
+        descriptor = self._descriptor
+        assert descriptor is not None
+        offset = access.chunk_index * CACHE_LINE_BYTES
+        # One end of every DCE chunk is a PIM-heap location: the destination
+        # for DRAM->PIM, the source for PIM->DRAM.  Its coordinates are
+        # derived directly from (core, offset) -- no decode round trip.
+        pim_end = is_write == (
+            descriptor.direction is TransferDirection.DRAM_TO_PIM
+        )
+        if pim_end:
+            phys_addr, domain, dram_addr = self.system.pim_heap_request(
+                access.pim_core_id, descriptor.pim_heap_offset + offset
+            )
+        else:
+            phys_addr = descriptor.dram_base_addrs[access.descriptor_index] + offset
+            domain, dram_addr = self.system.decode(phys_addr)
         if is_write:
-            phys_addr = self._dest_addr(access)
-            on_complete = lambda req, a=access: self._on_write_complete(a)  # noqa: E731
+            on_complete = partial(self._write_completed, access)
             stream = RequestStream.TRANSFER_WRITE
         else:
-            phys_addr = self._source_addr(access)
-            on_complete = lambda req, a=access: self._on_read_complete(a)  # noqa: E731
+            on_complete = partial(self._read_completed, access)
             stream = RequestStream.TRANSFER_READ
+        # Positional construction: this runs once per transferred cache line.
         request = MemoryRequest(
-            phys_addr=phys_addr,
-            is_write=is_write,
-            stream=stream,
-            pim_core_id=access.pim_core_id,
-            tenant=self._descriptor.tenant if self._descriptor is not None else None,
-            on_complete=on_complete,
+            phys_addr, is_write, 64, stream, 0,
+            access.pim_core_id, descriptor.tenant, on_complete,
         )
-        request.domain, request.dram_addr = self.system.decode(phys_addr)
+        request.domain = domain
+        request.dram_addr = dram_addr
         return request
+
+    def _read_completed(self, access: ScheduledAccess, request: MemoryRequest) -> None:
+        self._on_read_complete(access)
+
+    def _write_completed(self, access: ScheduledAccess, request: MemoryRequest) -> None:
+        self._on_write_complete(access)
 
     @staticmethod
     def _target_key(request: MemoryRequest) -> tuple:
@@ -290,18 +387,16 @@ class DataCopyEngine:
         return (request.domain, request.dram_addr.channel, request.is_write)
 
     def _submit_read(
-        self, access: ScheduledAccess, skip_targets: Optional[set] = None
-    ) -> tuple:
-        """Try to issue the read of ``access``; returns ``(submitted, target_key)``."""
-        request = self._build_request(access, is_write=False)
-        key = self._target_key(request)
-        if skip_targets and key in skip_targets:
-            return False, key
+        self, access: ScheduledAccess, request: Optional[MemoryRequest] = None
+    ) -> bool:
+        """Try to issue the read of ``access`` (reusing a parked request)."""
+        if request is None:
+            request = self._build_request(access, is_write=False)
         if not self.system.submit(request):
-            self._register_retry(request, key)
-            return False, key
+            self._register_retry(request, self._target_key(request))
+            return False
         self._in_flight += 1
-        return True, key
+        return True
 
     def _register_retry(self, request: MemoryRequest, key: tuple) -> None:
         """Ask for a wake-up when the full queue that rejected ``request`` drains."""
@@ -317,30 +412,39 @@ class DataCopyEngine:
 
     def _on_read_complete(self, access: ScheduledAccess) -> None:
         # Step 5: the preprocessing unit transposes the line on the fly.
-        self.system.engine.schedule_after(
-            self.config.transpose_latency_ns, lambda: self._after_preprocess(access)
+        engine = self.system.engine
+        engine.schedule_callback(
+            engine.now + self.config.transpose_latency_ns,
+            partial(self._after_preprocess, access),
         )
 
     def _after_preprocess(self, access: ScheduledAccess) -> None:
-        submitted, key = self._submit_write(access)
-        if submitted:
-            self._pump()
-        else:
-            self._pending_writes.append((access, key))
-
-    def _submit_write(self, access: ScheduledAccess) -> tuple:
-        """Try to issue the write of ``access``; returns ``(submitted, target_key)``."""
         request = self._build_request(access, is_write=True)
         key = self._target_key(request)
+        if key in self._retry_channels:
+            # The target queue is provably still full (its retry listener has
+            # not fired); park straight away instead of a doomed submit.
+            self._park_write(key, access, request)
+        elif self._submit_write(access, request=request):
+            self._pump()
+        else:
+            self._park_write(key, access, request)
+
+    def _submit_write(
+        self, access: ScheduledAccess, request: Optional[MemoryRequest] = None
+    ) -> bool:
+        """Try to issue the write of ``access`` (reusing a parked request)."""
+        if request is None:
+            request = self._build_request(access, is_write=True)
         if not self.system.submit(request):
-            self._register_retry(request, key)
-            return False, key
+            self._register_retry(request, self._target_key(request))
+            return False
         # The chunk has left the data buffer for the controller's write queue
         # (step 7 of Figure 11): its data-buffer slot frees immediately --
         # writes are posted -- so the read pipeline keeps streaming.
         self._in_flight -= 1
         self._writes_outstanding += 1
-        return True, key
+        return True
 
     def _on_write_complete(self, access: ScheduledAccess) -> None:
         self._writes_outstanding -= 1
@@ -355,8 +459,11 @@ class DataCopyEngine:
             end_ns = self._finish_ns + self.config.interrupt_latency_ns
             self.system.cpu.record_busy_interval(self._finish_ns, end_ns)
             self.system.engine.schedule_at(end_ns, self._finalize)
-        else:
-            self._pump()
+        # A completed *write* changes no pump-gating state: the data-buffer
+        # slot freed when the write was submitted (writes are posted), and
+        # every blocked target key holds a slot-listener retry that pumps the
+        # moment its queue frees.  The seed pumped here anyway; every attempt
+        # in that pump provably failed, so it is elided.
 
 
 __all__ = ["DataCopyEngine"]

@@ -37,6 +37,14 @@ class HeterogeneousMapper:
     dram_mapping: AddressMapping
     pim_mapping: AddressMapping
 
+    def __post_init__(self) -> None:
+        # Decode runs once per memory request; dispatch against cached bounds
+        # instead of three partition method calls.
+        self._pim_base = self.partition.pim_base
+        self._total_bytes = self.partition.total_bytes
+        self._pim_map = self.pim_mapping.map
+        self._dram_map = self.dram_mapping.map
+
     @classmethod
     def build(
         cls,
@@ -54,10 +62,19 @@ class HeterogeneousMapper:
 
     def decode(self, phys_addr: int) -> Tuple[str, DramAddress]:
         """Dispatch on the address range and decode with the matching mapping."""
-        if self.partition.is_pim(phys_addr):
-            offset = self.partition.domain_offset(phys_addr)
-            return PIM_DOMAIN, self.pim_mapping.map(offset)
-        return DRAM_DOMAIN, self.dram_mapping.map(phys_addr)
+        if phys_addr >= self._pim_base:
+            if phys_addr >= self._total_bytes:
+                raise ValueError(
+                    f"physical address {phys_addr:#x} outside the populated "
+                    f"{self._total_bytes:#x} bytes"
+                )
+            return PIM_DOMAIN, self._pim_map(phys_addr - self._pim_base)
+        if phys_addr < 0:
+            raise ValueError(
+                f"physical address {phys_addr:#x} outside the populated "
+                f"{self._total_bytes:#x} bytes"
+            )
+        return DRAM_DOMAIN, self._dram_map(phys_addr)
 
     def mapping_for(self, domain: str) -> AddressMapping:
         if domain == PIM_DOMAIN:

@@ -22,17 +22,20 @@ sweep begins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, NamedTuple, Sequence
 
 from repro.mapping.partition import pim_core_coordinates
 from repro.sim.config import MemoryDomainConfig
 from repro.transfer.descriptor import TransferDescriptor
 
 
-@dataclass(frozen=True)
-class ScheduledAccess:
-    """One 64 B access of the transfer, in the order PIM-MS issues it."""
+class ScheduledAccess(NamedTuple):
+    """One 64 B access of the transfer, in the order PIM-MS issues it.
+
+    A ``NamedTuple``: one is produced per transferred cache line on the DCE's
+    hot path, where tuple construction is markedly cheaper than a frozen
+    dataclass.
+    """
 
     pim_core_id: int
     chunk_index: int

@@ -1,0 +1,342 @@
+"""Hot-path performance benchmark (``repro bench``).
+
+Runs a **fixed workload matrix** over the simulation core and reports, per
+workload, the wall-clock time, the number of simulation events fired and the
+events/sec rate.  The matrix is deliberately frozen so numbers are comparable
+across commits: the committed ``BENCH_hotpath.json`` accumulates one entry per
+measured revision and gives the repo a performance trajectory (see
+``docs/performance.md`` for how to read it).
+
+Workloads
+---------
+* ``headline-sweep`` -- the headline transfer sweep: all four design points x
+  both directions at 1 MiB (512 KiB simulated window) on the Table I system.
+  This is the number the ROADMAP's "as fast as the hardware allows" goal is
+  tracked by.
+* ``scenario-mix`` -- a two-tenant memcpy-vs-transfer scenario (isolated
+  baselines included), exercising the composer, the memcpy engine and the DCE
+  on one clock.
+* ``replay-bursty`` -- open-loop replay of a synthetic bursty trace,
+  exercising the replayer scheduling path and controller backpressure.
+* ``deep-queue`` -- a single controller with a 4096-deep read queue fed with
+  row-conflicting traffic: a regression guard for the scheduler-pick path
+  (O(n) scans here made deep queues quadratic before PR 4).
+
+``--quick`` runs a reduced matrix (one design point, smaller sizes) suitable
+for CI smoke, and ``--check`` compares against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.config import DesignPoint, MemCtrlConfig, SystemConfig
+from repro.transfer.descriptor import TransferDirection
+
+KIB = 1024
+MIB = 1024 * 1024
+
+#: File name of the committed benchmark trajectory.
+BENCH_FILENAME = "BENCH_hotpath.json"
+
+#: Schema version of the JSON document.
+BENCH_SCHEMA = 1
+
+#: CI gate: fail when aggregate events/sec regresses by more than this factor
+#: relative to the committed baseline entry.
+REGRESSION_TOLERANCE = 0.20
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one benchmark workload."""
+
+    name: str
+    wall_s: float
+    events: int
+    requests: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def requests_per_sec(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "requests": self.requests,
+            "requests_per_sec": round(self.requests_per_sec, 1),
+        }
+
+
+def _served_requests(stats) -> int:
+    return int(
+        sum(
+            counter.value
+            for name, counter in stats.counters.items()
+            if name.endswith("/served")
+        )
+    )
+
+
+def _bench_transfer_sweep(quick: bool) -> BenchResult:
+    from repro.system import build_system
+    from repro.workloads.microbench import run_transfer_experiment_on
+
+    config = SystemConfig.paper_baseline()
+    if quick:
+        cases = [(DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM)]
+        total_bytes, cap = 256 * KIB, 256 * KIB
+    else:
+        cases = [
+            (point, direction)
+            for point in DesignPoint
+            for direction in TransferDirection
+        ]
+        total_bytes, cap = 1 * MIB, 512 * KIB
+    events = 0
+    requests = 0
+    wall = 0.0
+    for point, direction in cases:
+        system = build_system(config=config, design_point=point)
+        started = time.perf_counter()
+        run_transfer_experiment_on(
+            system, direction, total_bytes, sim_cap_bytes=cap
+        )
+        wall += time.perf_counter() - started
+        events += system.engine.events_fired
+        requests += _served_requests(system.stats)
+    return BenchResult("headline-sweep", wall, events, requests)
+
+
+def _bench_scenario_mix(quick: bool) -> BenchResult:
+    from repro.scenarios.tenant import TenantSpec, run_scenario
+    from repro.system import build_system
+
+    config = SystemConfig.paper_baseline()
+    size = 128 * KIB if quick else 256 * KIB
+    tenants = (
+        TenantSpec.memcpy("memcpy", total_bytes=size),
+        TenantSpec.transfer("xfer", total_bytes=size),
+    )
+    # One fresh system per constituent run, exactly like the default path,
+    # but with the engines kept so events can be summed afterwards.
+    instrumented: List = []
+
+    def factory():
+        system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
+        instrumented.append(system)
+        return system
+
+    started = time.perf_counter()
+    run_scenario(
+        config,
+        DesignPoint.BASE_DHP,
+        tenants,
+        name="bench-mix",
+        include_isolated=not quick,
+        system_factory=factory,
+    )
+    wall = time.perf_counter() - started
+    events = sum(system.engine.events_fired for system in instrumented)
+    requests = sum(_served_requests(system.stats) for system in instrumented)
+    return BenchResult("scenario-mix", wall, events, requests)
+
+
+def _bench_replay_bursty(quick: bool) -> BenchResult:
+    from repro.scenarios.trace import TraceReplayer, synthesize_trace
+    from repro.system import build_system
+
+    config = SystemConfig.paper_baseline()
+    size = 128 * KIB if quick else 512 * KIB
+    trace = synthesize_trace("bursty", total_bytes=size, mean_gap_ns=4.0)
+    system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
+    replayer = TraceReplayer(system, trace)
+    started = time.perf_counter()
+    replayer.execute()
+    wall = time.perf_counter() - started
+    return BenchResult(
+        "replay-bursty", wall, system.engine.events_fired,
+        _served_requests(system.stats),
+    )
+
+
+def _bench_deep_queue(quick: bool) -> BenchResult:
+    from repro.dram.channel import DdrChannel
+    from repro.mapping.locality import locality_centric_mapping
+    from repro.memctrl.controller import ChannelController
+    from repro.memctrl.request import MemoryRequest
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.stats import StatsRegistry
+
+    geometry = SystemConfig.paper_baseline().dram
+    depth = 1024 if quick else 4096
+    memctrl = MemCtrlConfig(read_queue_depth=depth, write_queue_depth=depth)
+    engine = SimulationEngine()
+    stats = StatsRegistry()
+    controller = ChannelController(
+        engine, DdrChannel(geometry, 0), memctrl, stats, name="bench/ch0"
+    )
+    mapping = locality_centric_mapping(geometry)
+    # Row-conflicting traffic across a handful of banks: every pick has to
+    # consider the whole queue under the seed's linear scan.
+    row_bytes = geometry.row_size_bytes
+    banks_span = 4 * row_bytes  # 4 rows -> same bank on ChRaBgBkRoCo every 4 rows
+    requests = []
+    for index in range(depth):
+        phys = (index % 8) * banks_span + (index // 8) * row_bytes
+        request = MemoryRequest(phys_addr=phys, is_write=False)
+        request.domain = "dram"
+        request.dram_addr = mapping.map(phys)
+        requests.append(request)
+    started = time.perf_counter()
+    for request in requests:
+        if not controller.enqueue(request):
+            raise RuntimeError("bench queue unexpectedly full")
+    engine.run()
+    wall = time.perf_counter() - started
+    return BenchResult(
+        "deep-queue", wall, engine.events_fired, _served_requests(stats)
+    )
+
+
+#: The fixed matrix: name -> callable(quick) -> BenchResult.
+BENCH_WORKLOADS: Dict[str, Callable[[bool], BenchResult]] = {
+    "headline-sweep": _bench_transfer_sweep,
+    "scenario-mix": _bench_scenario_mix,
+    "replay-bursty": _bench_replay_bursty,
+    "deep-queue": _bench_deep_queue,
+}
+
+
+def run_bench(
+    quick: bool = False,
+    names: Optional[List[str]] = None,
+    repeats: Optional[int] = None,
+) -> Dict:
+    """Run the benchmark matrix and return one trajectory entry (a dict).
+
+    Each workload runs ``repeats`` times (default 3, or 2 in quick mode) and
+    the **fastest** run is reported -- the standard protocol for wall-clock
+    benchmarks under scheduler/frequency noise.  The simulations are
+    deterministic, so event counts are identical across repeats.
+    """
+    selected = names if names else list(BENCH_WORKLOADS)
+    unknown = [name for name in selected if name not in BENCH_WORKLOADS]
+    if unknown:
+        known = ", ".join(BENCH_WORKLOADS)
+        raise KeyError(f"unknown bench workload(s) {unknown}; known: {known}")
+    if repeats is None:
+        repeats = 2 if quick else 3
+    results = {}
+    total_events = 0
+    total_wall = 0.0
+    for name in selected:
+        outcome = BENCH_WORKLOADS[name](quick)
+        for _ in range(repeats - 1):
+            candidate = BENCH_WORKLOADS[name](quick)
+            if candidate.wall_s < outcome.wall_s:
+                outcome = candidate
+        results[name] = outcome.to_dict()
+        total_events += outcome.events
+        total_wall += outcome.wall_s
+    return {
+        "quick": quick,
+        "repeats": repeats,
+        "workloads": results,
+        "aggregate": {
+            "wall_s": round(total_wall, 4),
+            "events": total_events,
+            "events_per_sec": round(total_events / total_wall, 1)
+            if total_wall > 0
+            else 0.0,
+        },
+    }
+
+
+def load_trajectory(path: Path) -> Dict:
+    """Load (or initialise) the committed benchmark trajectory document."""
+    if Path(path).exists():
+        with open(path) as handle:
+            return json.load(handle)
+    return {"schema": BENCH_SCHEMA, "entries": []}
+
+
+def append_entry(path: Path, label: str, entry: Dict) -> Dict:
+    """Append a labelled run to the trajectory and write it back.
+
+    Re-running the same label in the same mode replaces that entry; full and
+    quick runs are distinct entries even under one label (their matrices are
+    not comparable).
+    """
+    document = load_trajectory(path)
+    document["entries"] = [
+        existing for existing in document.get("entries", [])
+        if existing.get("label") != label
+        or existing.get("quick") != entry.get("quick")
+    ]
+    document["entries"].append({"label": label, **entry})
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return document
+
+
+def check_regression(
+    document: Dict, entry: Dict, tolerance: Optional[float] = None
+) -> Optional[str]:
+    """Compare ``entry`` against the last committed entry of the same mode.
+
+    Returns ``None`` when within tolerance, otherwise a human-readable
+    failure message.  Workloads are compared on events/sec; the aggregate is
+    the gate (per-workload numbers are informational).
+
+    The default tolerance is :data:`REGRESSION_TOLERANCE` (20 %), overridable
+    via the ``REPRO_BENCH_TOLERANCE`` environment variable -- committed
+    baselines are machine-specific, so CI runners on slower hardware can
+    widen the gate without a code change.
+    """
+    if tolerance is None:
+        tolerance = float(
+            os.environ.get("REPRO_BENCH_TOLERANCE", REGRESSION_TOLERANCE)
+        )
+    entries = [
+        existing
+        for existing in document.get("entries", [])
+        if existing.get("quick") == entry["quick"]
+    ]
+    if not entries:
+        return None
+    baseline = entries[-1]
+    base_rate = baseline["aggregate"]["events_per_sec"]
+    new_rate = entry["aggregate"]["events_per_sec"]
+    if base_rate <= 0:
+        return None
+    if new_rate < base_rate * (1.0 - tolerance):
+        return (
+            f"events/sec regressed beyond {tolerance:.0%}: "
+            f"{new_rate:.0f} vs committed {base_rate:.0f} "
+            f"(entry {baseline.get('label')!r})"
+        )
+    return None
+
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BENCH_WORKLOADS",
+    "BenchResult",
+    "append_entry",
+    "check_regression",
+    "load_trajectory",
+    "run_bench",
+]

@@ -14,6 +14,14 @@ Subcommands
 ``repro backends``
     List the registered transfer backends and which design point each one is
     the default for.
+``repro policies``
+    List the registered memory-scheduler policies (select one with
+    ``--policy`` on ``sweep``/``scenarios``, ``Session.open(memctrl_policy=...)``
+    or ``SystemConfig.memctrl.policy``).
+``repro bench``
+    Run the fixed hot-path benchmark matrix (events/sec + wall-clock) and
+    append the result to the committed ``BENCH_hotpath.json`` trajectory;
+    ``--quick --check`` is the CI perf-smoke gate.
 ``repro clean-cache``
     Delete the on-disk experiment cache (``results/.cache``).
 
@@ -325,6 +333,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the OS scheduling quantum in nanoseconds",
     )
+    sweep.add_argument(
+        "--policy",
+        default=None,
+        help="memory-scheduler policy spec, e.g. frfcfs_cap:4 (see `repro policies`)",
+    )
     add_common(sweep)
 
     scenarios = sub.add_parser(
@@ -371,11 +384,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-tenant isolated baseline runs (no slowdown column); "
         "applies to registered and ad-hoc scenarios alike",
     )
+    scenarios.add_argument(
+        "--policy",
+        default=None,
+        help="memory-scheduler policy spec for the ad-hoc --tenants/--trace mix "
+        "(e.g. qos_priority:t0-transfer=1); registered scenarios carry their own",
+    )
     add_common(scenarios)
 
     sub.add_parser(
         "backends",
         help="list the registered transfer backends and design-point defaults",
+    )
+
+    sub.add_parser(
+        "policies",
+        help="list the registered memory-scheduler policies",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the fixed hot-path benchmark matrix (events/sec + wall-clock)",
+    )
+    bench.add_argument(
+        "names",
+        nargs="*",
+        metavar="WORKLOAD",
+        help="bench workloads to run (default: the whole matrix; see --list)",
+    )
+    bench.add_argument(
+        "--list", action="store_true", help="list bench workloads and exit"
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced matrix for CI smoke (smaller sizes, one design point)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per workload, fastest wins (default: 3, quick: 2)",
+    )
+    bench.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="trajectory file to append to (default: BENCH_hotpath.json; "
+        "requires the full matrix)",
+    )
+    bench.add_argument(
+        "--label",
+        default="current",
+        help="label recorded with this entry in the trajectory file",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if events/sec regressed more than 20%% vs the "
+        "last committed entry of the same mode",
+    )
+    bench.add_argument(
+        "--no-write",
+        action="store_true",
+        help="do not append the entry to the trajectory file",
     )
 
     clean = sub.add_parser("clean-cache", help="delete the on-disk experiment cache")
@@ -447,6 +519,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.policy is not None:
+        from repro.memctrl.policies import create_policy
+
+        create_policy(args.policy)  # fail fast on unknown specs
     sweep = Sweep(
         design_points=tuple(args.design_points or DesignPoint),
         directions=_DIRECTION_ALIASES[args.direction],
@@ -454,6 +530,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         contentions=tuple(args.contentions if args.contentions else (None,)),
         sim_cap_bytes=args.sim_cap,
         scheduling_quantum_ns=args.quantum_ns,
+        memctrl_policy=args.policy,
     )
     provider = _build_provider(args)
     started = time.perf_counter()
@@ -543,11 +620,16 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             dc_replace(spec, name=f"t{index}-{spec.name}")
             for index, spec in enumerate(adhoc_tenants)
         )
+        if args.policy is not None:
+            from repro.memctrl.policies import create_policy
+
+            create_policy(args.policy)  # fail fast on unknown specs
         spec = ScenarioSpec(
             name="adhoc",
             design_point=args.design_point,
             tenants=tenants,
             include_isolated=not args.no_isolated,
+            memctrl_policy=args.policy,
         )
         outcome = provider.run(spec)
         print(render_scenario(outcome))
@@ -609,6 +691,89 @@ def cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policies(args: argparse.Namespace) -> int:
+    from repro.memctrl.policies import (
+        available_policies,
+        normalize_policy_name,
+        policy_description,
+    )
+    from repro.sim.config import MemCtrlConfig
+
+    default = normalize_policy_name(MemCtrlConfig().policy)
+    rows = [
+        {
+            "policy": name,
+            "default": "yes" if name == default else "",
+            "description": policy_description(name),
+        }
+        for name in available_policies()
+    ]
+    print(
+        format_table(
+            rows,
+            columns=["policy", "default", "description"],
+            title="Registered memory-scheduler policies",
+        )
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.exp.bench import (
+        BENCH_FILENAME,
+        BENCH_WORKLOADS,
+        append_entry,
+        check_regression,
+        load_trajectory,
+        run_bench,
+    )
+
+    if args.list:
+        rows = [{"workload": name} for name in BENCH_WORKLOADS]
+        print(format_table(rows, columns=["workload"], title="Bench workloads"))
+        return 0
+    started = time.perf_counter()
+    entry = run_bench(quick=args.quick, names=args.names or None, repeats=args.repeats)
+    rows = [
+        {"workload": name, **metrics} for name, metrics in entry["workloads"].items()
+    ]
+    mode = "quick" if args.quick else "full"
+    print(
+        format_table(
+            rows,
+            columns=["workload", "wall_s", "events", "events_per_sec", "requests_per_sec"],
+            title=f"Hot-path bench ({mode} matrix, best of {entry['repeats']})",
+        )
+    )
+    aggregate = entry["aggregate"]
+    print(
+        f"aggregate: {aggregate['events']} events in {aggregate['wall_s']}s "
+        f"({aggregate['events_per_sec']:.0f} events/sec); "
+        f"measured in {time.perf_counter() - started:.1f}s"
+    )
+    path = args.json if args.json is not None else Path(BENCH_FILENAME)
+    if args.check:
+        if args.names:
+            print(
+                "error: --check compares the full matrix aggregate; do not "
+                "combine it with a workload selection",
+                file=sys.stderr,
+            )
+            return 2
+        failure = check_regression(load_trajectory(path), entry)
+        if failure:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("perf check: within tolerance of the committed baseline")
+    if not args.no_write:
+        if args.names:
+            print("note: partial matrix run; not writing the trajectory file")
+        else:
+            append_entry(path, args.label, entry)
+            print(f"appended entry {args.label!r} to {path}")
+    return 0
+
+
 def cmd_clean_cache(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
     cache = ResultCache(Path(cache_dir))
@@ -627,6 +792,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": cmd_sweep,
         "scenarios": cmd_scenarios,
         "backends": cmd_backends,
+        "policies": cmd_policies,
+        "bench": cmd_bench,
         "clean-cache": cmd_clean_cache,
     }
     return handlers[args.command](args)

@@ -115,6 +115,9 @@ class TransferSpec(ExperimentSpec):
     sim_cap_bytes: int = DEFAULT_SIM_CAP_BYTES
     contention: Optional[ContentionSpec] = None
     scheduling_quantum_ns: Optional[float] = None
+    #: Memory-scheduler policy spec (``None`` keeps the config's default,
+    #: FR-FCFS).  See :mod:`repro.memctrl.policies` / ``repro policies``.
+    memctrl_policy: Optional[str] = None
 
     def window(self, config: SystemConfig) -> "TransferSpec":
         """The canonical spec for the steady-state window actually simulated.
@@ -138,6 +141,7 @@ class TransferSpec(ExperimentSpec):
             sim_cap_bytes=self.sim_cap_bytes,
             contender_factory=factory,
             scheduling_quantum_ns=self.scheduling_quantum_ns,
+            memctrl_policy=self.memctrl_policy,
         )
 
 
@@ -316,6 +320,7 @@ class Sweep:
     contentions: Tuple[Optional[ContentionSpec], ...] = (None,)
     sim_cap_bytes: int = DEFAULT_SIM_CAP_BYTES
     scheduling_quantum_ns: Optional[float] = None
+    memctrl_policy: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "design_points", tuple(self.design_points))
@@ -340,6 +345,7 @@ class Sweep:
                 sim_cap_bytes=self.sim_cap_bytes,
                 contention=contention,
                 scheduling_quantum_ns=self.scheduling_quantum_ns,
+                memctrl_policy=self.memctrl_policy,
             )
             for point, direction, size, contention in itertools.product(
                 self.design_points, self.directions, self.sizes, self.contentions

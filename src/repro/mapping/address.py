@@ -2,18 +2,22 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.sim.config import MemoryDomainConfig
 
 
-@dataclass(frozen=True, order=True)
-class DramAddress:
+class DramAddress(NamedTuple):
     """A fully decoded DRAM location at cache-line (64 B) granularity.
 
     ``column`` indexes 64 B blocks within a row, i.e. a row of 8 KB has
     columns 0..127.  The byte offset within the block never influences timing
     and is therefore not part of this tuple.
+
+    A ``NamedTuple`` rather than a dataclass: addresses are created once per
+    decoded memory request on the simulator's hottest path, and tuple
+    construction is several times cheaper while keeping the same field names,
+    immutability, hashing and ordering semantics.
     """
 
     channel: int

@@ -1,18 +1,33 @@
-"""FR-FCFS channel controller with write-drain and backpressure.
+"""Channel controller: queue/admission front-end over the batched service kernel.
 
-The controller is fully event-driven: enqueueing a request schedules a service
-event, each service event issues exactly one column access through the DDR4
-channel model, and the next service event is scheduled at the issued command's
-CAS time so that requests arriving in the meantime still participate in the
-FR-FCFS decision (preserving the scheduler's reordering behaviour without
-stepping idle cycles).
+Since PR 4 the controller is split in two layers:
+
+* :class:`ChannelController` (this module) is the **admission front-end**: it
+  enforces queue depths, stamps arrival metadata, maintains the indexed
+  read/write queues (:class:`~repro.memctrl.queues.IndexedQueue`), notifies
+  slot listeners and owns the per-channel statistics.
+* :class:`~repro.memctrl.kernel.ServiceKernel` makes the scheduling decisions
+  and issues column accesses through the DDR4 channel model, batching whole
+  bursts of requests into one simulation event whenever the event order
+  provably allows it.
+
+The scheduling *policy* (FR-FCFS by default) is pluggable: the
+``MemCtrlConfig.policy`` spec string selects one of the registered
+:mod:`repro.memctrl.policies`.
+
+The event-level behaviour is bit-identical to the seed's one-event-per-request
+controller; the equivalence suite (``tests/test_kernel_equivalence.py``)
+asserts it across design points, policies and traffic shapes.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.dram.channel import DdrChannel
+from repro.memctrl.kernel import ServiceKernel
+from repro.memctrl.policies import create_policy
+from repro.memctrl.queues import IndexedQueue
 from repro.memctrl.request import MemoryRequest
 from repro.sim.config import MemCtrlConfig
 from repro.sim.engine import SimulationEngine
@@ -29,23 +44,39 @@ class ChannelController:
         config: MemCtrlConfig,
         stats: StatsRegistry,
         name: str,
+        batching: bool = True,
     ) -> None:
         self.engine = engine
         self.channel = channel
         self.config = config
         self.stats = stats
         self.name = name
-        self._read_queue: List[MemoryRequest] = []
-        self._write_queue: List[MemoryRequest] = []
-        self._drain_mode: bool = False
-        self._service_pending: bool = False
-        self._next_decision_ns: float = 0.0
+        self._read_queue = IndexedQueue()
+        self._write_queue = IndexedQueue()
+        self._next_seq = 0
         self._slot_listeners: List[Callable[[], None]] = []
+        self.policy = create_policy(config.policy)
+        # Elide per-request hook calls for policies that keep no queue-side
+        # state (the base-class hooks are no-ops).
+        from repro.memctrl.policies import SchedulerPolicy as _Base
+
+        self._policy_on_enqueue = (
+            self.policy.on_enqueue
+            if type(self.policy).on_enqueue is not _Base.on_enqueue
+            else None
+        )
+        self.kernel = ServiceKernel(
+            engine, channel, config, self.policy, self, batching=batching
+        )
         self._read_bw = stats.bandwidth_tracker(f"{name}/read")
         self._write_bw = stats.bandwidth_tracker(f"{name}/write")
         self._served = stats.counter(f"{name}/served")
         self._row_hit_counter = stats.counter(f"{name}/row_hits")
         self._latency_hist = stats.histogram(f"{name}/latency_ns")
+        # Bound method, hot path: one latency sample per completed request.
+        # Histogram.reset() clears the list in place, so the binding survives
+        # stats resets.
+        self._latency_append = self._latency_hist._samples.append
 
     # --------------------------------------------------------------- queueing
     @property
@@ -63,15 +94,36 @@ class ChannelController:
 
     def enqueue(self, request: MemoryRequest) -> bool:
         """Accept ``request`` if the target queue has room; schedule servicing."""
-        if not self.can_accept(request.is_write):
-            return False
-        request.arrival_ns = self.engine.now
-        request.channel_id = self.channel.channel_id
         if request.is_write:
-            self._write_queue.append(request)
+            queue = self._write_queue
+            if len(queue) >= self.config.write_queue_depth:
+                return False
         else:
-            self._read_queue.append(request)
-        self._schedule_service()
+            queue = self._read_queue
+            if len(queue) >= self.config.read_queue_depth:
+                return False
+        channel = self.channel
+        request.arrival_ns = self.engine._now
+        request.channel_id = channel.channel_id
+        addr = request.dram_addr
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        request._seq = seq
+        bank_key = (
+            addr.rank * channel._banks_per_rank
+            + addr.bankgroup * channel._banks_per_group
+            + addr.bank
+        )
+        request._bank_row = (bank_key, addr.row)
+        # Inlined IndexedQueue.add (one call per accepted request otherwise).
+        queue._pending[seq] = request
+        if queue._indexed:
+            queue._index_add(request)
+        if self._policy_on_enqueue is not None:
+            self._policy_on_enqueue(request)
+        kernel = self.kernel
+        if not kernel._service_pending:
+            kernel.schedule_service()
         return True
 
     def add_slot_listener(self, callback: Callable[[], None]) -> None:
@@ -85,71 +137,13 @@ class ChannelController:
         for callback in listeners:
             callback()
 
-    # -------------------------------------------------------------- servicing
-    def _schedule_service(self) -> None:
-        if self._service_pending:
-            return
-        if not self._read_queue and not self._write_queue:
-            return
-        self._service_pending = True
-        when = max(self.engine.now, self._next_decision_ns)
-        self.engine.schedule_at(when, self._service)
-
-    def _update_drain_mode(self) -> None:
-        writes = len(self._write_queue)
-        if self._drain_mode:
-            if writes <= self.config.write_low_watermark:
-                self._drain_mode = False
-        else:
-            if writes >= self.config.write_high_watermark:
-                self._drain_mode = True
-
-    def _pick_queue(self) -> Optional[List[MemoryRequest]]:
-        self._update_drain_mode()
-        if self._drain_mode and self._write_queue:
-            return self._write_queue
-        if self._read_queue:
-            return self._read_queue
-        if self._write_queue:
-            return self._write_queue
-        return None
-
-    def _pick_request(self, queue: List[MemoryRequest]) -> MemoryRequest:
-        """FR-FCFS: oldest row hit first, otherwise the oldest request."""
-        for request in queue:
-            assert request.dram_addr is not None
-            if self.channel.row_state(request.dram_addr) == "hit":
-                return request
-        return queue[0]
-
-    def _service(self) -> None:
-        self._service_pending = False
-        queue = self._pick_queue()
-        if queue is None:
-            return
-        request = self._pick_request(queue)
-        queue.remove(request)
-        assert request.dram_addr is not None
-        timing = self.channel.access(
-            request.dram_addr, request.is_write, earliest=self.engine.now
-        )
-        request.issue_ns = timing.cas_time
-        request.row_state = timing.row_state
-        self._served.add(1)
-        if timing.is_row_hit:
-            self._row_hit_counter.add(1)
-        tracker = self._write_bw if request.is_write else self._read_bw
-        tracker.record(timing.data_end, request.size_bytes)
-        self.engine.schedule_at(
-            timing.data_end, lambda req=request, t=timing.data_end: self._finish(req, t)
-        )
-        self._notify_slot_listeners()
-        self._next_decision_ns = max(self.engine.now, timing.cas_time)
-        self._schedule_service()
+    # ------------------------------------------------------------- accounting
+    # Per-issue statistics (served/row-hit counters, bandwidth tracking) are
+    # inlined in ServiceKernel._service -- the kernel owns the issue path.
 
     def _finish(self, request: MemoryRequest, time_ns: float) -> None:
         if request.arrival_ns is not None:
-            self._latency_hist.add(time_ns - request.arrival_ns)
+            self._latency_append(time_ns - request.arrival_ns)
             if request.tenant is not None:
                 # Per-tenant breakdowns for the scenario composer: latency is
                 # bucketed across every channel (and both memory domains,
@@ -160,7 +154,11 @@ class ChannelController:
                 self.stats.counter(f"tenant/{request.tenant}/bytes").add(
                     request.size_bytes
                 )
-        request.complete(time_ns)
+        # Inlined MemoryRequest.complete (one call per finished request).
+        request.completion_ns = time_ns
+        on_complete = request.on_complete
+        if on_complete is not None:
+            on_complete(request)
 
     # ------------------------------------------------------------------ reset
     def reset(self) -> None:
@@ -169,9 +167,11 @@ class ChannelController:
             raise RuntimeError(
                 f"cannot reset controller {self.name!r} with requests in flight"
             )
-        self._drain_mode = False
-        self._next_decision_ns = 0.0
+        self._read_queue.clear()
+        self._write_queue.clear()
+        self._next_seq = 0
         self._slot_listeners.clear()
+        self.kernel.reset()
         self.channel.reset()
 
     # ------------------------------------------------------------------ stats
@@ -188,7 +188,11 @@ class ChannelController:
         return self.read_bytes + self.write_bytes
 
     def is_idle(self) -> bool:
-        return not self._read_queue and not self._write_queue and not self._service_pending
+        return (
+            not self._read_queue
+            and not self._write_queue
+            and not self.kernel.service_pending
+        )
 
 
 __all__ = ["ChannelController"]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 from repro.mapping.address import DramAddress
 
@@ -23,7 +23,7 @@ class RequestStream(enum.Enum):
     OTHER = "other"
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class MemoryRequest:
     """One 64 B memory access.
 
@@ -31,6 +31,12 @@ class MemoryRequest:
     data bus (reads and writes alike).  ``dram_addr``, ``domain`` and
     ``channel_id`` are filled in by the system-level mapper before the request
     reaches a controller.
+
+    Requests are identity objects (``eq=False``): two distinct requests are
+    never "the same", and containers holding them never fall back to slow
+    field-by-field comparison.  ``slots=True`` keeps the per-request footprint
+    small and makes any stray attribute write an immediate ``AttributeError``
+    -- millions of these are created on the simulator's hottest path.
     """
 
     phys_addr: int
@@ -43,7 +49,7 @@ class MemoryRequest:
     #: runs).  Controllers bucket per-tenant latency/traffic stats on it.
     tenant: Optional[str] = None
     on_complete: Optional[Callable[["MemoryRequest"], None]] = None
-    request_id: int = field(default_factory=lambda: next(_request_ids))
+    request_id: int = field(default_factory=_request_ids.__next__)
 
     # Filled by the mapper / controller.
     domain: Optional[str] = None
@@ -53,6 +59,12 @@ class MemoryRequest:
     issue_ns: Optional[float] = None
     completion_ns: Optional[float] = None
     row_state: Optional[str] = None
+
+    # Queue bookkeeping stamped by the controller front-end (admission order
+    # and (bank, row) coordinates), consumed by the indexed queues and the
+    # scheduler policies.  Not part of the request's public surface.
+    _seq: int = field(default=-1, init=False, repr=False)
+    _bank_row: Optional[Tuple[int, int]] = field(default=None, init=False, repr=False)
 
     @property
     def latency_ns(self) -> Optional[float]:

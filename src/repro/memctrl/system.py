@@ -56,7 +56,10 @@ class MemorySystem:
 
     def submit(self, request: MemoryRequest) -> bool:
         """Route a decoded request to its channel controller (False if queue full)."""
-        return self.controller_for(request).enqueue(request)
+        addr = request.dram_addr
+        if addr is None:
+            raise ValueError("request must be decoded before routing")
+        return self.controllers[addr.channel].enqueue(request)
 
     def can_accept(self, request: MemoryRequest) -> bool:
         return self.controller_for(request).can_accept(request.is_write)

@@ -134,3 +134,38 @@ register_scenario(
         ),
     ),
 )
+
+# The QoS pair: identical tenants, two scheduler policies.  A sparse
+# latency-sensitive tenant ("lat") shares the DRAM channels with an
+# aggressive bulk streamer ("bulk").  Under plain FR-FCFS the bulk tenant's
+# row hits keep winning the scheduler and lat's p99 inflates (priority
+# inversion); `qos_priority:lat=1` serves lat's requests first and relieves
+# it.  Compare `results/scenario_qos_frfcfs.txt` against
+# `results/scenario_qos_priority.txt`.
+_QOS_TENANTS = (
+    TenantSpec.synthetic("lat", "uniform", total_bytes=64 * KIB, mean_gap_ns=25.0),
+    TenantSpec.synthetic(
+        "bulk", "uniform", total_bytes=1 * MIB, mean_gap_ns=1.2, seed=1
+    ),
+)
+
+register_scenario(
+    "qos-frfcfs",
+    "latency-sensitive tenant vs bulk streamer under plain FR-FCFS (inversion)",
+    ScenarioSpec(
+        name="qos-frfcfs",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=_QOS_TENANTS,
+    ),
+)
+
+register_scenario(
+    "qos-priority",
+    "the same mix under qos_priority:lat=1 (priority-inversion relief)",
+    ScenarioSpec(
+        name="qos-priority",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=_QOS_TENANTS,
+        memctrl_policy="qos_priority:lat=1",
+    ),
+)

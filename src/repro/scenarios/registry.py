@@ -37,6 +37,9 @@ class ScenarioSpec(ExperimentSpec):
     design_point: DesignPoint
     tenants: Tuple[TenantSpec, ...]
     include_isolated: bool = True
+    #: Memory-scheduler policy spec (``None`` keeps FR-FCFS).  Tenant-aware
+    #: policies reference tenant names, e.g. ``qos_priority:lat=1``.
+    memctrl_policy: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
@@ -45,6 +48,12 @@ class ScenarioSpec(ExperimentSpec):
 
     def run(self, config: SystemConfig) -> ScenarioOutcome:
         """Execute the scenario (shared run + isolated baselines) on ``config``."""
+        if self.memctrl_policy is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config, memctrl=replace(config.memctrl, policy=self.memctrl_policy)
+            )
         return run_scenario(
             config,
             self.design_point,

@@ -24,7 +24,7 @@ from repro.host.cpu import HostCpu
 from repro.host.llc import LastLevelCache
 from repro.host.os_scheduler import RoundRobinScheduler
 from repro.mapping.address import DramAddress
-from repro.mapping.partition import pim_heap_physical_address
+from repro.mapping.partition import pim_core_coordinates, pim_heap_physical_address
 from repro.mapping.system_mapper import (
     DRAM_DOMAIN,
     PIM_DOMAIN,
@@ -90,6 +90,56 @@ class PimSystem:
         )
         # Observers of every *accepted* memory request (trace recording).
         self._trace_hooks: List[Callable[[MemoryRequest, float], None]] = []
+        # Constant-time domain dispatch for the submit hot path.
+        self._domain_systems = {DRAM_DOMAIN: self.dram, PIM_DOMAIN: self.pim}
+        self._domain_controllers = {
+            DRAM_DOMAIN: self.dram.controllers,
+            PIM_DOMAIN: self.pim.controllers,
+        }
+        # Fast-path state for pim_heap_addr: per-core base block cache plus
+        # the provably-affine layout description (None -> generic path).
+        self._heap_core_base: dict = {}
+        self._heap_affine = self._probe_heap_affine()
+
+    def _probe_heap_affine(self):
+        """Precompute the PIM-heap address layout when it is provably affine.
+
+        The PIM side always uses a locality-centric bit-field mapping; when
+        that mapping has no XOR hashes and stores the row and column fields
+        as single contiguous slices, a heap address is a pure function of the
+        core's (channel, rank, bank group, bank) base bits plus shifted
+        row/column bits -- cached integer ops instead of the generic
+        coordinate/inverse walk per request.  Returns ``None`` (generic path)
+        for any mapping where that cannot be proven.
+        """
+        mapping = self.mapper.mapping_for(PIM_DOMAIN)
+        layout = getattr(mapping, "layout", None)
+        if layout is None or getattr(mapping, "xor_hashes", ()):
+            return None
+        positions = {}
+        cursor = 0
+        for slice_ in layout:
+            positions.setdefault(slice_.name, []).append(
+                (slice_.field_lsb, cursor, slice_.width)
+            )
+            cursor += slice_.width
+        row_slices = positions.get("row", [])
+        column_slices = positions.get("column", [])
+        if len(row_slices) != 1 or len(column_slices) != 1:
+            return None
+        if row_slices[0][0] != 0 or column_slices[0][0] != 0:
+            return None
+        geometry = mapping.geometry
+        columns = geometry.columns_per_row
+        return (
+            row_slices[0][1],               # row shift within the block index
+            column_slices[0][1],            # column shift within the block index
+            columns.bit_length() - 1,       # log2(columns per row)
+            columns - 1,                    # column mask
+            geometry.bank_capacity_bytes,
+            self.mapper.partition.pim_base,
+            mapping,
+        )
 
     # ------------------------------------------------------------- addressing
     @property
@@ -101,12 +151,59 @@ class PimSystem:
 
     def pim_heap_addr(self, pim_core_id: int, byte_offset: int) -> int:
         """Physical address of ``byte_offset`` in a PIM core's MRAM heap."""
-        return pim_heap_physical_address(
-            self.partition,
-            self.mapper.mapping_for(PIM_DOMAIN),
-            pim_core_id,
-            byte_offset,
-        )
+        affine = self._heap_affine
+        if affine is None:
+            return pim_heap_physical_address(
+                self.partition,
+                self.mapper.mapping_for(PIM_DOMAIN),
+                pim_core_id,
+                byte_offset,
+            )
+        return self._heap_fast(affine, pim_core_id, byte_offset)[0]
+
+    def _heap_fast(self, affine, pim_core_id: int, byte_offset: int):
+        """(phys_addr, DramAddress) of a heap location via cached integer ops."""
+        row_shift, col_shift, cols_log2, col_mask, bank_capacity, pim_base, mapping = affine
+        cached = self._heap_core_base.get(pim_core_id)
+        if cached is None:
+            # Bounds-checks the core id and encodes its (channel, rank, bank
+            # group, bank) home once; every later offset is pure integer math.
+            home = pim_core_coordinates(mapping.geometry, pim_core_id)
+            cached = (mapping.inverse(home) >> 6, home)
+            self._heap_core_base[pim_core_id] = cached
+        base, home = cached
+        if not 0 <= byte_offset < bank_capacity:
+            raise ValueError(
+                f"heap offset {byte_offset:#x} outside the per-core MRAM of "
+                f"{bank_capacity:#x} bytes"
+            )
+        block_index = byte_offset >> 6
+        row = block_index >> cols_log2
+        column = block_index & col_mask
+        block = base | (row << row_shift) | (column << col_shift)
+        phys = pim_base + (block << 6) + (byte_offset & 63)
+        return phys, DramAddress(home[0], home[1], home[2], home[3], row, column)
+
+    def pim_heap_request(self, pim_core_id: int, byte_offset: int):
+        """``(phys_addr, domain, DramAddress)`` for a PIM-heap location.
+
+        The pre-decoded form of :meth:`pim_heap_addr`: transfer engines that
+        know the (core, offset) pair skip the physical-address round trip
+        through the system mapper (the returned address equals
+        ``decode(phys_addr)`` exactly, because the PIM mapping is invertible).
+        """
+        affine = self._heap_affine
+        if affine is None:
+            phys = pim_heap_physical_address(
+                self.partition,
+                self.mapper.mapping_for(PIM_DOMAIN),
+                pim_core_id,
+                byte_offset,
+            )
+            domain, dram_addr = self.mapper.decode(phys)
+            return phys, domain, dram_addr
+        phys, dram_addr = self._heap_fast(affine, pim_core_id, byte_offset)
+        return phys, PIM_DOMAIN, dram_addr
 
     def domain_system(self, domain: str) -> MemorySystem:
         if domain == DRAM_DOMAIN:
@@ -122,11 +219,14 @@ class PimSystem:
         Requests that already carry a decoded ``domain``/``dram_addr`` (because
         the caller pre-decoded them, e.g. the DCE's scheduler) are routed as-is.
         """
-        if request.domain is None or request.dram_addr is None:
-            domain, dram_addr = self.decode(request.phys_addr)
+        dram_addr = request.dram_addr
+        if request.domain is None or dram_addr is None:
+            domain, dram_addr = self.mapper.decode(request.phys_addr)
             request.domain = domain
             request.dram_addr = dram_addr
-        accepted = self.domain_system(request.domain).submit(request)
+        accepted = self._domain_controllers[request.domain][
+            dram_addr.channel
+        ].enqueue(request)
         if accepted and self._trace_hooks:
             for hook in self._trace_hooks:
                 hook(request, self.engine.now)

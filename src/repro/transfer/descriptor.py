@@ -28,7 +28,7 @@ class TransferDirection(enum.Enum):
         return self is TransferDirection.DRAM_TO_PIM
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferDescriptor:
     """One bulk transfer covering a set of PIM cores.
 

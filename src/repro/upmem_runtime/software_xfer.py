@@ -63,7 +63,10 @@ class SoftwareCopyThread:
         self.total_chunks = size_bytes // CACHE_LINE_BYTES
         self._next_chunk = 0
         self._outstanding = 0
-        self._pending_writes: Deque[int] = deque()
+        #: Chunks awaiting their write submit, as mutable [chunk, request]
+        #: entries (the request is built once on the first blocked attempt).
+        self._pending_writes: Deque[list] = deque()
+        self._parked_read: Optional[tuple] = None
         self._running = False
         self._finished = False
         self._retry_registered = False
@@ -98,11 +101,16 @@ class SoftwareCopyThread:
         """Issue as much work as the core, the MSHRs and the queues allow."""
         if self._finished or not self._running:
             return
+        submit = self.system.submit
         # Writes for chunks whose CPU-side processing already finished go first
-        # (they hold MSHRs and the data is sitting in registers).
+        # (they hold MSHRs and the data is sitting in registers).  Each entry
+        # caches its built request after the first blocked attempt, so a
+        # congested queue never pays address generation twice.
         while self._pending_writes:
-            chunk = self._pending_writes[0]
-            if not self._submit_write(chunk):
+            entry = self._pending_writes[0]
+            if entry[1] is None:
+                entry[1] = self._build_write(entry[0])
+            if not self._submit_request(entry[1]):
                 return
             self._pending_writes.popleft()
         while (
@@ -110,17 +118,23 @@ class SoftwareCopyThread:
             and self._outstanding < self.max_outstanding
         ):
             chunk = self._next_chunk
-            request = MemoryRequest(
-                phys_addr=self._source_addr(chunk),
-                is_write=False,
-                stream=RequestStream.TRANSFER_READ,
-                pim_core_id=self.pim_core_id,
-                tenant=self.tenant,
-                on_complete=lambda req, c=chunk: self._on_read_complete(c),
-            )
-            if not self.system.submit(request):
+            parked = self._parked_read
+            if parked is not None and parked[0] == chunk:
+                request = parked[1]
+            else:
+                request = MemoryRequest(
+                    phys_addr=self._source_addr(chunk),
+                    is_write=False,
+                    stream=RequestStream.TRANSFER_READ,
+                    pim_core_id=self.pim_core_id,
+                    tenant=self.tenant,
+                    on_complete=lambda req, c=chunk: self._on_read_complete(c),
+                )
+            if not submit(request):
+                self._parked_read = (chunk, request)
                 self._register_retry(request)
                 return
+            self._parked_read = None
             self._next_chunk += 1
             self._outstanding += 1
 
@@ -139,17 +153,18 @@ class SoftwareCopyThread:
         # The CPU transposes / repacks the chunk before storing it; the cost is
         # paid even if the thread has been preempted meanwhile (the in-flight
         # AVX work drains), but the subsequent write only issues while running.
-        self.system.engine.schedule_after(
-            self.chunk_cpu_ns, lambda: self._after_cpu_stage(chunk)
+        engine = self.system.engine
+        engine.schedule_callback(
+            engine.now + self.chunk_cpu_ns, lambda: self._after_cpu_stage(chunk)
         )
 
     def _after_cpu_stage(self, chunk: int) -> None:
-        self._pending_writes.append(chunk)
+        self._pending_writes.append([chunk, None])
         if self._running:
             self._pump()
 
-    def _submit_write(self, chunk: int) -> bool:
-        request = MemoryRequest(
+    def _build_write(self, chunk: int) -> MemoryRequest:
+        return MemoryRequest(
             phys_addr=self._dest_addr(chunk),
             is_write=True,
             stream=RequestStream.TRANSFER_WRITE,
@@ -157,6 +172,8 @@ class SoftwareCopyThread:
             tenant=self.tenant,
             on_complete=lambda req: self._on_write_complete(),
         )
+
+    def _submit_request(self, request: MemoryRequest) -> bool:
         if not self.system.submit(request):
             self._register_retry(request)
             return False

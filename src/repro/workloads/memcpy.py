@@ -51,7 +51,10 @@ class MemcpyThread:
         self.total_chunks = size_bytes // CACHE_LINE_BYTES
         self._next_chunk = 0
         self._outstanding = 0
-        self._pending_writes: Deque[int] = deque()
+        #: [chunk, request] entries; the request is built once on the first
+        #: blocked submit attempt and reused on retries.
+        self._pending_writes: Deque[list] = deque()
+        self._parked_read: Optional[tuple] = None
         self._running = False
         self._finished = False
         self._retry_registered = False
@@ -73,7 +76,10 @@ class MemcpyThread:
         if self._finished or not self._running:
             return
         while self._pending_writes:
-            if not self._submit_write(self._pending_writes[0]):
+            entry = self._pending_writes[0]
+            if entry[1] is None:
+                entry[1] = self._build_write(entry[0])
+            if not self._submit_request(entry[1]):
                 return
             self._pending_writes.popleft()
         while (
@@ -81,16 +87,22 @@ class MemcpyThread:
             and self._outstanding < self.max_outstanding
         ):
             chunk = self._next_chunk
-            request = MemoryRequest(
-                phys_addr=self.src_base + chunk * CACHE_LINE_BYTES,
-                is_write=False,
-                stream=RequestStream.MEMCPY_READ,
-                tenant=self.tenant,
-                on_complete=lambda req, c=chunk: self._on_read_complete(c),
-            )
+            parked = self._parked_read
+            if parked is not None and parked[0] == chunk:
+                request = parked[1]
+            else:
+                request = MemoryRequest(
+                    phys_addr=self.src_base + chunk * CACHE_LINE_BYTES,
+                    is_write=False,
+                    stream=RequestStream.MEMCPY_READ,
+                    tenant=self.tenant,
+                    on_complete=lambda req, c=chunk: self._on_read_complete(c),
+                )
             if not self.system.submit(request):
+                self._parked_read = (chunk, request)
                 self._register_retry(request)
                 return
+            self._parked_read = None
             self._next_chunk += 1
             self._outstanding += 1
 
@@ -106,23 +118,26 @@ class MemcpyThread:
         self.system.retry_when_possible(request, retry)
 
     def _on_read_complete(self, chunk: int) -> None:
-        self.system.engine.schedule_after(
-            self.chunk_cpu_ns, lambda: self._after_cpu_stage(chunk)
+        engine = self.system.engine
+        engine.schedule_callback(
+            engine.now + self.chunk_cpu_ns, lambda: self._after_cpu_stage(chunk)
         )
 
     def _after_cpu_stage(self, chunk: int) -> None:
-        self._pending_writes.append(chunk)
+        self._pending_writes.append([chunk, None])
         if self._running:
             self._pump()
 
-    def _submit_write(self, chunk: int) -> bool:
-        request = MemoryRequest(
+    def _build_write(self, chunk: int) -> MemoryRequest:
+        return MemoryRequest(
             phys_addr=self.dst_base + chunk * CACHE_LINE_BYTES,
             is_write=True,
             stream=RequestStream.MEMCPY_WRITE,
             tenant=self.tenant,
             on_complete=lambda req: self._on_write_complete(),
         )
+
+    def _submit_request(self, request: MemoryRequest) -> bool:
         if not self.system.submit(request):
             self._register_retry(request)
             return False

@@ -139,17 +139,24 @@ def run_transfer_experiment(
     sim_cap_bytes: int = 1 * MIB,
     contender_factory: Optional[ContenderFactory] = None,
     scheduling_quantum_ns: Optional[float] = None,
+    memctrl_policy: Optional[str] = None,
 ) -> TransferExperiment:
     """Run (and, beyond ``sim_cap_bytes``, extrapolate) one transfer experiment.
 
     ``scheduling_quantum_ns`` overrides the OS scheduling quantum of the
     supplied configuration (the Figure 13 contention study scales it down to
-    keep the transfer-to-quantum ratio of the paper's much larger transfers).
+    keep the transfer-to-quantum ratio of the paper's much larger transfers);
+    ``memctrl_policy`` overrides the memory-scheduler policy spec (see
+    :mod:`repro.memctrl.policies`).
     """
     config = config if config is not None else SystemConfig.paper_baseline()
     if scheduling_quantum_ns is not None:
         config = replace(
             config, os=replace(config.os, scheduling_quantum_ns=scheduling_quantum_ns)
+        )
+    if memctrl_policy is not None:
+        config = replace(
+            config, memctrl=replace(config.memctrl, policy=memctrl_policy)
         )
     system = build_system(config=config, design_point=design_point)
     return run_transfer_experiment_on(

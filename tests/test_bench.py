@@ -1,0 +1,96 @@
+"""Tests for the hot-path benchmark harness (``repro bench``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exp.bench import (
+    BENCH_WORKLOADS,
+    append_entry,
+    check_regression,
+    load_trajectory,
+    run_bench,
+)
+
+
+def test_deep_queue_workload_runs_quick():
+    result = BENCH_WORKLOADS["deep-queue"](True)
+    assert result.requests == 1024
+    assert result.events > 0
+    assert result.events_per_sec > 0
+
+
+def test_run_bench_selected_workload():
+    entry = run_bench(quick=True, names=["deep-queue"], repeats=1)
+    assert entry["quick"] is True
+    assert entry["repeats"] == 1
+    assert set(entry["workloads"]) == {"deep-queue"}
+    aggregate = entry["aggregate"]
+    assert aggregate["events"] == entry["workloads"]["deep-queue"]["events"]
+
+
+def test_run_bench_unknown_workload_raises():
+    import pytest
+
+    with pytest.raises(KeyError):
+        run_bench(names=["does-not-exist"])
+
+
+def test_trajectory_round_trip(tmp_path):
+    path = tmp_path / "BENCH.json"
+    entry = {"quick": True, "workloads": {}, "aggregate": {"wall_s": 1.0, "events": 10, "events_per_sec": 10.0}}
+    document = append_entry(path, "first", entry)
+    assert [e["label"] for e in document["entries"]] == ["first"]
+    # Re-appending the same label in the same mode replaces the entry.
+    document = append_entry(path, "first", entry)
+    assert [e["label"] for e in document["entries"]] == ["first"]
+    # A full-matrix run under the same label is a distinct entry (the two
+    # matrices are not comparable), not a replacement.
+    document = append_entry(path, "first", dict(entry, quick=False))
+    assert [(e["label"], e["quick"]) for e in document["entries"]] == [
+        ("first", True),
+        ("first", False),
+    ]
+    loaded = load_trajectory(path)
+    assert loaded == json.load(open(path))
+
+
+def test_check_regression_gate(tmp_path):
+    path = tmp_path / "BENCH.json"
+    baseline = {
+        "quick": True,
+        "workloads": {},
+        "aggregate": {"wall_s": 1.0, "events": 1000, "events_per_sec": 1000.0},
+    }
+    append_entry(path, "base", baseline)
+    document = load_trajectory(path)
+    ok = dict(baseline, aggregate={"wall_s": 1.1, "events": 1000, "events_per_sec": 900.0})
+    assert check_regression(document, ok) is None
+    slow = dict(baseline, aggregate={"wall_s": 2.0, "events": 1000, "events_per_sec": 500.0})
+    message = check_regression(document, slow)
+    assert message is not None and "regressed" in message
+    # Entries of the other mode are ignored.
+    full = dict(slow, quick=False)
+    assert check_regression(document, full) is None
+
+
+def test_committed_trajectory_is_valid():
+    """The committed BENCH_hotpath.json parses and has both seed and PR entries."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[1] / "BENCH_hotpath.json"
+    document = load_trajectory(path)
+    modes = [(entry["label"], entry["quick"]) for entry in document["entries"]]
+    assert ("pr4-seed", False) in modes
+    # Both the full-matrix (docs/acceptance) and quick (CI gate) entries.
+    assert ("pr4-hotpath", False) in modes
+    assert ("pr4-hotpath", True) in modes
+    for entry in document["entries"]:
+        assert entry["aggregate"]["events_per_sec"] > 0
+
+
+def test_cli_bench_parsing():
+    from repro.exp.cli import build_parser
+
+    args = build_parser().parse_args(["bench", "--quick", "--check", "--no-write"])
+    assert args.quick and args.check and args.no_write

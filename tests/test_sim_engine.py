@@ -195,3 +195,162 @@ def test_zero_delay_fires_at_current_time(engine):
     count = engine.run()
     assert count == 2
     assert engine.now == 5.0
+
+
+# ---------------------------------------------------------------------------
+# PR 4: the integer-tick core and the batched-kernel support APIs.
+# ---------------------------------------------------------------------------
+
+
+def test_integer_tick_views_match_float_clock(engine):
+    seen = []
+    engine.schedule_at(13.5, lambda: seen.append((engine.now, engine.now_ps, engine.now_ticks)))
+    engine.run()
+    now, now_ps, now_ticks = seen[0]
+    assert now == 13.5
+    assert now_ps == 13500
+    from repro.sim.engine import TICKS_PER_PS
+    assert now_ticks == 13500 * TICKS_PER_PS
+
+
+def test_tick_conversion_is_exact_for_ddr_times():
+    """Every float the DDR4 model produces must embed losslessly in ticks."""
+    from repro.sim.engine import ns_to_ticks
+    values = [0.8333333333333334 * n for n in range(1, 200)]
+    values += [13.333333333333334, 0.625, 0.3125, 1.25, 1e6 + 1 / 3]
+    ticks = [ns_to_ticks(v) for v in values]
+    # Strictly monotone: distinct floats stay distinct and order-preserving.
+    pairs = sorted(zip(values, ticks))
+    for (v1, t1), (v2, t2) in zip(pairs, pairs[1:]):
+        if v1 != v2:
+            assert t1 < t2
+        else:
+            assert t1 == t2
+
+
+def test_schedule_at_ps(engine):
+    fired = []
+    engine.schedule_at_ps(2500, lambda: fired.append(engine.now_ps))
+    engine.run()
+    assert fired == [2500]
+    assert engine.now == 2.5
+
+
+def test_schedule_batch_matches_sequential_scheduling(engine):
+    fired = []
+    events = engine.schedule_batch(
+        (float(t), lambda t=t: fired.append(t)) for t in (5, 1, 3)
+    )
+    assert len(events) == 3
+    events[2].cancel()  # the one at t=3
+    engine.run()
+    assert fired == [1, 5]
+
+
+def test_schedule_callback_fires_without_event_handle(engine):
+    fired = []
+    assert engine.schedule_callback(2.0, lambda: fired.append(engine.now)) is None
+    engine.schedule_after(1.0, lambda: fired.append(-1.0))
+    engine.run()
+    assert fired == [-1.0, 2.0]
+    assert engine.events_fired == 2
+
+
+def test_schedule_callback_in_past_raises(engine):
+    engine.schedule_at(10.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_callback(5.0, lambda: None)
+
+
+def test_run_until_alias(engine):
+    fired = []
+    engine.schedule_at(1.0, lambda: fired.append(1))
+    engine.schedule_at(9.0, lambda: fired.append(9))
+    assert engine.run_until(5.0) == 1
+    assert engine.now == 5.0
+    assert fired == [1]
+
+
+def test_advance_to_moves_clock_when_no_event_intervenes(engine):
+    engine.advance_to(7.25)
+    assert engine.now == 7.25
+    assert engine.now_ps == 7250
+
+
+def test_advance_to_refuses_to_jump_over_pending_events(engine):
+    engine.schedule_at(3.0, lambda: None)
+    with pytest.raises(RuntimeError):
+        engine.advance_to(4.0)
+    engine.advance_to(3.0)  # up to (and including) the next event is fine
+    assert engine.now == 3.0
+
+
+def test_advance_to_backwards_raises(engine):
+    engine.advance_to(5.0)
+    with pytest.raises(ValueError):
+        engine.advance_to(4.0)
+
+
+def test_peek_next_ticks_matches_peek_next_time(engine):
+    from repro.sim.engine import ns_to_ticks
+    engine.schedule_callback(4.5, lambda: None)
+    assert engine.peek_next_ticks() == ns_to_ticks(4.5)
+    assert engine.peek_next_time() == 4.5
+
+
+def test_mixed_event_and_callback_ordering_is_by_schedule_time(engine):
+    fired = []
+    engine.schedule_callback(2.0, lambda: fired.append("cb2"))
+    engine.schedule_at(2.0, lambda: fired.append("ev2"))
+    engine.schedule_callback(1.0, lambda: fired.append("cb1"))
+    engine.run()
+    assert fired == ["cb1", "cb2", "ev2"]
+
+
+def test_run_until_bounds_the_batched_kernel():
+    """Regression: the kernel's event-free fast path must respect run(until=).
+
+    With a queue of same-row reads, a bounded run must service exactly the
+    requests the per-request path would have, and the clock must stop at the
+    bound -- the batched kernel used to run past it.
+    """
+    from repro.dram.channel import DdrChannel
+    from repro.mapping.locality import locality_centric_mapping
+    from repro.memctrl.controller import ChannelController
+    from repro.memctrl.request import MemoryRequest
+    from repro.sim.config import MemCtrlConfig, MemoryDomainConfig
+    from repro.sim.stats import StatsRegistry
+
+    geometry = MemoryDomainConfig.paper_dram()
+    mapping = locality_centric_mapping(geometry)
+
+    def run_bounded(batching):
+        engine = SimulationEngine()
+        controller = ChannelController(
+            engine, DdrChannel(geometry, 0),
+            MemCtrlConfig(read_queue_depth=256), StatsRegistry(), name="b/ch0",
+            batching=batching,
+        )
+        completed = []
+        for index in range(64):
+            request = MemoryRequest(
+                phys_addr=index * 64, is_write=False,
+                on_complete=lambda r: completed.append(r.completion_ns),
+            )
+            request.domain = "dram"
+            request.dram_addr = mapping.map(request.phys_addr)
+            controller.enqueue(request)
+        engine.run(until=40.0)
+        return engine.now, controller._served.value, tuple(completed)
+
+    assert run_bounded(True) == run_bounded(False)
+    now, _, _ = run_bounded(True)
+    assert now == 40.0
+
+
+def test_advance_to_error_path_handles_callback_entries(engine):
+    """Regression: the refusal message used to assume Event-shaped heap entries."""
+    engine.schedule_callback(5.0, lambda: None)
+    with pytest.raises(RuntimeError):
+        engine.advance_to(10.0)
