@@ -78,6 +78,9 @@ class Session:
         cache=None,
         jobs: int = 1,
         memctrl_policy: Optional[str] = None,
+        task_timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+        journal=None,
     ) -> None:
         if memctrl_policy is not None:
             from dataclasses import replace as _replace
@@ -95,6 +98,9 @@ class Session:
             create_backend(backend)  # fail fast on unknown names
         self._cache = cache
         self._jobs = jobs
+        self._task_timeout_s = task_timeout_s
+        self._retries = retries
+        self._journal = journal
         self._engine: Optional[SimulationEngine] = None
         self._stats: Optional[StatsRegistry] = None
         self._system: Optional[PimSystem] = None
@@ -112,6 +118,9 @@ class Session:
         cache=None,
         jobs: int = 1,
         memctrl_policy: Optional[str] = None,
+        task_timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+        journal=None,
     ) -> "Session":
         """Open a session on ``config`` (Table I by default) and a design point.
 
@@ -120,6 +129,10 @@ class Session:
         memory-scheduler policy spec (``repro policies`` lists them; the
         default is the config's FR-FCFS); ``cache``/``jobs`` configure the
         experiment provider behind :meth:`run_workload`.
+        ``task_timeout_s``/``retries``/``journal`` configure the provider's
+        fault-tolerant fleet execution (see :mod:`repro.fleet`): hung worker
+        tasks are killed and retried up to ``retries`` times, and a
+        :class:`~repro.fleet.journal.FleetJournal` makes sweeps resumable.
         """
         return cls(
             config=config if config is not None else SystemConfig.paper_baseline(),
@@ -128,6 +141,9 @@ class Session:
             cache=cache,
             jobs=jobs,
             memctrl_policy=memctrl_policy,
+            task_timeout_s=task_timeout_s,
+            retries=retries,
+            journal=journal,
         )
 
     @classmethod
@@ -213,9 +229,15 @@ class Session:
         self._check_open()
         if self._provider is None:
             from repro.exp.runner import ExperimentProvider
+            from repro.fleet.runner import DEFAULT_RETRIES
 
             self._provider = ExperimentProvider(
-                self.config, cache=self._cache, jobs=self._jobs
+                self.config,
+                cache=self._cache,
+                jobs=self._jobs,
+                task_timeout_s=self._task_timeout_s,
+                retries=self._retries if self._retries is not None else DEFAULT_RETRIES,
+                journal=self._journal,
             )
         return self._provider
 
@@ -556,6 +578,9 @@ class SessionBuilder:
         self._cache = None
         self._jobs = 1
         self._memctrl_policy: Optional[str] = None
+        self._task_timeout_s: Optional[float] = None
+        self._retries: Optional[int] = None
+        self._journal = None
 
     def config(self, config: SystemConfig) -> "SessionBuilder":
         self._config = config
@@ -604,6 +629,24 @@ class SessionBuilder:
         self._jobs = jobs
         return self
 
+    def fleet(
+        self,
+        task_timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+        journal=None,
+    ) -> "SessionBuilder":
+        """Configure fault-tolerant fleet execution (see :mod:`repro.fleet`).
+
+        ``task_timeout_s`` kills and retries hung worker tasks; ``retries``
+        bounds re-attempts per task; ``journal`` (a
+        :class:`~repro.fleet.journal.FleetJournal`) streams completed specs
+        to disk so interrupted sweeps resume where they stopped.
+        """
+        self._task_timeout_s = task_timeout_s
+        self._retries = retries
+        self._journal = journal
+        return self
+
     def open(self) -> Session:
         return Session(
             config=self._config if self._config is not None else SystemConfig.paper_baseline(),
@@ -612,6 +655,9 @@ class SessionBuilder:
             cache=self._cache,
             jobs=self._jobs,
             memctrl_policy=self._memctrl_policy,
+            task_timeout_s=self._task_timeout_s,
+            retries=self._retries,
+            journal=self._journal,
         )
 
 

@@ -5,8 +5,9 @@ suite, the ``python -m repro`` CLI, and future sharded workers:
 
 * :mod:`repro.exp.spec` -- declarative, picklable experiment specifications
   (:class:`TransferSpec`, :class:`Sweep`, ...);
-* :mod:`repro.exp.runner` -- :class:`ParallelRunner` (process-pool fan-out
-  with a serial fallback) and the memoising :class:`ExperimentProvider`;
+* :mod:`repro.exp.runner` -- :class:`ParallelRunner` (fault-tolerant
+  :mod:`repro.fleet` fan-out with a serial fallback) and the memoising
+  :class:`ExperimentProvider`;
 * :mod:`repro.exp.cache` -- the on-disk result cache under
   ``results/.cache`` keyed by ``(SystemConfig, spec, code-version)``;
 * :mod:`repro.exp.figures` -- every paper table/figure as a declarative

@@ -1,27 +1,30 @@
 """Experiment orchestration: parallel fan-out, memoisation, disk caching.
 
-:class:`ParallelRunner` executes a batch of specs, fanning out over a
-``ProcessPoolExecutor`` when ``jobs > 1`` (with a serial in-process fallback
-for ``jobs == 1``).  Workers receive ``(config, spec)`` pairs and build their
-own :class:`~repro.sim.engine.SimulationEngine`; the engine is deterministic,
-so parallel and serial runs produce identical results.
+:class:`ParallelRunner` executes a batch of specs by delegating to the
+fault-tolerant :class:`~repro.fleet.runner.FleetRunner` -- a work-stealing
+task queue over worker processes with per-task timeout, bounded retry and an
+optional resume journal (``jobs == 1`` stays a serial in-process loop).
+Workers build their own :class:`~repro.sim.engine.SimulationEngine`; the
+engine is deterministic, so parallel, serial, killed-and-retried and resumed
+runs all produce identical results.
 
 :class:`ExperimentProvider` is the one orchestration path shared by the
-pytest benchmark suite, the ``python -m repro`` CLI, and any future sharded
-worker.  It layers, in order:
+pytest benchmark suite, the ``python -m repro`` CLI, and the sharded CI
+fleet workers.  It layers, in order:
 
 1. an in-memory memo (one entry per spec per provider),
-2. the on-disk :class:`~repro.exp.cache.ResultCache` (optional),
-3. arithmetic derivation: oversized :class:`TransferSpec` requests are served
+2. the streaming :class:`~repro.fleet.journal.FleetJournal` (optional; what
+   ``--resume`` replays),
+3. the on-disk :class:`~repro.exp.cache.ResultCache` (optional),
+4. arithmetic derivation: oversized :class:`TransferSpec` requests are served
    by extrapolating the cached steady-state *window* experiment instead of
    re-simulating,
-4. actual simulation, serial or fanned out through a runner.
+5. actual simulation, serial or fanned out through the fleet runner.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -32,10 +35,11 @@ from repro.workloads.microbench import TransferExperiment, extrapolate_experimen
 
 from repro.exp.cache import MISS, ResultCache
 from repro.exp.spec import DEFAULT_SIM_CAP_BYTES, ExperimentSpec, TransferSpec
+from repro.fleet.runner import DEFAULT_RETRIES, FleetError, FleetPolicy, FleetRunner
 
 
 def _execute_spec(payload: Tuple[SystemConfig, ExperimentSpec]):
-    """Worker entry point: run one spec on a private simulation engine."""
+    """Run one spec on a private simulation engine (kept for compatibility)."""
     config, spec = payload
     return spec.run(config)
 
@@ -46,12 +50,29 @@ def default_jobs() -> int:
 
 
 class ParallelRunner:
-    """Executes batches of experiment specs, optionally across processes."""
+    """Executes batches of experiment specs, optionally across processes.
 
-    def __init__(self, jobs: int = 1) -> None:
+    A thin façade over :class:`~repro.fleet.runner.FleetRunner` keeping the
+    historical constructor/`run` signature; the fleet knobs (per-task
+    timeout, bounded retry, resume journal, progress reporting) are optional
+    and default to the classic fire-and-collect behaviour.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        task_timeout_s: Optional[float] = None,
+        retries: int = DEFAULT_RETRIES,
+        journal=None,
+        progress=None,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
+        self.policy = FleetPolicy(task_timeout_s=task_timeout_s, retries=retries)
+        self.journal = journal
+        self.progress = progress
+        self.fleet_stats = None  # the last run's FleetStats
 
     def run(
         self, config: SystemConfig, specs: Sequence[ExperimentSpec]
@@ -59,18 +80,18 @@ class ParallelRunner:
         """Run every unique spec and return outcomes keyed by spec.
 
         Duplicate specs collapse to one execution.  Results are keyed (not
-        positional) so callers can request in any order.
+        positional) so callers can request in any order.  Raises
+        :class:`~repro.fleet.runner.FleetError` -- after the rest of the
+        batch completed -- if any spec exhausts its retry budget.
         """
-        unique: List[ExperimentSpec] = list(dict.fromkeys(specs))
-        if not unique:
-            return {}
-        if self.jobs == 1 or len(unique) == 1:
-            return {spec: spec.run(config) for spec in unique}
-        workers = min(self.jobs, len(unique))
-        payloads = [(config, spec) for spec in unique]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_execute_spec, payloads))
-        return dict(zip(unique, outcomes))
+        runner = FleetRunner(
+            jobs=self.jobs,
+            policy=self.policy,
+            journal=self.journal,
+            progress=self.progress,
+        )
+        self.fleet_stats = runner.stats
+        return runner.run(config, specs)
 
 
 @dataclass
@@ -81,6 +102,8 @@ class ProviderStats:
     disk_hits: int = 0  # served from results/.cache
     memo_hits: int = 0  # served from the in-memory memo
     derived: int = 0  # extrapolated arithmetically from a cached window
+    journal_hits: int = 0  # served from a resumed fleet journal
+    retried: int = 0  # failed attempts the fleet requeued and re-ran
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -88,16 +111,23 @@ class ProviderStats:
             "disk_hits": self.disk_hits,
             "memo_hits": self.memo_hits,
             "derived": self.derived,
+            "journal_hits": self.journal_hits,
+            "retried": self.retried,
         }
 
 
 @dataclass
 class ExperimentProvider:
-    """Memoising, cache-backed, parallel-capable experiment source."""
+    """Memoising, cache-backed, fleet-capable experiment source."""
 
     config: SystemConfig
     cache: Optional[ResultCache] = None
     jobs: int = 1
+    #: Fleet knobs: per-task timeout, bounded retry, resume journal, progress.
+    task_timeout_s: Optional[float] = None
+    retries: int = DEFAULT_RETRIES
+    journal: Optional[object] = None
+    progress: Optional[object] = None
     stats: ProviderStats = field(default_factory=ProviderStats)
 
     def __post_init__(self) -> None:
@@ -126,25 +156,55 @@ class ExperimentProvider:
         if canonical is not spec and canonical != spec:
             return self._derive(spec, self.run(canonical))
         value = MISS
-        if self.cache is not None:
+        from_journal = False
+        if self.journal is not None:
+            value = self.journal.get(self.config, canonical)
+            if value is not MISS:
+                self.stats.journal_hits += 1
+                from_journal = True
+        if value is MISS and self.cache is not None:
             value = self.cache.get(self.config, canonical)
             if value is not MISS:
                 self.stats.disk_hits += 1
         if value is MISS:
             value = canonical.run(self.config)
             self.stats.executed += 1
+            if self.journal is not None:
+                self.journal.record_done(self.config, canonical, value)
             if self.cache is not None:
                 self.cache.put(self.config, canonical, value)
+        elif from_journal and self.cache is not None:
+            # Warm the durable cache from the resumed journal so later runs
+            # need neither.
+            self.cache.put(self.config, canonical, value)
         self._memo[canonical] = value
         return value
+
+    def _make_runner(self) -> ParallelRunner:
+        return ParallelRunner(
+            jobs=self.jobs,
+            task_timeout_s=self.task_timeout_s,
+            retries=self.retries,
+            journal=self.journal,
+            progress=self.progress,
+        )
+
+    def _absorb(self, outcomes: Dict[ExperimentSpec, object]) -> None:
+        for spec, value in outcomes.items():
+            self._memo[spec] = value
+            if self.cache is not None:
+                self.cache.put(self.config, spec, value)
 
     def prefetch(self, specs: Iterable[ExperimentSpec]) -> int:
         """Ensure every spec's canonical outcome is available, in parallel.
 
         Deduplicates, canonicalises transfers to their simulated windows,
         drops everything already memoised or disk-cached, and fans the rest
-        out over :class:`ParallelRunner` with this provider's ``jobs``.
-        Returns the number of simulations actually executed.
+        out over the fleet runner with this provider's ``jobs`` and fleet
+        policy (timeout/retry/journal).  Returns the number of simulations
+        actually executed.  If any spec exhausts its retry budget, the rest
+        of the batch still completes (and is cached/journalled) before
+        :class:`~repro.fleet.runner.FleetError` propagates.
         """
         todo: List[ExperimentSpec] = []
         for spec in dict.fromkeys(self._canonical(s) for s in specs):
@@ -159,14 +219,27 @@ class ExperimentProvider:
             todo.append(spec)
         if not todo:
             return 0
-        runner = ParallelRunner(jobs=self.jobs)
-        outcomes = runner.run(self.config, todo)
-        self.stats.executed += len(outcomes)
-        for spec, value in outcomes.items():
-            self._memo[spec] = value
-            if self.cache is not None:
-                self.cache.put(self.config, spec, value)
-        return len(outcomes)
+        runner = self._make_runner()
+        try:
+            outcomes = runner.run(self.config, todo)
+        except FleetError as error:
+            # Keep everything that *did* finish: the journal already has it,
+            # and the disk cache should too, so a fixed rerun is incremental.
+            self._absorb(error.outcomes)
+            self._merge_fleet_stats(runner)
+            raise
+        self._absorb(outcomes)
+        executed = self._merge_fleet_stats(runner)
+        return executed
+
+    def _merge_fleet_stats(self, runner: ParallelRunner) -> int:
+        fleet = runner.fleet_stats
+        if fleet is None:
+            return 0
+        self.stats.executed += fleet.executed
+        self.stats.journal_hits += fleet.journal_hits
+        self.stats.retried += fleet.retried
+        return fleet.executed
 
     # -- convenience API (the benchmark suite's historical signature) -------
 

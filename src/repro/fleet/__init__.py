@@ -1,0 +1,56 @@
+"""Fleet-scale execution: sharded, fault-tolerant, resumable sweeps.
+
+``repro.fleet`` is the execution engine under the
+:class:`~repro.exp.runner.ExperimentProvider` /
+:class:`~repro.exp.cache.ResultCache` contract.  Where PR 1's
+``ParallelRunner`` was a single-shot ``ProcessPoolExecutor`` fan-out -- one
+crashed or hung worker sank the whole sweep -- the fleet runner is built for
+sweeps that must *finish*:
+
+* :mod:`repro.fleet.runner` -- :class:`FleetRunner`, a work-stealing task
+  queue over a pool of worker processes with per-task timeout and bounded
+  retry.  A killed or hung worker is respawned and its task requeued, never
+  lost; a task that exhausts its retries raises :class:`FleetError` (after
+  the rest of the sweep completed) instead of silently dropping a row.
+* :mod:`repro.fleet.journal` -- :class:`FleetJournal`, a streaming JSONL
+  journal under ``results/.fleet/`` recording every completed spec, so
+  ``--resume`` skips finished work and an interrupted sweep finishes
+  byte-identical to an uninterrupted one.
+* :mod:`repro.fleet.shard` -- deterministic ``--shard i/N`` partitioning, so
+  one sweep splits across CI jobs or machines with guaranteed disjoint,
+  exhaustive coverage.
+* :mod:`repro.fleet.progress` -- live ``done/total`` progress and ETA
+  reporting for long sweeps.
+
+The engine is layered *under* the existing orchestration:
+:class:`~repro.exp.runner.ParallelRunner` delegates to it, so the figure
+suite, ``repro sweep``/``scenarios`` and :class:`repro.api.Session` all gain
+fault tolerance, sharding and resume without changing their call sites.
+"""
+
+from repro.fleet.journal import FLEET_DIR_NAME, FleetJournal
+from repro.fleet.progress import FleetProgress
+from repro.fleet.runner import (
+    DEFAULT_RETRIES,
+    FleetError,
+    FleetPolicy,
+    FleetRunner,
+    FleetStats,
+    TaskFailure,
+)
+from repro.fleet.shard import Shard, parse_shard, shard_items
+
+__all__ = [
+    "DEFAULT_RETRIES",
+    "FLEET_DIR_NAME",
+    "FleetError",
+    "FleetJournal",
+    "FleetPolicy",
+    "FleetProgress",
+    "FleetRunner",
+    "FleetStats",
+    "Shard",
+    "TaskFailure",
+    "parse_shard",
+    "shard_items",
+]

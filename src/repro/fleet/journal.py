@@ -1,0 +1,198 @@
+"""The streaming sweep journal under ``results/.fleet/``.
+
+A :class:`FleetJournal` records every completed experiment spec of a sweep as
+one self-contained JSONL line -- the spec's stable cache key, its repr, how
+many attempts it took, and the pickled outcome -- flushed to disk the moment
+the task finishes.  Killing the driver (Ctrl-C, OOM, a CI timeout) therefore
+loses at most the in-flight tasks: rerunning the same sweep with ``--resume``
+replays the journal, skips everything already recorded, and -- because the
+recorded values are the exact pickles a live run would have produced --
+finishes **byte-identical** to an uninterrupted run.
+
+Journal layout::
+
+    results/.fleet/journal-<scope>-<config-key>-<code-version>.jsonl
+
+* One file per ``(scope, SystemConfig, code-version)`` triple.  The config
+  and code-version parts exactly mirror the result cache's invalidation
+  rule: any code change orphans old journals (swept by
+  :meth:`FleetJournal.prune_stale_versions`), and sweeps on different
+  configs never cross-contaminate.  ``scope`` (the CLI passes its
+  subcommand name) keeps *different sweeps* apart: a fresh ``repro
+  scenarios`` run must not unlink the journal an interrupted ``repro
+  figures`` is counting on resuming from.
+* Line format (one JSON object per line)::
+
+    {"event": "done", "key": <sha256>, "kind": "transfer", "spec": "...",
+     "attempt": 1, "elapsed_s": 0.41, "value": "<base64 pickle>"}
+    {"event": "failed", "key": ..., "kind": ..., "spec": ...,
+     "attempt": 3, "error": "TimeoutError: ..."}
+
+* Loading tolerates a truncated or corrupt trailing line (the signature of a
+  driver killed mid-write); such lines are simply skipped.
+* Only ``done`` events are resumable; ``failed`` events are kept for
+  diagnosis but never satisfy a lookup.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import IO, Dict, Optional
+
+#: Sub-directory of ``results/`` that holds sweep journals.
+FLEET_DIR_NAME = ".fleet"
+
+
+def _config_key(config) -> str:
+    return hashlib.sha256(config.stable_key().encode()).hexdigest()[:12]
+
+
+class FleetJournal:
+    """Append-only JSONL record of one sweep's completed specs."""
+
+    def __init__(
+        self,
+        root: Path,
+        config,
+        resume: bool = False,
+        version: Optional[str] = None,
+        scope: str = "sweep",
+    ) -> None:
+        from repro.exp.cache import code_version
+
+        self.root = Path(root)
+        self.config = config
+        self.version = version if version is not None else code_version()
+        self.resume = resume
+        self.scope = scope
+        self.path = self.root / (
+            f"journal-{scope}-{_config_key(config)}-{self.version}.jsonl"
+        )
+        self._entries: Dict[str, object] = {}
+        self._failures: Dict[str, str] = {}
+        self._handle: Optional[IO[str]] = None
+        if resume:
+            self._load()
+        elif self.path.exists():
+            # A fresh (non-resumed) sweep starts a fresh journal: stale
+            # entries must not satisfy lookups from a sweep that asked for a
+            # from-scratch run.
+            self.path.unlink()
+
+    # -- resume ---------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("event") == "done":
+                        value = pickle.loads(base64.b64decode(record["value"]))
+                        self._entries[record["key"]] = value
+                    elif record.get("event") == "failed":
+                        self._failures[record["key"]] = record.get("error", "")
+                except Exception:
+                    # Truncated/corrupt line (driver killed mid-write): skip.
+                    continue
+
+    def get(self, config, spec):
+        """The recorded outcome for ``spec``, or :data:`~repro.exp.cache.MISS`."""
+        from repro.exp.cache import MISS, spec_key
+
+        return self._entries.get(spec_key(config, spec), MISS)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def failures(self) -> Dict[str, str]:
+        """Recorded permanent failures (spec key -> last error), for diagnosis."""
+        return dict(self._failures)
+
+    # -- recording ------------------------------------------------------------
+    def _write(self, record: Dict[str, object]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush every record: the journal's whole point is surviving a killed
+        # driver, so completed work must reach the OS immediately.
+        self._handle.flush()
+
+    def record_done(
+        self, config, spec, value, attempt: int = 1, elapsed_s: float = 0.0
+    ) -> None:
+        """Record one completed spec (idempotent per key) and its outcome."""
+        from repro.exp.cache import spec_key
+
+        key = spec_key(config, spec)
+        if key in self._entries:
+            return
+        self._entries[key] = value
+        self._failures.pop(key, None)
+        payload = base64.b64encode(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        self._write(
+            {
+                "event": "done",
+                "key": key,
+                "kind": spec.KIND,
+                "spec": repr(spec),
+                "attempt": attempt,
+                "elapsed_s": round(elapsed_s, 4),
+                "value": payload,
+            }
+        )
+
+    def record_failure(self, config, spec, error: str, attempt: int) -> None:
+        """Record a spec that exhausted its retries (kept for diagnosis only)."""
+        from repro.exp.cache import spec_key
+
+        key = spec_key(config, spec)
+        self._failures[key] = error
+        self._write(
+            {
+                "event": "failed",
+                "key": key,
+                "kind": spec.KIND,
+                "spec": repr(spec),
+                "attempt": attempt,
+                "error": error,
+            }
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "FleetJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def prune_stale_versions(self) -> int:
+        """Remove journal files written by other code versions."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        suffix = f"-{self.version}.jsonl"
+        for child in self.root.glob("journal-*.jsonl"):
+            if not child.name.endswith(suffix):
+                child.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+__all__ = ["FLEET_DIR_NAME", "FleetJournal"]

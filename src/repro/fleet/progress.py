@@ -1,0 +1,86 @@
+"""Live progress and ETA reporting for fleet sweeps.
+
+A :class:`FleetProgress` receives one update per task transition from the
+:class:`~repro.fleet.runner.FleetRunner` and renders, at most once per
+``min_interval_s``, a single status line::
+
+    fleet: 12/40 specs done, 3 running | 1 retried | 34.2s elapsed, eta 81s
+
+The ETA is the naive completed-rate extrapolation -- deliberately simple, and
+honest about it: sweeps mix cheap and expensive specs, so the estimate is a
+guide, not a promise.  Rendering goes to ``stderr`` (results and tables own
+``stdout``); :meth:`auto` enables it only when ``stderr`` is a terminal or
+``REPRO_FLEET_PROGRESS=1`` forces it (useful in CI logs).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class FleetProgress:
+    """Throttled ``done/total`` + ETA reporter (one line per update window)."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 1.0,
+        enabled: bool = True,
+        label: str = "fleet",
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.enabled = enabled
+        self.label = label
+        self._started = time.perf_counter()
+        self._last_emit = 0.0
+
+    @classmethod
+    def auto(cls, label: str = "fleet") -> "FleetProgress":
+        """Progress that is live on a terminal (or forced via env), else off."""
+        forced = os.environ.get("REPRO_FLEET_PROGRESS", "") == "1"
+        enabled = forced or (hasattr(sys.stderr, "isatty") and sys.stderr.isatty())
+        return cls(enabled=enabled, label=label)
+
+    # -- updates --------------------------------------------------------------
+    def start(self, total: int) -> None:
+        self._started = time.perf_counter()
+        self._last_emit = 0.0
+
+    def update(
+        self,
+        done: int,
+        total: int,
+        running: int = 0,
+        retried: int = 0,
+        failed: int = 0,
+        force: bool = False,
+    ) -> None:
+        if not self.enabled or total <= 0:
+            return
+        now = time.perf_counter()
+        if not force and done < total and now - self._last_emit < self.min_interval_s:
+            return
+        self._last_emit = now
+        elapsed = now - self._started
+        parts = [f"{self.label}: {done}/{total} specs done, {running} running"]
+        if retried or failed:
+            extra = f"{retried} retried"
+            if failed:
+                extra += f", {failed} FAILED"
+            parts.append(extra)
+        timing = f"{elapsed:.1f}s elapsed"
+        if 0 < done < total and elapsed > 0:
+            eta = elapsed / done * (total - done)
+            timing += f", eta {eta:.0f}s"
+        parts.append(timing)
+        print(" | ".join(parts), file=self.stream, flush=True)
+
+    def finish(self, done: int, total: int, retried: int = 0, failed: int = 0) -> None:
+        self.update(done, total, running=0, retried=retried, failed=failed, force=True)
+
+
+__all__ = ["FleetProgress"]

@@ -1,0 +1,485 @@
+"""The fault-tolerant fleet runner: a work-stealing queue over worker processes.
+
+:class:`FleetRunner` executes a batch of experiment specs the way a
+production job system would, not the way ``ProcessPoolExecutor.map`` does:
+
+* **Work stealing** -- tasks live in one parent-side backlog and are handed
+  to whichever worker frees up first, so a straggler spec never serialises
+  the tail of the sweep behind a fixed pre-partition.
+* **Fault tolerance** -- each worker talks to the parent over its own
+  private pipe, so there is no shared queue lock a dying worker could take
+  to its grave (``SIGKILL`` during a shared ``mp.Queue`` get/put leaves the
+  queue's cross-process semaphore held forever and deadlocks every other
+  worker -- the design reason for per-worker pipes).  A worker that dies
+  (segfault, OOM-kill, ``SIGKILL``) is detected by pipe EOF or a liveness
+  sweep, its in-flight task is requeued and a replacement worker is
+  spawned.  Nothing is ever lost.
+* **Per-task timeout** -- a task that exceeds ``task_timeout_s`` gets its
+  worker killed and is retried elsewhere (hung simulations no longer hang
+  the sweep).
+* **Bounded retry** -- each task gets ``1 + retries`` attempts.  A task that
+  exhausts them is recorded as failed; the *rest of the sweep still
+  completes*, and only then does :meth:`FleetRunner.run` raise
+  :class:`FleetError` naming every failed spec -- callers exit non-zero with
+  a clear message instead of silently omitting rows.
+* **Journal + resume** -- with a :class:`~repro.fleet.journal.FleetJournal`
+  attached, every completion streams to disk and previously journalled specs
+  are served without re-execution (``--resume``).
+
+Workers execute ``spec.run(config)`` on a private, deterministic simulation
+engine -- the exact entry point a :class:`repro.api.Session`-driven
+``run_workload`` bottoms out in -- so fleet outcomes are bit-identical to
+serial in-process runs regardless of worker count, kills, retries or resume.
+
+``jobs == 1`` runs serially in-process (retry still applies to raising
+specs; timeouts need workers and are documented as pool-only).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Dict, List, Optional, Sequence
+
+#: Default number of *re*-attempts after a task's first failure.
+DEFAULT_RETRIES = 2
+
+#: How long the parent waits for worker messages per poll.
+_POLL_INTERVAL_S = 0.05
+
+
+def _mp_context():
+    # ``fork`` keeps chaos-test specs (defined in test modules) picklable and
+    # is the cheapest start method; fall back to the platform default.
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Fault-tolerance knobs of one fleet run."""
+
+    #: Kill + retry a task running longer than this (``None``: no timeout).
+    task_timeout_s: Optional[float] = None
+    #: Re-attempts after the first failure (total attempts = 1 + retries).
+    retries: int = DEFAULT_RETRIES
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive")
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.retries
+
+
+@dataclass
+class TaskFailure:
+    """One spec that exhausted its retry budget."""
+
+    spec: object
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        kind = getattr(self.spec, "KIND", type(self.spec).__name__)
+        return f"[{kind}] {self.spec!r}: {self.error} (after {self.attempts} attempt(s))"
+
+
+class FleetError(RuntimeError):
+    """Raised after the sweep finishes when any task exhausted its retries.
+
+    Carries the completed ``outcomes`` (everything that did succeed -- and,
+    with a journal attached, is already persisted) and the ``failures``.
+    """
+
+    def __init__(self, failures: List[TaskFailure], outcomes: Dict) -> None:
+        self.failures = failures
+        self.outcomes = outcomes
+        lines = "\n  ".join(failure.describe() for failure in failures)
+        super().__init__(
+            f"{len(failures)} fleet task(s) exhausted their retries:\n  {lines}"
+        )
+
+
+@dataclass
+class FleetStats:
+    """What one fleet run did (complements ``ProviderStats``)."""
+
+    executed: int = 0  # tasks that ran to completion (any attempt)
+    journal_hits: int = 0  # tasks served from a resumed journal
+    retried: int = 0  # attempts that failed and were requeued
+    worker_deaths: int = 0  # workers that died (killed, crashed) mid-task
+    timeouts: int = 0  # tasks killed for exceeding the per-task timeout
+    failed: int = 0  # tasks that exhausted the retry budget
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "executed": self.executed,
+            "journal_hits": self.journal_hits,
+            "retried": self.retried,
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "failed": self.failed,
+        }
+
+
+def _fleet_worker_main(config, conn) -> None:
+    """Worker loop: receive a task over the private pipe, run it, reply."""
+    while True:
+        try:
+            item = conn.recv()
+        except EOFError:
+            return
+        if item is None:
+            return
+        task_id, spec = item
+        try:
+            value = spec.run(config)
+        except BaseException as error:  # noqa: BLE001 - report, parent decides
+            conn.send((task_id, "error", f"{type(error).__name__}: {error}"))
+        else:
+            conn.send((task_id, "done", value))
+
+
+class FleetRunner:
+    """Executes batches of experiment specs with fault tolerance and resume."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        policy: Optional[FleetPolicy] = None,
+        journal=None,
+        progress=None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.policy = policy if policy is not None else FleetPolicy()
+        self.journal = journal
+        self.progress = progress
+        self.stats = FleetStats()
+        self._workers: Dict[int, mp.process.BaseProcess] = {}
+
+    # -- introspection (live during run(); used by the chaos tests) ----------
+    def worker_pids(self) -> List[int]:
+        """PIDs of the currently alive worker processes."""
+        return [
+            process.pid
+            for process in list(self._workers.values())
+            if process.pid is not None and process.is_alive()
+        ]
+
+    # -- public API -----------------------------------------------------------
+    def run(self, config, specs: Sequence) -> Dict:
+        """Run every unique spec; return outcomes keyed by spec.
+
+        Order-independent and deduplicating, like the classic runner.  Raises
+        :class:`FleetError` at the end if any spec exhausted its retries --
+        after every other spec completed (and was journalled).
+        """
+        unique = list(dict.fromkeys(specs))
+        outcomes: Dict = {}
+        pending: List = []
+        for spec in unique:
+            if self.journal is not None:
+                from repro.exp.cache import MISS
+
+                value = self.journal.get(config, spec)
+                if value is not MISS:
+                    outcomes[spec] = value
+                    self.stats.journal_hits += 1
+                    continue
+            pending.append(spec)
+        if self.progress is not None:
+            self.progress.start(len(unique))
+            self.progress.update(
+                done=len(outcomes), total=len(unique), running=0, force=True
+            )
+        failures: List[TaskFailure] = []
+        if pending:
+            # A single pending spec runs in-process (no fork / pickle
+            # round-trip for zero parallelism) -- unless a task timeout is
+            # set, which needs a killable worker to enforce.
+            solo = len(pending) == 1 and self.policy.task_timeout_s is None
+            if self.jobs == 1 or solo:
+                self._run_serial(config, pending, outcomes, failures, len(unique))
+            else:
+                self._run_pool(config, pending, outcomes, failures, len(unique))
+        if self.progress is not None:
+            self.progress.finish(
+                done=len(outcomes),
+                total=len(unique),
+                retried=self.stats.retried,
+                failed=self.stats.failed,
+            )
+        if failures:
+            raise FleetError(failures, outcomes)
+        return outcomes
+
+    # -- serial path ----------------------------------------------------------
+    def _record_done(self, config, spec, value, attempt: int, elapsed: float) -> None:
+        if self.journal is not None:
+            self.journal.record_done(
+                config, spec, value, attempt=attempt, elapsed_s=elapsed
+            )
+
+    def _record_failed(self, config, spec, error: str, attempts: int) -> None:
+        self.stats.failed += 1
+        if self.journal is not None:
+            self.journal.record_failure(config, spec, error, attempt=attempts)
+
+    def _run_serial(self, config, pending, outcomes, failures, total) -> None:
+        for spec in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                started = time.perf_counter()
+                try:
+                    value = spec.run(config)
+                except Exception as error:  # noqa: BLE001 - bounded retry
+                    if attempt >= self.policy.max_attempts:
+                        message = f"{type(error).__name__}: {error}"
+                        failures.append(TaskFailure(spec, attempt, message))
+                        self._record_failed(config, spec, message, attempt)
+                        break
+                    self.stats.retried += 1
+                    continue
+                outcomes[spec] = value
+                self.stats.executed += 1
+                self._record_done(
+                    config, spec, value, attempt, time.perf_counter() - started
+                )
+                break
+            if self.progress is not None:
+                self.progress.update(
+                    done=len(outcomes),
+                    total=total,
+                    running=0,
+                    retried=self.stats.retried,
+                    failed=self.stats.failed,
+                )
+
+    # -- pool path ------------------------------------------------------------
+    def _run_pool(self, config, pending, outcomes, failures, total) -> None:
+        ctx = _mp_context()
+        tasks: Dict[int, object] = {
+            task_id: spec for task_id, spec in enumerate(pending)
+        }
+        attempts: Dict[int, int] = {task_id: 0 for task_id in tasks}
+        started_at: Dict[int, float] = {}
+        remaining = set(tasks)
+        backlog = deque(sorted(tasks))  # task ids awaiting dispatch, FIFO
+        # worker id -> live worker state; every worker owns a private pipe,
+        # so a SIGKILL at any instant can never strand a shared lock.
+        conns: Dict[int, object] = {}
+        assigned: Dict[int, Optional[int]] = {}
+        deadlines: Dict[int, Optional[float]] = {}
+        next_worker_id = 0
+
+        def spawn_worker() -> None:
+            nonlocal next_worker_id
+            worker_id = next_worker_id
+            next_worker_id += 1
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_fleet_worker_main,
+                args=(config, child_conn),
+                daemon=True,
+                name=f"fleet-worker-{worker_id}",
+            )
+            process.start()
+            # Close the parent's copy of the child end, or worker death would
+            # never surface as EOF on parent_conn.
+            child_conn.close()
+            conns[worker_id] = parent_conn
+            assigned[worker_id] = None
+            deadlines[worker_id] = None
+            self._workers[worker_id] = process
+            dispatch(worker_id)
+
+        def dispatch(worker_id: int) -> None:
+            """Hand the next backlog task to an idle worker."""
+            while assigned.get(worker_id) is None and backlog:
+                task_id = backlog.popleft()
+                if task_id not in remaining:
+                    continue
+                try:
+                    conns[worker_id].send((task_id, tasks[task_id]))
+                except (OSError, ValueError):
+                    backlog.appendleft(task_id)
+                    reap_worker(worker_id, "WorkerDied: task dispatch failed")
+                    return
+                attempts[task_id] += 1
+                started_at[task_id] = time.perf_counter()
+                assigned[worker_id] = task_id
+                deadlines[worker_id] = (
+                    time.monotonic() + self.policy.task_timeout_s
+                    if self.policy.task_timeout_s is not None
+                    else None
+                )
+                return
+
+        def attempt_failed(task_id: int, message: str) -> None:
+            """An attempt failed: requeue, or record a permanent failure."""
+            if task_id not in remaining:
+                return  # late report from a duplicate attempt; already settled
+            if attempts[task_id] >= self.policy.max_attempts:
+                remaining.discard(task_id)
+                spec = tasks[task_id]
+                failures.append(TaskFailure(spec, attempts[task_id], message))
+                self._record_failed(config, spec, message, attempts[task_id])
+            else:
+                self.stats.retried += 1
+                backlog.append(task_id)
+
+        def reap_worker(worker_id: int, message: str) -> None:
+            """A worker died (or was killed): requeue its task, replace it."""
+            process = self._workers.pop(worker_id, None)
+            if process is not None:
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5)
+            conn = conns.pop(worker_id, None)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            task_id = assigned.pop(worker_id, None)
+            deadlines.pop(worker_id, None)
+            self.stats.worker_deaths += 1
+            if task_id is not None:
+                attempt_failed(task_id, message)
+            if remaining:
+                spawn_worker()
+
+        def running() -> int:
+            return sum(1 for task_id in assigned.values() if task_id is not None)
+
+        def emit_progress() -> None:
+            if self.progress is not None:
+                self.progress.update(
+                    done=len(outcomes),
+                    total=total,
+                    running=running(),
+                    retried=self.stats.retried,
+                    failed=self.stats.failed,
+                )
+
+        for _ in range(min(self.jobs, len(tasks))):
+            spawn_worker()
+
+        try:
+            while remaining:
+                by_conn = {id(conn): wid for wid, conn in conns.items()}
+                try:
+                    readable = mp_connection.wait(
+                        list(conns.values()), timeout=_POLL_INTERVAL_S
+                    )
+                except OSError:
+                    readable = []
+                for conn in readable:
+                    worker_id = by_conn.get(id(conn))
+                    if worker_id is None or worker_id not in conns:
+                        continue
+                    try:
+                        task_id, kind, payload = conn.recv()
+                    except (EOFError, OSError):
+                        process = self._workers.get(worker_id)
+                        exitcode = process.exitcode if process is not None else None
+                        reap_worker(
+                            worker_id,
+                            f"WorkerDied: worker process exited (exitcode {exitcode})",
+                        )
+                        emit_progress()
+                        continue
+                    assigned[worker_id] = None
+                    deadlines[worker_id] = None
+                    if kind == "done":
+                        if task_id in remaining:
+                            remaining.discard(task_id)
+                            spec = tasks[task_id]
+                            outcomes[spec] = payload
+                            self.stats.executed += 1
+                            elapsed = time.perf_counter() - started_at.get(
+                                task_id, time.perf_counter()
+                            )
+                            self._record_done(
+                                config, spec, payload, attempts[task_id], elapsed
+                            )
+                    else:
+                        attempt_failed(task_id, payload)
+                    emit_progress()
+                    dispatch(worker_id)
+                # Timeouts: kill the worker; reaping requeues its task.
+                if self.policy.task_timeout_s is not None:
+                    now = time.monotonic()
+                    for worker_id in list(conns):
+                        deadline = deadlines.get(worker_id)
+                        if deadline is not None and now > deadline:
+                            self.stats.timeouts += 1
+                            reap_worker(
+                                worker_id,
+                                "TimeoutError: task exceeded "
+                                f"{self.policy.task_timeout_s}s and was killed",
+                            )
+                            emit_progress()
+                # Death sweep: belt and braces for a worker that died without
+                # a final message pending in its pipe (EOF normally covers
+                # this; a pending message is delivered first, next loop).
+                for worker_id, process in list(self._workers.items()):
+                    if not process.is_alive():
+                        conn = conns.get(worker_id)
+                        try:
+                            has_pending = conn is not None and conn.poll(0)
+                        except (OSError, EOFError):
+                            has_pending = False
+                        if has_pending:
+                            continue
+                        reap_worker(
+                            worker_id,
+                            "WorkerDied: worker process exited "
+                            f"(exitcode {process.exitcode})",
+                        )
+                        emit_progress()
+                # Keep the pool saturated after retries refill the backlog.
+                if remaining and not conns:
+                    spawn_worker()
+                for worker_id in list(conns):
+                    dispatch(worker_id)
+        finally:
+            for conn in conns.values():
+                try:
+                    conn.send(None)
+                except (OSError, ValueError):
+                    pass
+            for process in self._workers.values():
+                process.join(timeout=2)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2)
+            self._workers.clear()
+            for conn in conns.values():
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            conns.clear()
+
+
+__all__ = [
+    "DEFAULT_RETRIES",
+    "FleetError",
+    "FleetPolicy",
+    "FleetRunner",
+    "FleetStats",
+    "TaskFailure",
+    "_fleet_worker_main",
+]

@@ -1,0 +1,84 @@
+"""Deterministic ``--shard i/N`` partitioning of work lists.
+
+One sweep (a figure set, a spec grid, a scenario list) splits across CI jobs
+or machines by giving every job the same item list and a different shard
+coordinate.  The partition is a pure function of the item *identities*, not
+of the list order the caller happened to enumerate them in: items are ranked
+by a stable key and dealt round-robin, so
+
+* the N shards are **disjoint** and their union is exactly the input
+  (no item is ever silently dropped -- CI's fan-in job asserts this);
+* every job computes the **same** partition regardless of enumeration order;
+* shard sizes differ by at most one item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One shard coordinate: job ``index`` of ``count`` (1-based, as typed)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be within 1..{self.count}, got {self.index}"
+            )
+
+    @property
+    def label(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def select(self, items: Sequence[T], key: Callable[[T], str] = repr) -> List[T]:
+        """This shard's slice of ``items`` (see :func:`shard_items`)."""
+        return shard_items(items, self, key=key)
+
+
+def parse_shard(text: str) -> Shard:
+    """Parse ``"2/3"`` into ``Shard(index=2, count=3)`` (1-based)."""
+    parts = text.strip().split("/")
+    try:
+        if len(parts) != 2:
+            raise ValueError(text)
+        index, count = int(parts[0]), int(parts[1])
+        return Shard(index=index, count=count)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse shard {text!r}; expected I/N with 1 <= I <= N, e.g. 2/3"
+        ) from None
+
+
+def shard_items(
+    items: Sequence[T], shard: Shard, key: Callable[[T], str] = repr
+) -> List[T]:
+    """The items assigned to ``shard``, in the caller's original order.
+
+    Items are ranked by ``key`` (which must be stable and unique per item)
+    and dealt round-robin over the ``shard.count`` shards; the selected
+    subset is then returned in the order the caller passed the items, so a
+    sharded sweep runs its slice in the same relative order as the full one.
+    """
+    keys = [key(item) for item in items]
+    if len(set(keys)) != len(keys):
+        duplicates = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"shard keys must be unique, duplicated: {duplicates}")
+    ranked = sorted(range(len(items)), key=lambda position: keys[position])
+    mine = {
+        position
+        for rank, position in enumerate(ranked)
+        if rank % shard.count == shard.index - 1
+    }
+    return [item for position, item in enumerate(items) if position in mine]
+
+
+__all__ = ["Shard", "parse_shard", "shard_items"]

@@ -24,6 +24,10 @@ The shapes are chosen to stress different sharing axes:
   partially (arrival-pattern diversity).
 * **baseline-prim-pair** -- the prim-pair mix on the software baseline, for
   before/after comparisons against the PIM-MMU design point.
+* **poisson-arrivals / diurnal-load / closed-loop-capacity** -- the
+  arrival-process family (see the block comment above their registrations):
+  memoryless Poisson streams, diurnally phased load and a closed-loop
+  capacity probe, giving fleet-scale capacity sweeps realistic load shapes.
 """
 
 from __future__ import annotations
@@ -167,5 +171,73 @@ register_scenario(
         design_point=DesignPoint.BASE_DHP,
         tenants=_QOS_TENANTS,
         memctrl_policy="qos_priority:lat=1",
+    ),
+)
+
+# The arrival-process family: capacity-style load shapes for fleet sweeps.
+# The earlier mixes stress *what* tenants access; these stress *when* work
+# arrives -- the axis a service's capacity planning actually lives on.
+#
+# * **poisson-arrivals** -- two open-loop Poisson streams (memoryless
+#   arrivals, the M/G/k capacity model) at a 4x rate asymmetry.  Poisson
+#   clustering produces transient queue build-up that fixed-gap streams
+#   never show, so p99 separates from p50 here.
+# * **diurnal-load** -- a tenant whose Poisson arrival rate follows a
+#   sinusoidal day/night envelope (peak issues 4x faster than trough)
+#   against a steady streamer: does the quiet phase's headroom absorb the
+#   peak phase's backlog?
+# * **closed-loop-capacity** -- a closed-loop tenant (8 clients, one access
+#   outstanding each, zero think time) that self-limits at the system's
+#   saturation throughput, sharing the channels with a sparse open-loop
+#   Poisson probe whose latency shows what saturation does to a bystander.
+
+register_scenario(
+    "poisson-arrivals",
+    "two open-loop Poisson arrival streams at a 4x rate asymmetry",
+    ScenarioSpec(
+        name="poisson-arrivals",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.synthetic(
+                "hot", "poisson", total_bytes=256 * KIB, mean_gap_ns=3.0, seed=1
+            ),
+            TenantSpec.synthetic(
+                "cold", "poisson", total_bytes=128 * KIB, mean_gap_ns=12.0, seed=2
+            ),
+        ),
+    ),
+)
+
+register_scenario(
+    "diurnal-load",
+    "diurnally phased Poisson load (4x peak/trough) vs a steady streamer",
+    ScenarioSpec(
+        name="diurnal-load",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.synthetic(
+                "diurnal", "diurnal", total_bytes=256 * KIB, mean_gap_ns=4.0, seed=1
+            ),
+            TenantSpec.synthetic(
+                "steady", "uniform", total_bytes=128 * KIB, mean_gap_ns=8.0, seed=2
+            ),
+        ),
+    ),
+)
+
+register_scenario(
+    "closed-loop-capacity",
+    "8-client closed-loop capacity probe vs a sparse Poisson latency probe",
+    ScenarioSpec(
+        name="closed-loop-capacity",
+        design_point=DesignPoint.BASE_DHP,
+        tenants=(
+            TenantSpec.closed(
+                "capacity", "uniform", total_bytes=256 * KIB, concurrency=8
+            ),
+            TenantSpec.synthetic(
+                "probe", "poisson", total_bytes=32 * KIB, mean_gap_ns=50.0, seed=3
+            ),
+        ),
     ),
 )

@@ -71,6 +71,13 @@ class TenantSpec:
     start_offset_ns: float = 0.0
     #: Provenance label when the tenant models a PrIM workload's transfer phase.
     prim_workload: Optional[str] = None
+    #: Closed-loop trace tenants: ``concurrency`` logical clients each keep
+    #: one access outstanding and issue their next one ``think_ns`` after the
+    #: previous completed (the trace times are ignored; its access sequence
+    #: is the work list).  The capacity-study arrival model.
+    closed_loop: bool = False
+    concurrency: int = 1
+    think_ns: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in TENANT_KINDS:
@@ -94,6 +101,12 @@ class TenantSpec:
                 raise ValueError(f"tenant {self.name!r} needs total_bytes > 0")
         if self.start_offset_ns < 0:
             raise ValueError("start_offset_ns must be non-negative")
+        if self.closed_loop and self.kind != "trace":
+            raise ValueError("closed_loop applies to trace tenants only")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.think_ns < 0:
+            raise ValueError("think_ns must be non-negative")
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -146,6 +159,38 @@ class TenantSpec:
             write_fraction=write_fraction,
             seed=seed,
             start_offset_ns=start_offset_ns,
+        )
+
+    @classmethod
+    def closed(
+        cls,
+        name: str,
+        pattern: str,
+        total_bytes: int,
+        concurrency: int = 4,
+        think_ns: float = 0.0,
+        write_fraction: float = 0.0,
+        seed: int = 0,
+        start_offset_ns: float = 0.0,
+    ) -> "TenantSpec":
+        """A closed-loop tenant: ``concurrency`` clients, one outstanding each.
+
+        The synthetic ``pattern`` supplies the address sequence; arrival
+        timing is closed-loop (issue-on-completion plus ``think_ns``), so
+        the tenant's throughput self-limits at the system's capacity instead
+        of queueing unboundedly -- the right model for capacity sweeps.
+        """
+        return cls(
+            name=name,
+            kind="trace",
+            total_bytes=total_bytes,
+            pattern=pattern,
+            write_fraction=write_fraction,
+            seed=seed,
+            start_offset_ns=start_offset_ns,
+            closed_loop=True,
+            concurrency=concurrency,
+            think_ns=think_ns,
         )
 
     @classmethod
@@ -202,6 +247,8 @@ class TenantSpec:
             detail = self.trace_path
         else:
             detail = self.pattern or ""
+        if self.closed_loop:
+            detail += f" closed x{self.concurrency}"
         size_mib = self.total_bytes / MIB
         return f"{self.kind}:{detail} ({size_mib:.2f} MiB)"
 
@@ -366,7 +413,14 @@ class _TenantDriver:
                 system, span, on_complete=finished, shared=shared
             )
         else:  # trace
-            replayer = TraceReplayer(system, self._resolve_trace(), tenant=self.spec.name)
+            replayer = TraceReplayer(
+                system,
+                self._resolve_trace(),
+                tenant=self.spec.name,
+                closed_loop=self.spec.closed_loop,
+                concurrency=self.spec.concurrency,
+                think_ns=self.spec.think_ns,
+            )
             replayer.begin(on_complete=finished)
 
     def start(self, system: PimSystem, shared: bool, on_done: Callable[[], None]) -> None:

@@ -295,7 +295,7 @@ def load_trace(path: Union[str, Path]) -> Trace:
 # ---------------------------------------------------------------------------
 
 #: Traffic shapes :func:`synthesize_trace` understands.
-TRACE_PATTERNS = ("uniform", "bursty", "skewed", "phased")
+TRACE_PATTERNS = ("uniform", "bursty", "skewed", "phased", "poisson", "diurnal")
 
 
 def synthesize_trace(
@@ -316,6 +316,12 @@ def synthesize_trace(
       buffer) at a steady rate.
     * ``phased``  -- alternating sequential and strided phases (a streaming
       workload that periodically switches to a column-major walk).
+    * ``poisson`` -- sequential addresses with exponentially distributed
+      gaps (a memoryless Poisson arrival process, the open-system capacity
+      model).
+    * ``diurnal`` -- sequential addresses whose Poisson arrival *rate*
+      follows a sinusoidal day/night envelope (peak phase issues 4x faster
+      than the trough, same average rate).
 
     ``write_fraction`` deterministically marks every ``1/write_fraction``-th
     access as a write (0 = read-only).  The same arguments always produce the
@@ -349,6 +355,12 @@ def synthesize_trace(
             streams.skewed_blocks(base_addr, buffer_bytes, count, seed=seed)
         )
         gaps = streams.interarrival_times(count, mean_gap_ns, jitter=0.5, seed=seed)
+    elif pattern == "poisson":
+        addresses = list(streams.sequential_blocks(base_addr, buffer_bytes))
+        gaps = streams.poisson_interarrival_times(count, mean_gap_ns, seed=seed)
+    elif pattern == "diurnal":
+        addresses = list(streams.sequential_blocks(base_addr, buffer_bytes))
+        gaps = streams.diurnal_interarrival_times(count, mean_gap_ns, seed=seed)
     else:  # phased
         half = (count // 2) * CACHE_LINE_BYTES
         half = max(half, CACHE_LINE_BYTES)
@@ -422,14 +434,24 @@ class ReplayResult:
 
 
 class TraceReplayer:
-    """Open-loop, deterministic replay of a :class:`Trace` onto a system.
+    """Open- or closed-loop, deterministic replay of a :class:`Trace`.
 
-    Every event is scheduled at ``start_ns + (event.time_ns - t0)``; if the
-    target queue is full the access is parked in arrival order and re-issued
-    as soon as the controller frees a slot (the ``deferred`` count in the
-    result tells how often backpressure bent the recorded timing).  Requests
-    carry the replayer's ``tenant`` tag so per-tenant controller stats
-    attribute correctly in multi-tenant scenarios.
+    **Open loop** (the default): every event is scheduled at ``start_ns +
+    (event.time_ns - t0)``; if the target queue is full the access is parked
+    in arrival order and re-issued as soon as the controller frees a slot
+    (the ``deferred`` count in the result tells how often backpressure bent
+    the recorded timing).
+
+    **Closed loop** (``closed_loop=True``): the trace supplies only the
+    *access sequence*; the recorded times are ignored.  ``concurrency``
+    logical clients each keep one access outstanding -- a client issues its
+    next access ``think_ns`` after its previous one *completed*.  This is the
+    classic closed-system capacity model: with zero think time the measured
+    completion rate is the system's saturation throughput at that outstanding
+    depth, and latency under load is self-limiting rather than unbounded.
+
+    Requests carry the replayer's ``tenant`` tag either way, so per-tenant
+    controller stats attribute correctly in multi-tenant scenarios.
     """
 
     def __init__(
@@ -438,13 +460,24 @@ class TraceReplayer:
         trace: Trace,
         tenant: Optional[str] = None,
         time_scale: float = 1.0,
+        closed_loop: bool = False,
+        concurrency: int = 1,
+        think_ns: float = 0.0,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if think_ns < 0:
+            raise ValueError("think_ns must be non-negative")
         self.system = system
         self.trace = trace.normalized()
         self.tenant = tenant
         self.time_scale = time_scale
+        self.closed_loop = closed_loop
+        self.concurrency = concurrency
+        self.think_ns = think_ns
+        self._cursor = 0  # next unissued event index (closed loop)
         self._pending: Deque[TraceEvent] = deque()
         self._completed = 0
         self._issued = 0
@@ -475,6 +508,12 @@ class TraceReplayer:
         if not self.trace.events:
             self._finalize()
             return
+        if self.closed_loop:
+            # Prime one outstanding access per client; completions drive the
+            # rest (see _on_request_complete).
+            for _ in range(min(self.concurrency, len(self.trace.events))):
+                self._issue_next()
+            return
         # One bulk push: the arrival times are all known upfront, so the
         # engine's schedule_batch skips the per-event call overhead (ordering
         # and validation are identical to per-event schedule_at calls).
@@ -485,6 +524,14 @@ class TraceReplayer:
             (start_ns + event.time_ns * time_scale, partial(issue_or_park, event))
             for event in self.trace.events
         )
+
+    def _issue_next(self) -> None:
+        """Closed loop: hand the next unclaimed trace event to a free client."""
+        if self._cursor >= len(self.trace.events):
+            return
+        event = self.trace.events[self._cursor]
+        self._cursor += 1
+        self._issue_or_park(event)
 
     def execute(self) -> ReplayResult:
         """Replay the whole trace to completion and return its result."""
@@ -545,6 +592,13 @@ class TraceReplayer:
         self._last_completion_ns = self.system.now
         if request.latency_ns is not None:
             self._latency.add(request.latency_ns)
+        if self.closed_loop and self._cursor < len(self.trace.events):
+            # This client's next access starts after its think time (always
+            # through the event heap, so completion callbacks never reenter
+            # the submit path).
+            self.system.engine.schedule_at(
+                self.system.now + self.think_ns, self._issue_next
+            )
         if self._completed >= len(self.trace.events) and not self._pending:
             self._finalize()
 

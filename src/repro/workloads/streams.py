@@ -22,6 +22,7 @@ inter-arrival gaps; combining the two yields a full synthetic trace (see
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterator, List, Optional, Sequence
 
@@ -156,9 +157,65 @@ def interarrival_times(
         yield gap
 
 
+def poisson_interarrival_times(
+    count: int, mean_gap_ns: float, seed: int = 0
+) -> Iterator[float]:
+    """Exponentially distributed gaps -- a memoryless Poisson arrival process.
+
+    The canonical open-system arrival model for capacity studies: request
+    *counts* per window are Poisson-distributed and arrivals cluster and gap
+    naturally, unlike the fixed-rate streams of :func:`interarrival_times`.
+    Deterministic for a given ``seed``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if mean_gap_ns <= 0:
+        raise ValueError("mean_gap_ns must be positive")
+    rng = random.Random(seed)
+    rate = 1.0 / mean_gap_ns
+    for _ in range(count):
+        yield rng.expovariate(rate)
+
+
+def diurnal_interarrival_times(
+    count: int,
+    mean_gap_ns: float,
+    period: int = 1024,
+    peak_to_trough: float = 4.0,
+    seed: int = 0,
+) -> Iterator[float]:
+    """Poisson gaps whose *rate* follows a sinusoidal day/night envelope.
+
+    Models diurnally phased production load: over every ``period`` arrivals
+    the instantaneous rate swings sinusoidally so the busiest phase issues
+    ``peak_to_trough`` times faster than the quietest one, while the average
+    rate stays ``1 / mean_gap_ns``.  Each gap is exponentially drawn at the
+    phase's instantaneous rate (a piecewise Poisson process), deterministic
+    for a given ``seed``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if mean_gap_ns <= 0:
+        raise ValueError("mean_gap_ns must be positive")
+    if period < 1:
+        raise ValueError("period must be >= 1")
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    rng = random.Random(seed)
+    # rate(i) = base * (1 + a*sin(phase)): peak/trough = (1+a)/(1-a) = R.
+    amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    base_rate = 1.0 / mean_gap_ns
+    for index in range(count):
+        phase = 2.0 * math.pi * (index % period) / period
+        rate = base_rate * (1.0 + amplitude * math.sin(phase))
+        yield rng.expovariate(rate)
+
+
 __all__ = [
+    "diurnal_interarrival_times",
     "interarrival_times",
     "interleaved_blocks",
+    "poisson_interarrival_times",
     "random_blocks",
     "sequential_blocks",
     "skewed_blocks",

@@ -9,6 +9,8 @@ from repro.exp.bench import (
     append_entry,
     check_regression,
     load_trajectory,
+    merge_rerun,
+    regressing_workloads,
     run_bench,
 )
 
@@ -94,3 +96,81 @@ def test_cli_bench_parsing():
 
     args = build_parser().parse_args(["bench", "--quick", "--check", "--no-write"])
     assert args.quick and args.check and args.no_write
+
+
+def test_run_bench_reports_per_workload_spread():
+    entry = run_bench(quick=True, names=["deep-queue"], repeats=2)
+    metrics = entry["workloads"]["deep-queue"]
+    assert "wall_spread_pct" in metrics
+    assert metrics["wall_spread_pct"] >= 0.0
+
+
+def _entry(quick=True, **rates):
+    workloads = {
+        name: {"wall_s": 1.0, "events": int(rate), "events_per_sec": rate,
+               "requests": 0, "requests_per_sec": 0.0, "wall_spread_pct": 5.0}
+        for name, rate in rates.items()
+    }
+    events = sum(w["events"] for w in workloads.values())
+    wall = float(len(workloads))
+    return {
+        "quick": quick,
+        "repeats": 2,
+        "workloads": workloads,
+        "aggregate": {
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall else 0.0,
+        },
+    }
+
+
+def test_regressing_workloads_names_the_culprit(tmp_path):
+    path = tmp_path / "BENCH.json"
+    append_entry(path, "base", _entry(a=1000.0, b=1000.0))
+    document = load_trajectory(path)
+    # b halved -> only b is named.
+    slowed = _entry(a=990.0, b=500.0)
+    assert regressing_workloads(document, slowed) == ["b"]
+    # Nothing crosses the per-workload gate -> the worst ratio is named,
+    # so the flake-relief rerun always has a minimal target.
+    mild = _entry(a=900.0, b=950.0)
+    assert regressing_workloads(document, mild) == ["a"]
+    # No baseline of this mode -> nothing to blame.
+    assert regressing_workloads({"entries": []}, slowed) == []
+
+
+def test_merge_rerun_keeps_fastest_and_recomputes_aggregate(tmp_path):
+    entry = _entry(a=1000.0, b=500.0)
+    rerun = _entry(b=1200.0)
+    rerun["workloads"]["b"]["events"] = 500  # events are deterministic
+    rerun["workloads"]["b"]["wall_s"] = 500 / 1200.0
+    merged = merge_rerun(entry, rerun)
+    assert merged["reran"] == ["b"]
+    assert merged["workloads"]["b"]["events_per_sec"] == 1200.0
+    # The original repeats' noise signal is preserved on the merged row.
+    assert merged["workloads"]["b"]["wall_spread_pct"] == 5.0
+    assert merged["workloads"]["a"] == entry["workloads"]["a"]
+    aggregate = merged["aggregate"]
+    assert aggregate["events"] == sum(
+        w["events"] for w in merged["workloads"].values()
+    )
+    # A rerun slower than the original changes nothing.
+    slower = _entry(b=100.0)
+    unchanged = merge_rerun(entry, slower)
+    assert unchanged["workloads"]["b"]["events_per_sec"] == 500.0
+
+
+def test_rerun_relieves_a_noise_only_regression(tmp_path):
+    """The satellite end-to-end: gate trips on a noisy run, the targeted
+    rerun comes back fast, the merged entry passes the gate."""
+    path = tmp_path / "BENCH.json"
+    append_entry(path, "base", _entry(a=1000.0, b=1000.0))
+    document = load_trajectory(path)
+    noisy = _entry(a=1000.0, b=400.0)
+    assert check_regression(document, noisy) is not None
+    suspects = regressing_workloads(document, noisy)
+    assert suspects == ["b"]
+    rerun = _entry(b=1000.0)
+    merged = merge_rerun(noisy, rerun)
+    assert check_regression(document, merged) is None

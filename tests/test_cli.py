@@ -11,9 +11,11 @@ from repro.exp.cli import (
     main,
     parse_contention,
     parse_design_point,
+    parse_shard_arg,
     parse_size,
 )
 from repro.exp.spec import ContentionSpec
+from repro.fleet import Shard
 from repro.sim.config import DesignPoint
 
 KIB = 1024
@@ -90,6 +92,48 @@ def test_sweep_arguments():
     assert args.contentions == [ContentionSpec("compute", 8)]
     assert args.quantum_ns == 25000.0
     assert args.config == "small"
+
+
+def test_fleet_flags_parse():
+    args = build_parser().parse_args(
+        [
+            "figures",
+            "--shard",
+            "2/3",
+            "--resume",
+            "--task-timeout",
+            "90",
+            "--retries",
+            "5",
+        ]
+    )
+    assert args.shard == Shard(index=2, count=3)
+    assert args.resume is True
+    assert args.task_timeout == 90.0
+    assert args.retries == 5
+    # sweep and scenarios carry the same flags.
+    assert build_parser().parse_args(["sweep", "--shard", "1/2"]).shard.count == 2
+    assert build_parser().parse_args(["scenarios", "--resume"]).resume is True
+
+
+def test_fleet_flag_validation():
+    assert parse_shard_arg("3/3") == Shard(index=3, count=3)
+    for argv in (
+        ["figures", "--shard", "0/3"],
+        ["figures", "--shard", "4/3"],
+        ["figures", "--shard", "x"],
+        ["sweep", "--task-timeout", "0"],
+        ["sweep", "--task-timeout", "soon"],
+        ["scenarios", "--retries", "-1"],
+    ):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+
+def test_bench_shard_excludes_check():
+    args = build_parser().parse_args(["bench", "--shard", "1/2"])
+    assert args.shard == Shard(index=1, count=2)
+    assert main(["bench", "--shard", "1/2", "--check"]) == 2
 
 
 def test_missing_subcommand_is_an_error():
@@ -183,3 +227,96 @@ def test_sweep_runs_and_caches(tmp_path, capsys):
     assert main(argv) == 0
     third = capsys.readouterr().out  # swallow clean-cache output too
     assert "simulations executed: 1" in third
+
+
+def test_figures_shards_cover_all_fast_figures(tmp_path, capsys):
+    """Three shards of `figures --fast` jointly produce every fast figure,
+    each exactly once (the CI figure-smoke matrix contract)."""
+    from repro.exp.figures import FIGURES
+
+    results_dir = tmp_path / "results"
+    written = []
+    for index in (1, 2, 3):
+        assert (
+            main(
+                [
+                    "figures",
+                    "--fast",
+                    "--shard",
+                    f"{index}/3",
+                    "--config",
+                    "small",
+                    "--results-dir",
+                    str(results_dir / f"shard-{index}"),
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        shard_dir = results_dir / f"shard-{index}"
+        written.append(
+            sorted(p.name for p in shard_dir.glob("*.txt")) if shard_dir.exists() else []
+        )
+    capsys.readouterr()
+    expected = sorted(f.filename for f in FIGURES.values() if f.fast)
+    union = sorted(name for shard in written for name in shard)
+    assert union == expected  # disjoint and exhaustive
+
+
+def test_sweep_shard_tolerates_duplicate_flags(tmp_path, capsys):
+    """Repeated identical flag values must dedupe, not crash the shard
+    partition with a duplicate-key error."""
+    assert (
+        main(
+            [
+                "sweep",
+                "--config",
+                "small",
+                "--design-point",
+                "base",
+                "--direction",
+                "d2p",
+                "--size",
+                "64KiB",
+                "--size",
+                "64KiB",
+                "--sim-cap",
+                "64KiB",
+                "--shard",
+                "1/1",
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--no-cache",
+            ]
+        )
+        == 0
+    )
+    assert "Sweep: 1 transfer experiments" in capsys.readouterr().out
+
+
+def test_sweep_resume_serves_journal(tmp_path, capsys):
+    argv = [
+        "sweep",
+        "--config",
+        "small",
+        "--design-point",
+        "base",
+        "--direction",
+        "d2p",
+        "--size",
+        "64KiB",
+        "--sim-cap",
+        "64KiB",
+        "--results-dir",
+        str(tmp_path / "results"),
+        "--no-cache",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "simulations executed: 1" in first
+    # With --no-cache the rerun would re-simulate -- unless --resume replays
+    # the journal the first run streamed.
+    assert main(argv + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "simulations executed: 0" in second
+    assert "journal hits: 1" in second

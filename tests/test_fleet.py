@@ -1,0 +1,479 @@
+"""Tests for the fleet execution layer (``repro.fleet``).
+
+Covers the deterministic shard partition, the streaming resume journal
+(including tolerance of a truncated trailing line -- the signature of a
+driver killed mid-write), and the fault-tolerant runner's failure paths:
+a worker SIGKILLed mid-sweep (self-inflicted and externally injected), a
+hung task killed by the per-task timeout, and a task that exhausts its
+retry budget.  The invariant under test throughout: a sweep that was
+killed, retried, sharded or resumed produces results identical to an
+undisturbed serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.exp import ExperimentProvider, ResultCache, TransferSpec
+from repro.exp.cache import MISS
+from repro.exp.figures import generate_figures, select_figures
+from repro.fleet import (
+    FleetError,
+    FleetJournal,
+    FleetPolicy,
+    FleetProgress,
+    FleetRunner,
+    Shard,
+    parse_shard,
+    shard_items,
+)
+from repro.sim.config import DesignPoint
+from repro.transfer.descriptor import TransferDirection
+
+KIB = 1024
+D2P = TransferDirection.DRAM_TO_PIM
+
+
+def small_spec(
+    point: DesignPoint = DesignPoint.BASELINE,
+    direction: TransferDirection = D2P,
+    total_bytes: int = 64 * KIB,
+) -> TransferSpec:
+    return TransferSpec(point, direction, total_bytes, sim_cap_bytes=64 * KIB)
+
+
+def spec_grid():
+    return [
+        small_spec(DesignPoint.BASELINE),
+        small_spec(DesignPoint.BASE_D),
+        small_spec(DesignPoint.BASE_DH),
+        small_spec(DesignPoint.BASE_DHP),
+        small_spec(DesignPoint.BASE_DHP, direction=TransferDirection.PIM_TO_DRAM),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Chaos specs (module level so they pickle across the worker queue)
+# ---------------------------------------------------------------------------
+
+
+class _ChaosSpec:
+    """Hashable, picklable base for the failure-injection specs."""
+
+    KIND = "chaos"
+
+    def __init__(self, token: str, flag_path: str = "") -> None:
+        self.token = token
+        self.flag_path = flag_path
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.token!r})"
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.token))
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.token == self.token
+
+    def _first_attempt(self) -> bool:
+        """True exactly once per flag file (first attempt anywhere)."""
+        if os.path.exists(self.flag_path):
+            return False
+        open(self.flag_path, "w").close()
+        return True
+
+
+class OkSpec(_ChaosSpec):
+    KIND = "chaos-ok"
+
+    def run(self, config):
+        return f"value-{self.token}"
+
+
+class KillOnceSpec(_ChaosSpec):
+    """SIGKILLs its own worker on the first attempt, succeeds on retry."""
+
+    KIND = "chaos-kill-once"
+
+    def run(self, config):
+        if self._first_attempt():
+            os.kill(os.getpid(), signal.SIGKILL)
+        return f"value-{self.token}"
+
+
+class HangOnceSpec(_ChaosSpec):
+    """Hangs (sleeps far beyond the timeout) on the first attempt only."""
+
+    KIND = "chaos-hang-once"
+
+    def run(self, config):
+        if self._first_attempt():
+            time.sleep(60.0)
+        return f"value-{self.token}"
+
+
+class AlwaysFailSpec(_ChaosSpec):
+    KIND = "chaos-always-fail"
+
+    def run(self, config):
+        raise RuntimeError(f"injected failure {self.token}")
+
+
+# ---------------------------------------------------------------------------
+# Shard partitioning
+# ---------------------------------------------------------------------------
+
+
+def test_parse_shard():
+    assert parse_shard("2/3") == Shard(index=2, count=3)
+    assert parse_shard(" 1/1 ") == Shard(index=1, count=1)
+    for bad in ("0/3", "4/3", "a/b", "3", "1/0", "1/2/3"):
+        with pytest.raises(ValueError):
+            parse_shard(bad)
+
+
+def test_shards_are_disjoint_and_exhaustive():
+    specs = spec_grid()
+    shards = [shard_items(specs, Shard(i, 3), key=repr) for i in (1, 2, 3)]
+    assert sorted(len(shard) for shard in shards) == [1, 2, 2]
+    seen = [repr(spec) for shard in shards for spec in shard]
+    assert sorted(seen) == sorted(repr(spec) for spec in specs)
+    assert len(set(seen)) == len(specs)
+
+
+def test_shard_partition_ignores_enumeration_order():
+    specs = spec_grid()
+    forward = shard_items(specs, Shard(1, 2), key=repr)
+    backward = shard_items(list(reversed(specs)), Shard(1, 2), key=repr)
+    assert sorted(map(repr, forward)) == sorted(map(repr, backward))
+
+
+def test_shard_selection_preserves_caller_order():
+    specs = spec_grid()
+    selected = shard_items(specs, Shard(1, 2), key=repr)
+    positions = [specs.index(spec) for spec in selected]
+    assert positions == sorted(positions)
+
+
+def test_shard_rejects_duplicate_keys():
+    with pytest.raises(ValueError):
+        shard_items(["a", "a"], Shard(1, 2), key=str)
+
+
+def test_single_shard_is_identity():
+    specs = spec_grid()
+    assert shard_items(specs, Shard(1, 1), key=repr) == specs
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+
+def test_journal_roundtrip_and_fresh_start(tmp_path, small_config):
+    spec = small_spec()
+    journal = FleetJournal(tmp_path, small_config)
+    journal.record_done(small_config, spec, {"answer": 42}, attempt=1)
+    journal.close()
+    resumed = FleetJournal(tmp_path, small_config, resume=True)
+    assert resumed.get(small_config, spec) == {"answer": 42}
+    assert len(resumed) == 1
+    resumed.close()
+    # A non-resumed journal starts fresh: old entries must not leak in.
+    fresh = FleetJournal(tmp_path, small_config)
+    assert fresh.get(small_config, spec) is MISS
+    fresh.close()
+
+
+def test_journal_tolerates_truncated_tail(tmp_path, small_config):
+    first, second = small_spec(), small_spec(DesignPoint.BASE_DHP)
+    journal = FleetJournal(tmp_path, small_config)
+    journal.record_done(small_config, first, "kept", attempt=1)
+    journal.close()
+    # Simulate a driver SIGKILLed mid-write: a half-flushed trailing line.
+    with journal.path.open("a") as handle:
+        handle.write('{"event": "done", "key": "beef", "value": "truncat')
+    resumed = FleetJournal(tmp_path, small_config, resume=True)
+    assert resumed.get(small_config, first) == "kept"
+    assert resumed.get(small_config, second) is MISS
+    resumed.close()
+
+
+def test_journal_failures_are_not_resumable(tmp_path, small_config):
+    spec = small_spec()
+    journal = FleetJournal(tmp_path, small_config)
+    journal.record_failure(small_config, spec, "boom", attempt=3)
+    journal.close()
+    resumed = FleetJournal(tmp_path, small_config, resume=True)
+    assert resumed.get(small_config, spec) is MISS
+    assert list(resumed.failures.values()) == ["boom"]
+    resumed.close()
+
+
+def test_journal_scopes_are_independent(tmp_path, small_config):
+    """A fresh journal of one scope must not unlink another scope's file
+    (an interrupted `figures` sweep stays resumable across a `scenarios`
+    run)."""
+    spec = small_spec()
+    figures = FleetJournal(tmp_path, small_config, scope="figures")
+    figures.record_done(small_config, spec, "half-done", attempt=1)
+    figures.close()
+    other = FleetJournal(tmp_path, small_config, scope="scenarios")
+    other.close()
+    resumed = FleetJournal(tmp_path, small_config, resume=True, scope="figures")
+    assert resumed.get(small_config, spec) == "half-done"
+    resumed.close()
+
+
+def test_journal_prune_stale_versions(tmp_path, small_config):
+    stale = FleetJournal(tmp_path, small_config, version="0" * 16)
+    stale.record_done(small_config, small_spec(), "old", attempt=1)
+    stale.close()
+    current = FleetJournal(tmp_path, small_config, version="1" * 16)
+    assert current.prune_stale_versions() == 1
+    assert not stale.path.exists()
+    current.close()
+
+
+# ---------------------------------------------------------------------------
+# Runner: equivalence and failure paths
+# ---------------------------------------------------------------------------
+
+
+def test_fleet_parallel_matches_serial(small_config):
+    specs = spec_grid()
+    serial = FleetRunner(jobs=1).run(small_config, specs)
+    fleet = FleetRunner(jobs=2).run(small_config, specs)
+    assert set(serial) == set(fleet) == set(specs)
+    for spec in specs:
+        assert serial[spec] == fleet[spec]
+
+
+def test_worker_sigkill_mid_task_is_retried(tmp_path, small_config):
+    """The chaos anchor: a worker SIGKILLed mid-task is respawned and the
+    task requeued; the sweep completes with results identical to serial."""
+    specs = [
+        KillOnceSpec("k", str(tmp_path / "kill-flag")),
+        OkSpec("a"),
+        OkSpec("b"),
+    ]
+    runner = FleetRunner(jobs=2)
+    outcomes = runner.run(small_config, specs)
+    assert outcomes[specs[0]] == "value-k"
+    assert outcomes[specs[1]] == "value-a"
+    assert runner.stats.worker_deaths >= 1
+    assert runner.stats.executed == 3
+
+
+def test_random_worker_sigkill_from_outside(tmp_path, small_config):
+    """Kill a random live worker mid-sweep from the outside; the sweep still
+    completes and every result matches the serial reference."""
+    specs = spec_grid()
+    serial = FleetRunner(jobs=1).run(small_config, specs)
+    runner = FleetRunner(jobs=2)
+    killed = []
+
+    def killer():
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            pids = runner.worker_pids()
+            if pids:
+                os.kill(pids[0], signal.SIGKILL)
+                killed.append(pids[0])
+                return
+            time.sleep(0.01)
+
+    thread = threading.Thread(target=killer)
+    thread.start()
+    outcomes = runner.run(small_config, specs)
+    thread.join()
+    assert killed, "the chaos thread never saw a live worker"
+    assert runner.stats.worker_deaths >= 1
+    for spec in specs:
+        assert outcomes[spec] == serial[spec]
+
+
+class SleepSpec(_ChaosSpec):
+    KIND = "chaos-sleep"
+
+    def run(self, config):
+        time.sleep(0.05)
+        return f"value-{self.token}"
+
+
+def test_repeated_kills_including_idle_workers(small_config):
+    """Kill workers over and over, at arbitrary moments -- including while a
+    worker sits *idle* waiting for work.  A dying worker must never strand
+    shared state (the per-worker-pipe design guarantee); the sweep always
+    finishes with correct results."""
+    specs = [SleepSpec(f"s{i}") for i in range(8)]
+    runner = FleetRunner(jobs=2, policy=FleetPolicy(retries=50))
+    stop = threading.Event()
+    kills = []
+
+    def killer():
+        # A bounded barrage: alternating oldest/newest victims, spaced so the
+        # pool also gets killed while partially idle, then let it finish.
+        while not stop.is_set() and len(kills) < 5:
+            time.sleep(0.04)
+            pids = runner.worker_pids()
+            if pids:
+                victim = pids[0] if len(kills) % 2 == 0 else pids[-1]
+                try:
+                    os.kill(victim, signal.SIGKILL)
+                    kills.append(victim)
+                except ProcessLookupError:
+                    pass
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    try:
+        outcomes = runner.run(small_config, specs)
+    finally:
+        stop.set()
+        thread.join(timeout=5)
+    # Kills landing during shutdown are not reaped, so deaths may trail the
+    # kill count slightly -- but the sweep must have survived at least one.
+    assert kills and runner.stats.worker_deaths >= 1
+    for spec in specs:
+        assert outcomes[spec] == f"value-{spec.token}"
+
+
+def test_hung_task_times_out_and_retries(tmp_path, small_config):
+    specs = [HangOnceSpec("h", str(tmp_path / "hang-flag")), OkSpec("x")]
+    runner = FleetRunner(jobs=2, policy=FleetPolicy(task_timeout_s=1.0))
+    outcomes = runner.run(small_config, specs)
+    assert outcomes[specs[0]] == "value-h"
+    assert runner.stats.timeouts == 1
+    assert runner.stats.worker_deaths >= 1
+
+
+def test_exhausted_retries_raise_after_sweep_completes(small_config):
+    """A poison task fails the run -- but only after everything else
+    finished, and the error names the spec."""
+    poison = AlwaysFailSpec("p")
+    good = OkSpec("g")
+    runner = FleetRunner(jobs=2, policy=FleetPolicy(retries=1))
+    with pytest.raises(FleetError) as excinfo:
+        runner.run(small_config, [poison, good])
+    error = excinfo.value
+    assert len(error.failures) == 1
+    assert "injected failure p" in str(error)
+    assert "chaos-always-fail" in str(error)
+    assert error.outcomes[good] == "value-g"
+    assert runner.stats.failed == 1
+    assert runner.stats.retried == 1
+
+
+def test_serial_runner_retries_and_fails_identically(small_config):
+    runner = FleetRunner(jobs=1, policy=FleetPolicy(retries=2))
+    with pytest.raises(FleetError) as excinfo:
+        runner.run(small_config, [AlwaysFailSpec("s"), OkSpec("t")])
+    assert excinfo.value.outcomes[OkSpec("t")] == "value-t"
+    assert runner.stats.retried == 2  # 3 attempts total
+
+
+def test_journal_resume_skips_finished_work(tmp_path, small_config):
+    specs = spec_grid()
+    journal = FleetJournal(tmp_path, small_config)
+    first = FleetRunner(jobs=2, journal=journal)
+    expected = first.run(small_config, specs)
+    journal.close()
+    resumed_journal = FleetJournal(tmp_path, small_config, resume=True)
+    second = FleetRunner(jobs=2, journal=resumed_journal)
+    outcomes = second.run(small_config, specs)
+    assert second.stats.executed == 0
+    assert second.stats.journal_hits == len(specs)
+    for spec in specs:
+        assert outcomes[spec] == expected[spec]
+    resumed_journal.close()
+
+
+def test_progress_reports_eta(small_config):
+    import io
+
+    stream = io.StringIO()
+    progress = FleetProgress(stream=stream, min_interval_s=0.0, enabled=True)
+    runner = FleetRunner(jobs=1, progress=progress)
+    runner.run(small_config, spec_grid()[:2])
+    lines = stream.getvalue().strip().splitlines()
+    assert lines and lines[-1].startswith("fleet: 2/2 specs done")
+    assert any("eta" in line for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# Provider integration + the interrupted-figures acceptance path
+# ---------------------------------------------------------------------------
+
+
+def test_provider_prefetch_caches_completed_work_on_failure(
+    tmp_path, small_config
+):
+    """When one spec exhausts retries, the completed rest must land in the
+    disk cache before FleetError propagates (reruns are incremental)."""
+    cache = ResultCache(tmp_path / "cache")
+    provider = ExperimentProvider(small_config, cache=cache, jobs=2, retries=0)
+    good = small_spec()
+    with pytest.raises(FleetError):
+        provider.prefetch([good, AlwaysFailSpec("q")])
+    assert cache.get(small_config, good) is not MISS
+
+
+def test_provider_run_consults_journal(tmp_path, small_config):
+    spec = small_spec()
+    journal = FleetJournal(tmp_path, small_config)
+    reference = ExperimentProvider(small_config)
+    expected = reference.run(spec)
+    journal.record_done(small_config, spec, expected, attempt=1)
+    provider = ExperimentProvider(small_config, journal=journal)
+    assert provider.run(spec) == expected
+    assert provider.stats.executed == 0
+    assert provider.stats.journal_hits == 1
+    journal.close()
+
+
+FIGURE_SUBSET = ("table1", "fig04", "fig06")
+
+
+def _generate(tmp_path, small_config, name, journal=None, jobs=2):
+    provider = ExperimentProvider(small_config, jobs=jobs, journal=journal)
+    results_dir = tmp_path / name
+    paths = generate_figures(
+        provider, select_figures(FIGURE_SUBSET), results_dir
+    )
+    return provider, {path.name: path.read_bytes() for path in paths}
+
+
+def test_interrupted_sweep_resumes_byte_identical(tmp_path, small_config):
+    """The acceptance criterion, in miniature: a figure sweep interrupted at
+    ~50% (journal holds half the specs plus a torn line) and rerun with
+    resume produces byte-identical outputs to an uninterrupted run."""
+    _, expected = _generate(tmp_path, small_config, "uninterrupted")
+
+    # "Interrupt" a second sweep halfway: journal only half its specs, then
+    # tear the file mid-line the way SIGKILL does.
+    all_specs = []
+    for figure in select_figures(FIGURE_SUBSET):
+        all_specs.extend(figure.specs(small_config))
+    unique = list(dict.fromkeys(all_specs))
+    half = unique[: len(unique) // 2]
+    journal = FleetJournal(tmp_path / "fleet", small_config)
+    FleetRunner(jobs=2, journal=journal).run(small_config, half)
+    with journal.path.open("a") as handle:
+        handle.write('{"event": "done", "key": "dead", "val')
+    journal.close()
+
+    resumed_journal = FleetJournal(tmp_path / "fleet", small_config, resume=True)
+    provider, resumed = _generate(
+        tmp_path, small_config, "resumed", journal=resumed_journal
+    )
+    resumed_journal.close()
+    # Only the second half simulated; the first half came from the journal.
+    assert provider.stats.journal_hits == len(half)
+    assert provider.stats.executed == len(unique) - len(half)
+    assert resumed == expected  # byte-identical tables

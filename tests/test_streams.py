@@ -6,8 +6,10 @@ import pytest
 
 from repro.sim.config import CACHE_LINE_BYTES
 from repro.workloads.streams import (
+    diurnal_interarrival_times,
     interarrival_times,
     interleaved_blocks,
+    poisson_interarrival_times,
     random_blocks,
     sequential_blocks,
     skewed_blocks,
@@ -90,3 +92,50 @@ class TestInterarrivalTimes:
             list(interarrival_times(1, -1.0))
         with pytest.raises(ValueError):
             list(interarrival_times(1, 1.0, jitter=2.0))
+
+
+class TestArrivalProcesses:
+    def test_poisson_gaps_are_deterministic_and_memoryless_shaped(self):
+        gaps = list(poisson_interarrival_times(4000, 10.0, seed=5))
+        assert gaps == list(poisson_interarrival_times(4000, 10.0, seed=5))
+        assert gaps != list(poisson_interarrival_times(4000, 10.0, seed=6))
+        mean = sum(gaps) / len(gaps)
+        assert 9.0 < mean < 11.0  # LLN: the empirical mean approaches 1/rate
+        # An exponential distribution is wildly dispersed, unlike fixed gaps.
+        assert min(gaps) < 1.0 and max(gaps) > 30.0
+
+    def test_diurnal_rate_swings_between_peak_and_trough(self):
+        period = 512
+        gaps = list(
+            diurnal_interarrival_times(
+                8 * period, 10.0, period=period, peak_to_trough=4.0, seed=2
+            )
+        )
+        assert gaps == list(
+            diurnal_interarrival_times(
+                8 * period, 10.0, period=period, peak_to_trough=4.0, seed=2
+            )
+        )
+
+        def phase_mean(offset):
+            """Mean gap near one phase across all cycles (window of 64)."""
+            values = [
+                gap
+                for index, gap in enumerate(gaps)
+                if abs(index % period - offset) < 32
+            ]
+            return sum(values) / len(values)
+
+        peak, trough = phase_mean(period // 4), phase_mean(3 * period // 4)
+        # rate swings 4x peak-to-trough -> gaps swing ~4x the other way.
+        assert trough / peak > 2.5
+
+    def test_arrival_validation(self):
+        with pytest.raises(ValueError):
+            list(poisson_interarrival_times(1, 0.0))
+        with pytest.raises(ValueError):
+            list(poisson_interarrival_times(-1, 1.0))
+        with pytest.raises(ValueError):
+            list(diurnal_interarrival_times(1, 1.0, period=0))
+        with pytest.raises(ValueError):
+            list(diurnal_interarrival_times(1, 1.0, peak_to_trough=0.5))

@@ -103,7 +103,9 @@ class TestOnDiskFormats:
 
 
 class TestSynthesis:
-    @pytest.mark.parametrize("pattern", ["uniform", "bursty", "skewed", "phased"])
+    @pytest.mark.parametrize(
+        "pattern", ["uniform", "bursty", "skewed", "phased", "poisson", "diurnal"]
+    )
     def test_patterns_are_deterministic(self, pattern):
         first = synthesize_trace(pattern, total_bytes=16 * KIB, seed=5)
         second = synthesize_trace(pattern, total_bytes=16 * KIB, seed=5)
@@ -216,6 +218,50 @@ class TestReplay:
         replayer.execute()
         with pytest.raises(RuntimeError):
             replayer.begin()
+
+
+class TestClosedLoopReplay:
+    def run_closed(self, config, trace, concurrency=4, think_ns=2.0):
+        system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
+        replayer = TraceReplayer(
+            system,
+            trace,
+            tenant="closed",
+            closed_loop=True,
+            concurrency=concurrency,
+            think_ns=think_ns,
+        )
+        return replayer.execute()
+
+    def test_closed_loop_is_deterministic_and_complete(self, small_config):
+        trace = synthesize_trace("poisson", total_bytes=8 * KIB, seed=4)
+        first = self.run_closed(small_config, trace)
+        second = self.run_closed(small_config, trace)
+        assert first.completed == second.completed == len(trace)
+        assert first.end_ns == second.end_ns
+        assert first.latency._samples == second.latency._samples
+
+    def test_closed_loop_ignores_recorded_pacing(self, small_config):
+        # Recorded at 1 access per 1000 ns; a closed loop issues on
+        # completion, so it finishes far sooner than the recorded span.
+        trace = synthesize_trace("uniform", total_bytes=4 * KIB, mean_gap_ns=1000.0)
+        result = self.run_closed(small_config, trace, concurrency=8, think_ns=0.0)
+        assert result.completed == len(trace)
+        assert result.duration_ns < trace.duration_ns / 2
+
+    def test_more_clients_do_not_finish_slower(self, small_config):
+        trace = synthesize_trace("uniform", total_bytes=8 * KIB)
+        one = self.run_closed(small_config, trace, concurrency=1, think_ns=0.0)
+        eight = self.run_closed(small_config, trace, concurrency=8, think_ns=0.0)
+        assert eight.duration_ns <= one.duration_ns
+
+    def test_closed_loop_parameter_validation(self, small_config):
+        system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
+        trace = synthesize_trace("uniform", total_bytes=1 * KIB)
+        with pytest.raises(ValueError):
+            TraceReplayer(system, trace, closed_loop=True, concurrency=0)
+        with pytest.raises(ValueError):
+            TraceReplayer(system, trace, closed_loop=True, think_ns=-1.0)
 
 
 class TestRecorderDetach:
