@@ -1,30 +1,26 @@
 """Scenario benchmark -- regenerate the built-in multi-tenant mixes.
 
-Runs every registered scenario of :mod:`repro.scenarios.mixes` on the full
-Table I system and writes the per-tenant tables under ``results/`` (the same
-files ``python -m repro scenarios`` produces).  Structural assertions check
-the properties every mix must have: tenants finish, latencies are ordered
-(p99 >= p50 > 0) and sharing never speeds a tenant up (slowdown >= 1).
+Runs every registered scenario (the :mod:`repro.scenarios.mixes` family and
+the :mod:`repro.scenarios.llm` serving sweeps) on the full Table I system and
+writes the tables under ``results/`` (the same files
+``python -m repro scenarios`` produces).  Structural assertions check the
+properties every scenario must have -- mixes: tenants finish, latencies are
+ordered (p99 >= p50 > 0) and sharing never speeds a tenant up
+(slowdown >= 1); serving sweeps: every request completes with monotone
+timestamps and a positive token rate.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.scenarios import SCENARIOS, render_scenario
+from repro.scenarios import SCENARIOS
 from benchmarks.conftest import write_figure
 
 pytestmark = [pytest.mark.slow]
 
 
-@pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_scenario_mix(name, benchmark, experiments, results_dir):
-    scenario = SCENARIOS[name]
-    outcome = benchmark.pedantic(
-        lambda: experiments.run(scenario.spec), rounds=1, iterations=1
-    )
-    write_figure(results_dir, scenario.filename, render_scenario(outcome))
-
+def _check_mix_outcome(scenario, outcome):
     assert outcome.design_label == scenario.spec.design_point.label
     assert len(outcome.tenants) == len(scenario.spec.tenants)
     assert outcome.makespan_ns > 0
@@ -35,8 +31,39 @@ def test_scenario_mix(name, benchmark, experiments, results_dir):
         if tenant.slowdown is not None:
             assert tenant.slowdown >= 1.0
 
-    benchmark.extra_info["makespan_us"] = outcome.makespan_ns / 1e3
-    benchmark.extra_info["aggregate_gbps"] = outcome.aggregate_throughput_gbps
-    slowdowns = [t.slowdown for t in outcome.tenants if t.slowdown is not None]
-    if slowdowns:
-        benchmark.extra_info["max_slowdown"] = max(slowdowns)
+
+def _check_serving_outcome(spec, outcome):
+    assert outcome.design_label == spec.design_point.label
+    assert len(outcome.records) == sum(t.num_requests for t in spec.tenants)
+    for record in outcome.records:
+        assert record.completed, f"{record.tenant}#{record.request_id} unfinished"
+        assert record.first_token_ns >= record.arrival_ns
+        assert record.completion_ns >= record.first_token_ns
+    assert outcome.iterations > 0
+    assert outcome.tokens_per_second > 0
+    assert outcome.kv_peak_bytes <= outcome.kv_pool_bytes
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_mix(name, benchmark, experiments, results_dir):
+    scenario = SCENARIOS[name]
+
+    def regenerate():
+        return [experiments.run(spec) for spec in scenario.specs]
+
+    outcomes = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_figure(results_dir, scenario.filename, scenario.render(outcomes))
+
+    if scenario.family == "llm":
+        for spec, outcome in zip(scenario.specs, outcomes):
+            _check_serving_outcome(spec, outcome)
+        benchmark.extra_info["load_points"] = len(outcomes)
+        benchmark.extra_info["tokens_per_second"] = outcomes[-1].tokens_per_second
+    else:
+        outcome = outcomes[0]
+        _check_mix_outcome(scenario, outcome)
+        benchmark.extra_info["makespan_us"] = outcome.makespan_ns / 1e3
+        benchmark.extra_info["aggregate_gbps"] = outcome.aggregate_throughput_gbps
+        slowdowns = [t.slowdown for t in outcome.tenants if t.slowdown is not None]
+        if slowdowns:
+            benchmark.extra_info["max_slowdown"] = max(slowdowns)

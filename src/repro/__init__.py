@@ -39,6 +39,7 @@ import warnings as _warnings
 from typing import Optional as _Optional
 
 from repro.api import (
+    RequestRecord,
     RunResult,
     Session,
     SessionBuilder,
@@ -63,9 +64,10 @@ from repro.sim.stats import StatsRegistry as _StatsRegistry
 from repro.system import PimSystem
 from repro.system import build_system as _build_system
 from repro.transfer import TransferDescriptor, TransferDirection, TransferResult
-from repro.scenarios import ScenarioSpec, TenantSpec
+from repro.scenarios import ScenarioSpec, ServingSpec, TenantSpec
+from repro.workloads import LlmTenantSpec, ModelSpec
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def build_system(
@@ -97,11 +99,15 @@ __all__ = [
     "DcePolicy",
     "DesignPoint",
     "DramTimingConfig",
+    "LlmTenantSpec",
     "MemoryDomainConfig",
+    "ModelSpec",
     "PimMmuConfig",
     "PimSystem",
+    "RequestRecord",
     "RunResult",
     "ScenarioSpec",
+    "ServingSpec",
     "Session",
     "SessionBuilder",
     "SystemConfig",

@@ -4,15 +4,16 @@ One import gives the three pieces every caller needs:
 
 * :class:`Session` / :class:`SessionBuilder` -- the context-managed entry
   point owning one simulated server; ``session.transfer(...)``,
-  ``session.replay(...)``, ``session.mix(...)`` and
-  ``session.run_workload(...)`` are the only traffic APIs new code should
-  use (see :mod:`repro.api.session`).
+  ``session.replay(...)``, ``session.mix(...)``, ``session.serve_llm(...)``
+  and ``session.run_workload(...)`` are the only traffic APIs new code
+  should use (see :mod:`repro.api.session`).
 * the :class:`TransferBackend` registry -- the three transfer stacks (and the
   ``Base+D`` DMA proxy) as registered, string-keyed adapters, with the
   design-point -> default-backend rule centralized in
   :func:`default_backend_name` (see :mod:`repro.api.backends`).
 * :class:`RunResult` -- the one typed, versioned result schema every entry
-  point returns (see :mod:`repro.api.results`).
+  point returns; request-oriented runs (LLM serving) additionally carry
+  per-request :class:`RequestRecord` rows (see :mod:`repro.api.results`).
 
 The pre-facade entry points (``repro.build_system`` + hand-constructed
 engines/runtimes) keep working behind :class:`DeprecationWarning` shims and
@@ -31,6 +32,7 @@ from repro.api.backends import (
 )
 from repro.api.results import (
     RUN_RESULT_SCHEMA_VERSION,
+    RequestRecord,
     RunResult,
     TenantBreakdown,
     tenant_breakdown_from_result,
@@ -41,6 +43,7 @@ __all__ = [
     "DEFAULT_SIM_CAP_BYTES",
     "RUN_RESULT_SCHEMA_VERSION",
     "CopySpan",
+    "RequestRecord",
     "RunResult",
     "Session",
     "SessionBuilder",

@@ -21,6 +21,16 @@ envelope :class:`repro.api.Session` wraps all of them in:
 :class:`~repro.exp.cache.ResultCache` unchanged) and :meth:`to_dict` /
 :meth:`from_dict` give a stable JSON-able form for transport; bump
 :data:`RUN_RESULT_SCHEMA_VERSION` when the dict layout changes.
+
+Schema history
+--------------
+* **v1** -- the original envelope (headline numbers, latency percentiles,
+  per-tenant breakdown, stats snapshot).
+* **v2** -- adds ``request_records``: optional per-request
+  :class:`RequestRecord` rows (tenant, arrival, first-token and completion
+  timestamps) for workloads whose natural output is request-level latency
+  distributions -- the LLM serving family's TTFT/ITL curves are derived from
+  these.  v1 payloads load unchanged (``request_records`` defaults to empty).
 """
 
 from __future__ import annotations
@@ -30,7 +40,55 @@ from typing import Dict, List, Optional, Tuple
 
 #: Version of the serialized :class:`RunResult` layout.  Consumers should
 #: reject payloads with a *newer* major version than they were written for.
-RUN_RESULT_SCHEMA_VERSION = 1
+RUN_RESULT_SCHEMA_VERSION = 2
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One served request of a request-oriented run (LLM serving).
+
+    Timestamps are simulation nanoseconds.  ``first_token_ns`` /
+    ``completion_ns`` are ``None`` for requests the run admitted but never
+    finished (they stay in the record set so SLO attainment can count them
+    as misses).  TTFT and the per-request mean inter-token latency are
+    derived, not stored.
+    """
+
+    tenant: str
+    request_id: int
+    arrival_ns: float
+    first_token_ns: Optional[float] = None
+    completion_ns: Optional[float] = None
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+
+    @property
+    def ttft_ns(self) -> Optional[float]:
+        """Time to first token (arrival -> first emitted token)."""
+        if self.first_token_ns is None:
+            return None
+        return max(0.0, self.first_token_ns - self.arrival_ns)
+
+    @property
+    def itl_ns(self) -> Optional[float]:
+        """Mean inter-token latency over the decode phase of this request."""
+        if self.first_token_ns is None or self.completion_ns is None:
+            return None
+        if self.output_tokens <= 1:
+            return 0.0
+        span = max(0.0, self.completion_ns - self.first_token_ns)
+        return span / (self.output_tokens - 1)
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_ns is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RequestRecord":
+        return cls(**payload)
 
 
 @dataclass(frozen=True)
@@ -72,11 +130,14 @@ class RunResult:
     """Typed, versioned summary of one :class:`repro.api.Session` run.
 
     ``kind`` names the entry point that produced it (``transfer``,
-    ``replay``, ``mix`` or ``workload``); ``backend`` is the registered
-    :class:`~repro.api.backends.TransferBackend` that moved the bytes, or
-    ``None`` for runs that inject traffic directly (trace replay).  ``raw``
-    keeps the engine-specific outcome for detailed inspection; it is excluded
-    from :meth:`to_dict` but survives pickling.
+    ``replay``, ``mix``, ``serve`` or ``workload``); ``backend`` is the
+    registered :class:`~repro.api.backends.TransferBackend` that moved the
+    bytes, or ``None`` for runs that inject traffic directly (trace replay).
+    ``requests`` counts served *memory* requests; ``request_records`` holds
+    the per-*workload*-request rows of request-oriented runs (LLM serving),
+    empty everywhere else.  ``raw`` keeps the engine-specific outcome for
+    detailed inspection; it is excluded from :meth:`to_dict` but survives
+    pickling.
     """
 
     kind: str
@@ -90,6 +151,7 @@ class RunResult:
     p50_latency_ns: Optional[float] = None
     p99_latency_ns: Optional[float] = None
     tenants: Tuple[TenantBreakdown, ...] = ()
+    request_records: Tuple[RequestRecord, ...] = ()
     energy_joules: Optional[float] = None
     stats: Dict[str, float] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
@@ -135,6 +197,7 @@ class RunResult:
             "p50_latency_ns": self.p50_latency_ns,
             "p99_latency_ns": self.p99_latency_ns,
             "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "request_records": [record.to_dict() for record in self.request_records],
             "energy_joules": self.energy_joules,
             "stats": dict(self.stats),
             "extra": dict(self.extra),
@@ -152,6 +215,11 @@ class RunResult:
         tenants: List[TenantBreakdown] = [
             TenantBreakdown.from_dict(item) for item in payload.get("tenants", [])
         ]
+        # v1 payloads predate request_records; absent means "no records".
+        records: List[RequestRecord] = [
+            RequestRecord.from_dict(item)
+            for item in payload.get("request_records", [])
+        ]
         return cls(
             kind=payload["kind"],
             backend=payload.get("backend"),
@@ -164,6 +232,7 @@ class RunResult:
             p50_latency_ns=payload.get("p50_latency_ns"),
             p99_latency_ns=payload.get("p99_latency_ns"),
             tenants=tuple(tenants),
+            request_records=tuple(records),
             energy_joules=payload.get("energy_joules"),
             stats=dict(payload.get("stats", {})),
             extra=dict(payload.get("extra", {})),
@@ -190,6 +259,7 @@ def tenant_breakdown_from_result(result) -> TenantBreakdown:
 
 __all__ = [
     "RUN_RESULT_SCHEMA_VERSION",
+    "RequestRecord",
     "RunResult",
     "TenantBreakdown",
     "tenant_breakdown_from_result",

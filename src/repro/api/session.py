@@ -12,6 +12,9 @@ pair, and exposes every way the reproduction can put traffic on it:
   synthetic :class:`~repro.scenarios.trace.Trace`;
 * :meth:`Session.mix` -- N concurrent tenants composed on the session's
   single simulation clock, with per-tenant breakdowns;
+* :meth:`Session.serve_llm` -- a continuous-batching LLM serving run
+  (:mod:`repro.workloads.llm`) whose per-request TTFT/ITL rows land in
+  ``result.request_records``;
 * :meth:`Session.run_workload` -- any declarative
   :class:`~repro.exp.spec.ExperimentSpec` or registered scenario name,
   served through the session's cache-aware experiment provider.
@@ -465,6 +468,65 @@ class Session:
             raw=outcome,
         )
 
+    # ------------------------------------------------------------- serve_llm
+    def serve_llm(
+        self,
+        model,
+        tenants: Iterable,
+        max_batch_size: int = 8,
+        kv_pool_bytes: Optional[int] = None,
+        iteration_overhead_ns: float = 0.0,
+        name: str = "serve",
+    ) -> RunResult:
+        """Serve LLM request streams with continuous batching on this session.
+
+        ``model`` is a :class:`~repro.workloads.llm.ModelSpec` and ``tenants``
+        are :class:`~repro.workloads.llm.LlmTenantSpec` request classes; the
+        run multiplexes every tenant's arrivals on the session clock with
+        KV-byte-accounted admission (see :mod:`repro.workloads.llm` and
+        ``docs/llm_serving.md``).  The result's ``request_records`` carry one
+        :class:`~repro.api.results.RequestRecord` per served request --
+        TTFT/ITL distributions and SLO attainment derive from them --
+        while ``requests``/latency summarise the underlying *memory*
+        requests, as in every other entry point.
+        """
+        self._check_open()
+        from repro.workloads.llm import run_serving
+
+        outcome = run_serving(
+            self.config,
+            self.design_point,
+            model,
+            list(tenants),
+            max_batch_size=max_batch_size,
+            kv_pool_bytes=kv_pool_bytes,
+            iteration_overhead_ns=iteration_overhead_ns,
+            name=name,
+            system_factory=self._isolated_system,
+        )
+        request_stats = self._request_stats()
+        return RunResult(
+            kind="serve",
+            backend=None,
+            design_label=outcome.design_label,
+            requested_bytes=outcome.traffic_bytes,
+            start_ns=outcome.start_ns,
+            end_ns=outcome.end_ns,
+            requests=int(request_stats["requests"]),
+            mean_latency_ns=request_stats["mean"],
+            p50_latency_ns=request_stats["p50"],
+            p99_latency_ns=request_stats["p99"],
+            request_records=outcome.records,
+            stats=self.stats.snapshot(),
+            extra={
+                "iterations": float(outcome.iterations),
+                "deferred": float(outcome.deferred),
+                "kv_peak_bytes": float(outcome.kv_peak_bytes),
+                "tokens_per_second": outcome.tokens_per_second,
+            },
+            raw=outcome,
+        )
+
     # -------------------------------------------------------------- workload
     def run_workload(self, workload) -> RunResult:
         """Run a declarative experiment spec or a registered scenario by name.
@@ -496,8 +558,27 @@ class Session:
 
     def _wrap_workload_outcome(self, spec, value) -> RunResult:
         from repro.scenarios.tenant import ScenarioOutcome
+        from repro.workloads.llm import ServingOutcome
         from repro.workloads.microbench import TransferExperiment
 
+        if isinstance(value, ServingOutcome):
+            return RunResult(
+                kind="serve",
+                backend=None,
+                design_label=value.design_label,
+                requested_bytes=value.traffic_bytes,
+                start_ns=value.start_ns,
+                end_ns=value.end_ns,
+                requests=value.memory_requests,
+                request_records=value.records,
+                extra={
+                    "iterations": float(value.iterations),
+                    "deferred": float(value.deferred),
+                    "kv_peak_bytes": float(value.kv_peak_bytes),
+                    "tokens_per_second": value.tokens_per_second,
+                },
+                raw=value,
+            )
         if isinstance(value, TransferExperiment):
             result = value.result
             return RunResult(

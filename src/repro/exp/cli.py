@@ -468,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list registered scenarios and exit"
     )
     scenarios.add_argument(
+        "--family",
+        default=None,
+        help="restrict to one scenario family (e.g. mix, llm); applies to "
+        "NAME selection and --list alike",
+    )
+    scenarios.add_argument(
         "--tenants",
         dest="tenants",
         type=parse_tenant,
@@ -746,6 +752,9 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.scenarios.tenant import TenantSpec
 
     if args.list:
+        listed = SCENARIOS.values()
+        if args.family is not None:
+            listed = [s for s in listed if s.family == args.family]
         rows = [
             {
                 "scenario": scenario.name,
@@ -754,7 +763,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                 "file": scenario.filename,
                 "description": scenario.description,
             }
-            for scenario in SCENARIOS.values()
+            for scenario in listed
         ]
         print(
             format_table(
@@ -803,7 +812,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         print(render_scenario(outcome))
     else:
         try:
-            selected = select_scenarios(args.names)
+            selected = select_scenarios(args.names, family=args.family)
         except KeyError as error:
             print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
@@ -817,10 +826,17 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                 )
                 return 0
         if args.no_isolated:
+            # Serving specs have no isolated-baseline phase; leave them as-is.
+            def _strip(spec):
+                if hasattr(spec, "include_isolated"):
+                    return dc_replace(spec, include_isolated=False)
+                return spec
+
             selected = [
                 dc_replace(
                     scenario,
-                    spec=dc_replace(scenario.spec, include_isolated=False),
+                    spec=_strip(scenario.spec),
+                    extra_specs=tuple(_strip(s) for s in scenario.extra_specs),
                 )
                 for scenario in selected
             ]

@@ -16,7 +16,12 @@ orchestration layer:
 * :mod:`repro.scenarios.registry` -- every scenario is a picklable
   :class:`ScenarioSpec` that plugs into the parallel runner and the on-disk
   experiment cache; :data:`SCENARIOS` names the built-in mixes of
-  :mod:`repro.scenarios.mixes`.
+  :mod:`repro.scenarios.mixes` (registered with the
+  :func:`register_scenario` decorator).
+* :mod:`repro.scenarios.serving` / :mod:`repro.scenarios.llm` -- the LLM
+  inference-serving family (``--family llm``): :class:`ServingSpec` sweeps
+  over :mod:`repro.workloads.llm` with per-request TTFT/ITL SLO tables
+  (see ``docs/llm_serving.md``).
 
 Run them with ``python -m repro scenarios`` (see ``docs/scenarios.md``).
 """
@@ -37,6 +42,11 @@ from repro.scenarios.tenant import (
     TenantSpec,
     run_scenario,
 )
+from repro.scenarios.serving import (
+    SERVING_TABLE_COLUMNS,
+    ServingSpec,
+    render_serving_table,
+)
 from repro.scenarios.trace import (
     TRACE_FORMAT,
     TRACE_PATTERNS,
@@ -50,11 +60,14 @@ from repro.scenarios.trace import (
     synthesize_trace,
 )
 
-# Importing the package registers the built-in mixes.
+# Importing the package registers the built-in mixes and the LLM serving
+# sweeps (registration order fixes the --list order: mixes first).
 from repro.scenarios import mixes as _mixes  # noqa: F401
+from repro.scenarios import llm as _llm  # noqa: F401
 
 __all__ = [
     "SCENARIOS",
+    "SERVING_TABLE_COLUMNS",
     "TENANT_KINDS",
     "TRACE_FORMAT",
     "TRACE_PATTERNS",
@@ -62,6 +75,7 @@ __all__ = [
     "Scenario",
     "ScenarioOutcome",
     "ScenarioSpec",
+    "ServingSpec",
     "TenantResult",
     "TenantSpec",
     "Trace",
@@ -72,6 +86,7 @@ __all__ = [
     "load_trace",
     "register_scenario",
     "render_scenario",
+    "render_serving_table",
     "run_scenario",
     "save_trace",
     "select_scenarios",

@@ -1,0 +1,157 @@
+"""The registered LLM serving sweeps (scenario family ``"llm"``).
+
+Three sweeps over the same two-class serving mix -- a latency-sensitive
+*interactive* tenant sharing the server with a throughput-oriented *batch*
+tenant on the tiny two-layer model -- sized so the whole family regenerates
+in about a minute:
+
+* **llm-serving-frfcfs** -- open-loop Poisson arrival-rate sweep on the
+  interactive tenant under the default FR-FCFS scheduler.  The headline
+  SLO-attainment-vs-arrival-rate curve: as the offered rate climbs, queueing
+  in the shared KV pool and DRAM channels inflates TTFT/ITL tails until the
+  SLO column collapses.
+* **llm-serving-qos** -- the same sweep under ``qos_priority:interactive=1``.
+  Comparing the two committed tables shows what scheduler-level isolation
+  buys the interactive tenant at the batch tenant's expense.
+* **llm-serving-closed** -- a closed-loop client-count sweep (1..8 clients)
+  against the same batch background: the self-limiting capacity probe,
+  tracing out the saturation throughput instead of an open-loop overload.
+
+Request shapes are seeded per tenant and *shared across sweep points*, so a
+sweep isolates the load axis: every point serves the identical request list,
+only the arrival process changes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.sim.config import DesignPoint
+from repro.workloads.llm import LlmTenantSpec, ModelSpec
+
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.serving import ServingSpec, render_serving_table
+
+KIB = 1024
+
+#: Interactive-tenant mean inter-arrival gaps swept by the open-loop
+#: scenarios (ns); rates double point to point, from comfortable (50k req/s)
+#: to overload (400k req/s), so the committed tables show the whole
+#: SLO-attainment collapse.
+OPEN_LOOP_GAPS_NS = (20_000.0, 10_000.0, 5_000.0, 2_500.0)
+
+#: Client counts swept by the closed-loop scenario.
+CLOSED_LOOP_CLIENTS = (1, 2, 4, 8)
+
+_MODEL = ModelSpec.tiny()
+# Calibrated against the Table I system: both SLOs hold with headroom at
+# 50k req/s and bind progressively as the rate doubles -- TTFT through
+# batching queue delay, ITL through DRAM-channel contention with the batch
+# tenant's prefill re-streaming (where qos_priority visibly helps).
+_TTFT_SLO_NS = 8_000.0
+_ITL_SLO_NS = 800.0
+
+
+def _interactive(mean_gap_ns: float) -> LlmTenantSpec:
+    return LlmTenantSpec.open_loop(
+        "interactive",
+        num_requests=24,
+        mean_gap_ns=mean_gap_ns,
+        prompt_tokens=(8, 16),
+        output_tokens=(8, 16),
+        seed=1,
+        ttft_slo_ns=_TTFT_SLO_NS,
+        itl_slo_ns=_ITL_SLO_NS,
+    )
+
+
+def _batch_background() -> LlmTenantSpec:
+    # Long prompts, steady closed-loop pressure: the throughput tenant the
+    # interactive one has to live with.
+    return LlmTenantSpec.closed_loop(
+        "batch",
+        num_requests=8,
+        clients=2,
+        prompt_tokens=(48, 64),
+        output_tokens=(16, 16),
+        think_ns=1_000.0,
+        seed=2,
+        ttft_slo_ns=10 * _TTFT_SLO_NS,
+        itl_slo_ns=10 * _ITL_SLO_NS,
+    )
+
+
+def _open_loop_sweep(name: str, policy: str | None) -> Tuple[ServingSpec, ...]:
+    return tuple(
+        ServingSpec(
+            name=f"{name}-g{int(gap_ns)}",
+            design_point=DesignPoint.BASE_DHP,
+            model=_MODEL,
+            tenants=(_interactive(gap_ns), _batch_background()),
+            max_batch_size=8,
+            kv_pool_bytes=96 * KIB,
+            memctrl_policy=policy,
+            point_label=f"{1e9 / gap_ns / 1e3:.0f}k/s",
+        )
+        for gap_ns in OPEN_LOOP_GAPS_NS
+    )
+
+
+@register_scenario(
+    "llm-serving-frfcfs",
+    "interactive-vs-batch LLM serving: arrival-rate sweep under FR-FCFS",
+    family="llm",
+    renderer=render_serving_table,
+)
+def _llm_serving_frfcfs() -> Tuple[ServingSpec, ...]:
+    return _open_loop_sweep("llm-frfcfs", None)
+
+
+@register_scenario(
+    "llm-serving-qos",
+    "the same sweep under qos_priority:interactive=1 (scheduler isolation)",
+    family="llm",
+    renderer=render_serving_table,
+)
+def _llm_serving_qos() -> Tuple[ServingSpec, ...]:
+    return _open_loop_sweep("llm-qos", "qos_priority:interactive=1")
+
+
+@register_scenario(
+    "llm-serving-closed",
+    "closed-loop client-count sweep (capacity probe) vs the batch background",
+    family="llm",
+    renderer=render_serving_table,
+)
+def _llm_serving_closed() -> Tuple[ServingSpec, ...]:
+    return tuple(
+        ServingSpec(
+            name=f"llm-closed-c{clients}",
+            design_point=DesignPoint.BASE_DHP,
+            model=_MODEL,
+            tenants=(
+                LlmTenantSpec.closed_loop(
+                    "interactive",
+                    num_requests=24,
+                    clients=clients,
+                    prompt_tokens=(8, 16),
+                    output_tokens=(8, 16),
+                    think_ns=5_000.0,
+                    seed=1,
+                    ttft_slo_ns=_TTFT_SLO_NS,
+                    itl_slo_ns=_ITL_SLO_NS,
+                ),
+                _batch_background(),
+            ),
+            max_batch_size=8,
+            kv_pool_bytes=96 * KIB,
+            point_label=f"closed x{clients}",
+        )
+        for clients in CLOSED_LOOP_CLIENTS
+    )
+
+
+__all__ = [
+    "CLOSED_LOOP_CLIENTS",
+    "OPEN_LOOP_GAPS_NS",
+]

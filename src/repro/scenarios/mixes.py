@@ -1,7 +1,8 @@
 """The built-in multi-tenant workload mixes.
 
-Each mix is a :class:`~repro.scenarios.registry.ScenarioSpec` registered under
-a stable name; ``repro scenarios --list`` enumerates them and
+Each mix is a :class:`~repro.scenarios.registry.ScenarioSpec` factory
+decorated with :func:`~repro.scenarios.registry.register_scenario` under a
+stable name; ``repro scenarios --list`` enumerates them and
 ``repro scenarios NAME`` regenerates the per-tenant table under ``results/``.
 The mixes are sized for the paper's Table I system (512 PIM cores) but run on
 any configuration -- a few hundred KiB to ~2 MiB per tenant keeps every
@@ -28,6 +29,9 @@ The shapes are chosen to stress different sharing axes:
   arrival-process family (see the block comment above their registrations):
   memoryless Poisson streams, diurnally phased load and a closed-loop
   capacity probe, giving fleet-scale capacity sweeps realistic load shapes.
+
+The LLM serving sweeps (family ``"llm"``) live in
+:mod:`repro.scenarios.llm`; this module is the ``"mix"`` family only.
 """
 
 from __future__ import annotations
@@ -42,59 +46,69 @@ KIB = 1024
 MIB = 1024 * 1024
 
 
-register_scenario(
+@register_scenario(
     "solo-transfer",
     "one bulk DRAM->PIM transfer on PIM-MMU (determinism anchor, no sharing)",
-    ScenarioSpec(
+)
+def _solo_transfer() -> ScenarioSpec:
+    return ScenarioSpec(
         name="solo-transfer",
         design_point=DesignPoint.BASE_DHP,
         tenants=(TenantSpec.transfer("xfer", total_bytes=512 * KIB),),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "prim-pair",
     "GEMV and BS push their PrIM inputs concurrently through the PIM-MMU",
-    ScenarioSpec(
+)
+def _prim_pair() -> ScenarioSpec:
+    return ScenarioSpec(
         name="prim-pair",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
             TenantSpec.prim("gemv", "GEMV", cap_bytes=512 * KIB),
             TenantSpec.prim("bs", "BS", cap_bytes=512 * KIB),
         ),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "memcpy-vs-transfer",
     "an 8-thread DRAM memcpy competes with a DRAM->PIM offload for DRAM bandwidth",
-    ScenarioSpec(
+)
+def _memcpy_vs_transfer() -> ScenarioSpec:
+    return ScenarioSpec(
         name="memcpy-vs-transfer",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
             TenantSpec.memcpy("memcpy", total_bytes=1 * MIB),
             TenantSpec.transfer("xfer", total_bytes=512 * KIB),
         ),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "bursty-vs-stream",
     "a bursty reader interferes with a steady streaming reader (queue depth)",
-    ScenarioSpec(
+)
+def _bursty_vs_stream() -> ScenarioSpec:
+    return ScenarioSpec(
         name="bursty-vs-stream",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
             TenantSpec.synthetic("bursty", "bursty", total_bytes=256 * KIB, mean_gap_ns=4.0),
             TenantSpec.synthetic("stream", "uniform", total_bytes=256 * KIB, mean_gap_ns=8.0),
         ),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "skewed-tenants",
     "three skewed (hot-set) trace tenants hammer overlapping hot rows",
-    ScenarioSpec(
+)
+def _skewed_tenants() -> ScenarioSpec:
+    return ScenarioSpec(
         name="skewed-tenants",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
@@ -105,13 +119,15 @@ register_scenario(
                 write_fraction=0.5, seed=3,
             ),
         ),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "phase-shift",
     "phase-shifted tenants: a transfer starts mid-way through a phased trace",
-    ScenarioSpec(
+)
+def _phase_shift() -> ScenarioSpec:
+    return ScenarioSpec(
         name="phase-shift",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
@@ -123,21 +139,23 @@ register_scenario(
                 start_offset_ns=200_000.0,
             ),
         ),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "baseline-prim-pair",
     "the prim-pair mix on the software baseline (compare against prim-pair)",
-    ScenarioSpec(
+)
+def _baseline_prim_pair() -> ScenarioSpec:
+    return ScenarioSpec(
         name="baseline-prim-pair",
         design_point=DesignPoint.BASELINE,
         tenants=(
             TenantSpec.prim("gemv", "GEMV", cap_bytes=256 * KIB),
             TenantSpec.prim("bs", "BS", cap_bytes=256 * KIB),
         ),
-    ),
-)
+    )
+
 
 # The QoS pair: identical tenants, two scheduler policies.  A sparse
 # latency-sensitive tenant ("lat") shares the DRAM channels with an
@@ -153,26 +171,31 @@ _QOS_TENANTS = (
     ),
 )
 
-register_scenario(
+
+@register_scenario(
     "qos-frfcfs",
     "latency-sensitive tenant vs bulk streamer under plain FR-FCFS (inversion)",
-    ScenarioSpec(
+)
+def _qos_frfcfs() -> ScenarioSpec:
+    return ScenarioSpec(
         name="qos-frfcfs",
         design_point=DesignPoint.BASE_DHP,
         tenants=_QOS_TENANTS,
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "qos-priority",
     "the same mix under qos_priority:lat=1 (priority-inversion relief)",
-    ScenarioSpec(
+)
+def _qos_priority() -> ScenarioSpec:
+    return ScenarioSpec(
         name="qos-priority",
         design_point=DesignPoint.BASE_DHP,
         tenants=_QOS_TENANTS,
         memctrl_policy="qos_priority:lat=1",
-    ),
-)
+    )
+
 
 # The arrival-process family: capacity-style load shapes for fleet sweeps.
 # The earlier mixes stress *what* tenants access; these stress *when* work
@@ -191,10 +214,13 @@ register_scenario(
 #   saturation throughput, sharing the channels with a sparse open-loop
 #   Poisson probe whose latency shows what saturation does to a bystander.
 
-register_scenario(
+
+@register_scenario(
     "poisson-arrivals",
     "two open-loop Poisson arrival streams at a 4x rate asymmetry",
-    ScenarioSpec(
+)
+def _poisson_arrivals() -> ScenarioSpec:
+    return ScenarioSpec(
         name="poisson-arrivals",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
@@ -205,13 +231,15 @@ register_scenario(
                 "cold", "poisson", total_bytes=128 * KIB, mean_gap_ns=12.0, seed=2
             ),
         ),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "diurnal-load",
     "diurnally phased Poisson load (4x peak/trough) vs a steady streamer",
-    ScenarioSpec(
+)
+def _diurnal_load() -> ScenarioSpec:
+    return ScenarioSpec(
         name="diurnal-load",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
@@ -222,13 +250,15 @@ register_scenario(
                 "steady", "uniform", total_bytes=128 * KIB, mean_gap_ns=8.0, seed=2
             ),
         ),
-    ),
-)
+    )
 
-register_scenario(
+
+@register_scenario(
     "closed-loop-capacity",
     "8-client closed-loop capacity probe vs a sparse Poisson latency probe",
-    ScenarioSpec(
+)
+def _closed_loop_capacity() -> ScenarioSpec:
+    return ScenarioSpec(
         name="closed-loop-capacity",
         design_point=DesignPoint.BASE_DHP,
         tenants=(
@@ -239,5 +269,4 @@ register_scenario(
                 "probe", "poisson", total_bytes=32 * KIB, mean_gap_ns=50.0, seed=3
             ),
         ),
-    ),
-)
+    )

@@ -595,9 +595,11 @@ class TraceReplayer:
         if self.closed_loop and self._cursor < len(self.trace.events):
             # This client's next access starts after its think time (always
             # through the event heap, so completion callbacks never reenter
-            # the submit path).
-            self.system.engine.schedule_at(
-                self.system.now + self.think_ns, self._issue_next
+            # the submit path).  Routed through schedule_batch like the
+            # open-loop arrivals: both entry points share one sequence
+            # counter, so wakeup ordering is identical either way.
+            self.system.engine.schedule_batch(
+                ((self.system.now + self.think_ns, self._issue_next),)
             )
         if self._completed >= len(self.trace.events) and not self._pending:
             self._finalize()

@@ -11,6 +11,10 @@ Everything the evaluation section runs lives here:
   large transfer sizes from the simulated steady state (Figures 13 and 15).
 * :mod:`repro.workloads.prim` -- descriptors of the 16 PrIM workloads used in
   the end-to-end evaluation (Figure 16).
+* :mod:`repro.workloads.llm` -- LLM inference serving: a declarative
+  :class:`ModelSpec` compiled into per-prefill/per-decode DRAM<->PIM traffic
+  and a continuous-batching serving driver with per-request TTFT/ITL records
+  (see ``docs/llm_serving.md``).
 """
 
 from repro.workloads.memcpy import MemcpyEngine, MemcpyThread
@@ -18,13 +22,34 @@ from repro.workloads.microbench import TransferExperiment, run_transfer_experime
 from repro.workloads.patterns import AccessPattern, measure_read_bandwidth
 from repro.workloads.prim import PRIM_WORKLOADS, PrimWorkload
 
+# Imported last: repro.workloads.llm pulls in repro.api.results, which must
+# not re-enter this package mid-initialisation.
+from repro.workloads.llm import (
+    LlmTenantSpec,
+    ModelSpec,
+    ServingDriver,
+    ServingOutcome,
+    StepTraffic,
+    compile_decode_step,
+    compile_prefill,
+    run_serving,
+)
+
 __all__ = [
     "AccessPattern",
+    "LlmTenantSpec",
     "MemcpyEngine",
     "MemcpyThread",
+    "ModelSpec",
     "PRIM_WORKLOADS",
     "PrimWorkload",
+    "ServingDriver",
+    "ServingOutcome",
+    "StepTraffic",
     "TransferExperiment",
+    "compile_decode_step",
+    "compile_prefill",
     "measure_read_bandwidth",
+    "run_serving",
     "run_transfer_experiment",
 ]

@@ -190,6 +190,61 @@ class TestRegistry:
         with pytest.raises(KeyError):
             select_scenarios(["does-not-exist"])
 
+    def test_every_scenario_declares_a_family(self):
+        families = {scenario.family for scenario in SCENARIOS.values()}
+        assert "mix" in families and "llm" in families
+
+    def test_select_scenarios_by_family(self):
+        llm = select_scenarios(family="llm")
+        assert llm and all(scenario.family == "llm" for scenario in llm)
+        mix = select_scenarios(family="mix")
+        assert {s.name for s in llm}.isdisjoint({s.name for s in mix})
+        with pytest.raises(KeyError):
+            select_scenarios(family="does-not-exist")
+        with pytest.raises(KeyError):
+            # Name exists but belongs to another family.
+            select_scenarios(["prim-pair"], family="llm")
+
+    def test_decorator_registration_single_and_tuple(self):
+        from repro.scenarios.registry import register_scenario
+
+        @register_scenario("tiny-reg-single", "tier-1 only", family="test")
+        def _single():
+            return tiny_mix()
+
+        @register_scenario("tiny-reg-sweep", "tier-1 only", family="test")
+        def _sweep():
+            return (tiny_mix(), tiny_mix())
+
+        try:
+            single = SCENARIOS["tiny-reg-single"]
+            assert single.specs == (tiny_mix(),)
+            assert single.family == "test"
+            assert single.filename == "scenario_tiny_reg_single.txt"
+            sweep = SCENARIOS["tiny-reg-sweep"]
+            assert len(sweep.specs) == 2
+            # The decorator hands the factory back unchanged.
+            assert _single() == tiny_mix()
+        finally:
+            SCENARIOS.pop("tiny-reg-single")
+            SCENARIOS.pop("tiny-reg-sweep")
+
+    def test_duplicate_registration_is_rejected(self):
+        from repro.scenarios.registry import register_scenario
+
+        with pytest.raises(ValueError):
+            register_scenario("prim-pair", "clash", tiny_mix())
+
+    def test_legacy_positional_registration_still_works(self):
+        from repro.scenarios.registry import register_scenario
+
+        scenario = register_scenario("tiny-reg-legacy", "tier-1 only", tiny_mix())
+        try:
+            assert SCENARIOS["tiny-reg-legacy"] is scenario
+            assert scenario.family == "mix"
+        finally:
+            SCENARIOS.pop("tiny-reg-legacy")
+
     def test_render_contains_per_tenant_latency_and_slowdown(self, small_config):
         text = render_scenario(tiny_mix().run(small_config))
         for column in ("tenant", "p50_lat_ns", "p99_lat_ns", "slowdown", "throughput_gbps"):
@@ -221,6 +276,20 @@ class TestCli:
         out = capsys.readouterr().out
         for name in SCENARIOS:
             assert name in out
+
+    def test_scenarios_list_family_filter(self, capsys):
+        assert main(["scenarios", "--list", "--family", "llm"]) == 0
+        out = capsys.readouterr().out
+        assert "llm-serving-frfcfs" in out
+        assert "prim-pair" not in out
+
+    def test_scenarios_rejects_unknown_family(self, capsys):
+        assert main(["scenarios", "--family", "quantum"]) == 2
+        assert "quantum" in capsys.readouterr().err
+
+    def test_scenarios_rejects_name_outside_family(self, capsys):
+        assert main(["scenarios", "prim-pair", "--family", "llm"]) == 2
+        assert "prim-pair" in capsys.readouterr().err
 
     def test_scenarios_rejects_unknown_names(self, capsys):
         assert main(["scenarios", "fig99"]) == 2

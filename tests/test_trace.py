@@ -255,6 +255,41 @@ class TestClosedLoopReplay:
         eight = self.run_closed(small_config, trace, concurrency=8, think_ns=0.0)
         assert eight.duration_ns <= one.duration_ns
 
+    def test_batched_wakeups_match_schedule_at(self, small_config):
+        # Closed-loop think-time wakeups go through ``schedule_batch``; the
+        # engine shares one sequence counter across every scheduling entry
+        # point, so results must be bit-identical to the old per-event
+        # ``schedule_at`` path.
+        class LegacyReplayer(TraceReplayer):
+            def _on_request_complete(self, request):
+                self._completed += 1
+                self._last_completion_ns = self.system.now
+                if request.latency_ns is not None:
+                    self._latency.add(request.latency_ns)
+                if self.closed_loop and self._cursor < len(self.trace.events):
+                    self.system.engine.schedule_at(
+                        self.system.now + self.think_ns, self._issue_next
+                    )
+                if self._completed >= len(self.trace.events) and not self._pending:
+                    self._finalize()
+
+        trace = synthesize_trace("poisson", total_bytes=8 * KIB, seed=7)
+
+        def run(cls):
+            system = build_system(
+                config=small_config, design_point=DesignPoint.BASE_DHP
+            )
+            return cls(
+                system, trace, tenant="closed", closed_loop=True,
+                concurrency=4, think_ns=2.0,
+            ).execute()
+
+        current = run(TraceReplayer)
+        legacy = run(LegacyReplayer)
+        assert current.end_ns == legacy.end_ns
+        assert current.completed == legacy.completed
+        assert current.latency._samples == legacy.latency._samples
+
     def test_closed_loop_parameter_validation(self, small_config):
         system = build_system(config=small_config, design_point=DesignPoint.BASE_DHP)
         trace = synthesize_trace("uniform", total_bytes=1 * KIB)

@@ -10,7 +10,11 @@ Asserts that the documented surface and the exported surface agree:
    resolves via ``getattr`` (no stale exports);
 3. every registered transfer backend instantiates, self-reports the name it
    is registered under, and every design point resolves to a registered
-   default backend.
+   default backend;
+4. every registered scenario is well-formed: unique results filename, at
+   least one spec, every spec is a picklable ``ExperimentSpec`` (the fleet
+   runner ships specs to worker processes), and its renderer accepts the
+   registered entry.
 
 Stdlib only.  Exits non-zero with a list of violations.
 """
@@ -109,12 +113,49 @@ def check_backends() -> List[str]:
     return errors
 
 
+def check_scenarios() -> List[str]:
+    import pickle
+
+    from repro.exp.spec import ExperimentSpec
+    from repro.scenarios.registry import SCENARIOS
+
+    errors: List[str] = []
+    filenames: dict = {}
+    for name, scenario in SCENARIOS.items():
+        if scenario.name != name:
+            errors.append(
+                f"scenario registered as {name!r} reports name {scenario.name!r}"
+            )
+        owner = filenames.setdefault(scenario.filename, name)
+        if owner != name:
+            errors.append(
+                f"scenarios {owner!r} and {name!r} both write {scenario.filename!r}"
+            )
+        if not scenario.description:
+            errors.append(f"scenario {name!r} has no description")
+        if not scenario.family:
+            errors.append(f"scenario {name!r} has an empty family")
+        for spec in scenario.specs:
+            if not isinstance(spec, ExperimentSpec):
+                errors.append(
+                    f"scenario {name!r} carries a non-ExperimentSpec "
+                    f"{type(spec).__name__}"
+                )
+                continue
+            try:
+                pickle.loads(pickle.dumps(spec))
+            except Exception as error:  # noqa: BLE001 - report, don't crash
+                errors.append(f"scenario {name!r} spec does not pickle: {error!r}")
+    return errors
+
+
 def main() -> int:
     text = API_DOC.read_text()
     errors: List[str] = []
     for heading, module_name in SECTIONS.items():
         errors.extend(check_section(text, heading, module_name))
     errors.extend(check_backends())
+    errors.extend(check_scenarios())
     if errors:
         print(f"public-API surface check failed ({len(errors)} problem(s)):")
         for error in errors:
