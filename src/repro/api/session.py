@@ -81,6 +81,7 @@ class Session:
         cache=None,
         jobs: int = 1,
         memctrl_policy: Optional[str] = None,
+        memctrl_kernel: Optional[str] = None,
         task_timeout_s: Optional[float] = None,
         retries: Optional[int] = None,
         journal=None,
@@ -93,6 +94,15 @@ class Session:
             create_policy(memctrl_policy)  # fail fast on unknown specs
             config = _replace(
                 config, memctrl=_replace(config.memctrl, policy=memctrl_policy)
+            )
+        if memctrl_kernel is not None:
+            from dataclasses import replace as _replace
+
+            from repro.memctrl.kernel import kernel_class
+
+            kernel_class(memctrl_kernel)  # fail fast on unknown specs
+            config = _replace(
+                config, memctrl=_replace(config.memctrl, kernel=memctrl_kernel)
             )
         self.config = config
         self.design_point = design_point
@@ -121,6 +131,7 @@ class Session:
         cache=None,
         jobs: int = 1,
         memctrl_policy: Optional[str] = None,
+        memctrl_kernel: Optional[str] = None,
         task_timeout_s: Optional[float] = None,
         retries: Optional[int] = None,
         journal=None,
@@ -130,7 +141,9 @@ class Session:
         ``backend`` overrides the design point's default transfer backend for
         :meth:`transfer`; ``memctrl_policy`` selects a registered
         memory-scheduler policy spec (``repro policies`` lists them; the
-        default is the config's FR-FCFS); ``cache``/``jobs`` configure the
+        default is the config's FR-FCFS); ``memctrl_kernel`` selects the DRAM
+        service-kernel implementation (``object`` or ``soa`` -- bit-identical
+        results, different speed); ``cache``/``jobs`` configure the
         experiment provider behind :meth:`run_workload`.
         ``task_timeout_s``/``retries``/``journal`` configure the provider's
         fault-tolerant fleet execution (see :mod:`repro.fleet`): hung worker
@@ -144,6 +157,7 @@ class Session:
             cache=cache,
             jobs=jobs,
             memctrl_policy=memctrl_policy,
+            memctrl_kernel=memctrl_kernel,
             task_timeout_s=task_timeout_s,
             retries=retries,
             journal=journal,
@@ -659,6 +673,7 @@ class SessionBuilder:
         self._cache = None
         self._jobs = 1
         self._memctrl_policy: Optional[str] = None
+        self._memctrl_kernel: Optional[str] = None
         self._task_timeout_s: Optional[float] = None
         self._retries: Optional[int] = None
         self._journal = None
@@ -693,6 +708,11 @@ class SessionBuilder:
     def policy(self, spec: str) -> "SessionBuilder":
         """Select a registered memory-scheduler policy (``repro policies``)."""
         self._memctrl_policy = spec
+        return self
+
+    def kernel(self, spec: str) -> "SessionBuilder":
+        """Select the DRAM service kernel (``object`` or ``soa``)."""
+        self._memctrl_kernel = spec
         return self
 
     def cache(self, cache) -> "SessionBuilder":
@@ -736,6 +756,7 @@ class SessionBuilder:
             cache=self._cache,
             jobs=self._jobs,
             memctrl_policy=self._memctrl_policy,
+            memctrl_kernel=self._memctrl_kernel,
             task_timeout_s=self._task_timeout_s,
             retries=self._retries,
             journal=self._journal,

@@ -79,6 +79,15 @@ class BenchResult:
         }
 
 
+def _with_kernel(config: SystemConfig, kernel: str) -> SystemConfig:
+    """``config`` with the DRAM service kernel selected (no-op for default)."""
+    if kernel == config.memctrl.kernel:
+        return config
+    from dataclasses import replace
+
+    return replace(config, memctrl=replace(config.memctrl, kernel=kernel))
+
+
 def _served_requests(stats) -> int:
     return int(
         sum(
@@ -89,11 +98,11 @@ def _served_requests(stats) -> int:
     )
 
 
-def _bench_transfer_sweep(quick: bool) -> BenchResult:
+def _bench_transfer_sweep(quick: bool, kernel: str = "object") -> BenchResult:
     from repro.system import build_system
     from repro.workloads.microbench import run_transfer_experiment_on
 
-    config = SystemConfig.paper_baseline()
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel)
     if quick:
         cases = [(DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM)]
         total_bytes, cap = 256 * KIB, 256 * KIB
@@ -119,11 +128,11 @@ def _bench_transfer_sweep(quick: bool) -> BenchResult:
     return BenchResult("headline-sweep", wall, events, requests)
 
 
-def _bench_scenario_mix(quick: bool) -> BenchResult:
+def _bench_scenario_mix(quick: bool, kernel: str = "object") -> BenchResult:
     from repro.scenarios.tenant import TenantSpec, run_scenario
     from repro.system import build_system
 
-    config = SystemConfig.paper_baseline()
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel)
     size = 128 * KIB if quick else 256 * KIB
     tenants = (
         TenantSpec.memcpy("memcpy", total_bytes=size),
@@ -153,11 +162,11 @@ def _bench_scenario_mix(quick: bool) -> BenchResult:
     return BenchResult("scenario-mix", wall, events, requests)
 
 
-def _bench_replay_bursty(quick: bool) -> BenchResult:
+def _bench_replay_bursty(quick: bool, kernel: str = "object") -> BenchResult:
     from repro.scenarios.trace import TraceReplayer, synthesize_trace
     from repro.system import build_system
 
-    config = SystemConfig.paper_baseline()
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel)
     size = 128 * KIB if quick else 512 * KIB
     trace = synthesize_trace("bursty", total_bytes=size, mean_gap_ns=4.0)
     system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
@@ -171,7 +180,7 @@ def _bench_replay_bursty(quick: bool) -> BenchResult:
     )
 
 
-def _bench_deep_queue(quick: bool) -> BenchResult:
+def _bench_deep_queue(quick: bool, kernel: str = "object") -> BenchResult:
     from repro.dram.channel import DdrChannel
     from repro.mapping.locality import locality_centric_mapping
     from repro.memctrl.controller import ChannelController
@@ -181,7 +190,9 @@ def _bench_deep_queue(quick: bool) -> BenchResult:
 
     geometry = SystemConfig.paper_baseline().dram
     depth = 1024 if quick else 4096
-    memctrl = MemCtrlConfig(read_queue_depth=depth, write_queue_depth=depth)
+    memctrl = MemCtrlConfig(
+        read_queue_depth=depth, write_queue_depth=depth, kernel=kernel
+    )
     engine = SimulationEngine()
     stats = StatsRegistry()
     controller = ChannelController(
@@ -210,8 +221,8 @@ def _bench_deep_queue(quick: bool) -> BenchResult:
     )
 
 
-#: The fixed matrix: name -> callable(quick) -> BenchResult.
-BENCH_WORKLOADS: Dict[str, Callable[[bool], BenchResult]] = {
+#: The fixed matrix: name -> callable(quick, kernel) -> BenchResult.
+BENCH_WORKLOADS: Dict[str, Callable[..., BenchResult]] = {
     "headline-sweep": _bench_transfer_sweep,
     "scenario-mix": _bench_scenario_mix,
     "replay-bursty": _bench_replay_bursty,
@@ -236,6 +247,7 @@ def run_bench(
     quick: bool = False,
     names: Optional[List[str]] = None,
     repeats: Optional[int] = None,
+    kernel: str = "object",
 ) -> Dict:
     """Run the benchmark matrix and return one trajectory entry (a dict).
 
@@ -246,7 +258,15 @@ def run_bench(
     workload's ``wall_spread_pct`` -- the max-over-min spread of its repeat
     wall times -- travels with the entry, so a CI artifact shows *how noisy*
     the runner was when a regression gate is being diagnosed.
+
+    ``kernel`` selects the DRAM service-kernel implementation for every
+    workload (``object`` or ``soa``; see :mod:`repro.memctrl.kernel`).  The
+    two kernels are bit-identical at the event level, so event counts match
+    across kernels and only the wall clock moves.
     """
+    from repro.memctrl.kernel import kernel_class
+
+    kernel_class(kernel)  # fail fast on unknown specs
     selected = names if names else list(BENCH_WORKLOADS)
     unknown = [name for name in selected if name not in BENCH_WORKLOADS]
     if unknown:
@@ -256,10 +276,10 @@ def run_bench(
         repeats = 2 if quick else 3
     results = {}
     for name in selected:
-        outcome = BENCH_WORKLOADS[name](quick)
+        outcome = BENCH_WORKLOADS[name](quick, kernel)
         walls = [outcome.wall_s]
         for _ in range(repeats - 1):
-            candidate = BENCH_WORKLOADS[name](quick)
+            candidate = BENCH_WORKLOADS[name](quick, kernel)
             walls.append(candidate.wall_s)
             if candidate.wall_s < outcome.wall_s:
                 outcome = candidate
@@ -273,6 +293,7 @@ def run_bench(
     return {
         "quick": quick,
         "repeats": repeats,
+        "kernel": kernel,
         "workloads": results,
         "aggregate": _aggregate(results),
     }

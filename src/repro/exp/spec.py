@@ -118,6 +118,9 @@ class TransferSpec(ExperimentSpec):
     #: Memory-scheduler policy spec (``None`` keeps the config's default,
     #: FR-FCFS).  See :mod:`repro.memctrl.policies` / ``repro policies``.
     memctrl_policy: Optional[str] = None
+    #: DRAM service-kernel implementation (``None`` keeps the config's
+    #: default; ``object``/``soa`` are bit-identical, ``soa`` is faster).
+    memctrl_kernel: Optional[str] = None
 
     def window(self, config: SystemConfig) -> "TransferSpec":
         """The canonical spec for the steady-state window actually simulated.
@@ -142,6 +145,7 @@ class TransferSpec(ExperimentSpec):
             contender_factory=factory,
             scheduling_quantum_ns=self.scheduling_quantum_ns,
             memctrl_policy=self.memctrl_policy,
+            memctrl_kernel=self.memctrl_kernel,
         )
 
 
@@ -321,6 +325,7 @@ class Sweep:
     sim_cap_bytes: int = DEFAULT_SIM_CAP_BYTES
     scheduling_quantum_ns: Optional[float] = None
     memctrl_policy: Optional[str] = None
+    memctrl_kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "design_points", tuple(self.design_points))
@@ -346,6 +351,7 @@ class Sweep:
                 contention=contention,
                 scheduling_quantum_ns=self.scheduling_quantum_ns,
                 memctrl_policy=self.memctrl_policy,
+                memctrl_kernel=self.memctrl_kernel,
             )
             for point, direction, size, contention in itertools.product(
                 self.design_points, self.directions, self.sizes, self.contentions

@@ -244,4 +244,30 @@ class ServiceKernel:
         self.policy.reset()
 
 
-__all__ = ["ServiceKernel"]
+# --------------------------------------------------------------------- registry
+def available_kernels() -> tuple:
+    """Names accepted by :data:`MemCtrlConfig.kernel` (and ``--kernel``)."""
+    return ("object", "soa")
+
+
+def kernel_class(spec: str):
+    """Resolve a kernel spec string to its implementation class.
+
+    ``object`` is the batched per-object kernel above; ``soa`` is the
+    struct-of-arrays burst kernel (:mod:`repro.memctrl.soa`, imported lazily
+    to avoid a cycle).  Both are bit-identical at the event level -- the
+    differential suite (``tests/differential``) enforces it.
+    """
+    if spec == "object":
+        return ServiceKernel
+    if spec == "soa":
+        from repro.memctrl.soa import SoaServiceKernel
+
+        return SoaServiceKernel
+    raise ValueError(
+        f"unknown service kernel {spec!r}; available: "
+        + ", ".join(available_kernels())
+    )
+
+
+__all__ = ["ServiceKernel", "available_kernels", "kernel_class"]

@@ -60,6 +60,9 @@ class ScenarioSpec(ExperimentSpec):
     #: Memory-scheduler policy spec (``None`` keeps FR-FCFS).  Tenant-aware
     #: policies reference tenant names, e.g. ``qos_priority:lat=1``.
     memctrl_policy: Optional[str] = None
+    #: DRAM service-kernel implementation (``None`` keeps the config default;
+    #: ``object``/``soa`` produce bit-identical results).
+    memctrl_kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
@@ -73,6 +76,12 @@ class ScenarioSpec(ExperimentSpec):
 
             config = replace(
                 config, memctrl=replace(config.memctrl, policy=self.memctrl_policy)
+            )
+        if self.memctrl_kernel is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config, memctrl=replace(config.memctrl, kernel=self.memctrl_kernel)
             )
         return run_scenario(
             config,

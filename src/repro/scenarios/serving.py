@@ -61,6 +61,7 @@ class ServingSpec(ExperimentSpec):
     kv_pool_bytes: Optional[int] = None
     iteration_overhead_ns: float = 0.0
     memctrl_policy: Optional[str] = None
+    memctrl_kernel: Optional[str] = None
     point_label: str = ""
 
     def __post_init__(self) -> None:
@@ -79,6 +80,12 @@ class ServingSpec(ExperimentSpec):
 
             config = replace(
                 config, memctrl=replace(config.memctrl, policy=self.memctrl_policy)
+            )
+        if self.memctrl_kernel is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config, memctrl=replace(config.memctrl, kernel=self.memctrl_kernel)
             )
         return run_serving(
             config,

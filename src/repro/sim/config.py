@@ -279,6 +279,10 @@ class MemCtrlConfig:
     write_high_watermark: int = 48
     write_low_watermark: int = 16
     policy: str = "FR-FCFS"
+    #: Service-kernel implementation: ``object`` (the PR 4 batched kernel) or
+    #: ``soa`` (struct-of-arrays burst kernel).  Both produce bit-identical
+    #: event-level behaviour; the differential suite enforces it.
+    kernel: str = "object"
 
 
 @dataclass(frozen=True)

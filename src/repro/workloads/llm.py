@@ -49,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.api.results import RequestRecord
+from repro.memctrl.burst import RequestBurst
 from repro.memctrl.request import MemoryRequest, RequestStream
 from repro.sim.config import CACHE_LINE_BYTES, DesignPoint, SystemConfig
 from repro.system import PimSystem, build_system
@@ -920,11 +921,40 @@ class ServingDriver:
                 offset = 0
 
     # -- submission (park-and-retry, the TraceReplayer idiom) ----------------
+
+    #: Below this many pending lines the scalar path wins (burst setup cost).
+    _BURST_MIN = 8
+
     def _drain_pending(self) -> None:
-        while self._pending_lines:
-            if not self._try_issue(self._pending_lines[0]):
-                return
-            self._pending_lines.popleft()
+        pending = self._pending_lines
+        while pending:
+            if self._parked is not None or len(pending) < self._BURST_MIN:
+                if not self._try_issue(pending[0]):
+                    return
+                pending.popleft()
+                continue
+            # Burst fast path: decode and admit every pending line through
+            # the columnar submit.  Event-level behaviour is identical to
+            # issuing them one at a time (submit_burst stops at the first
+            # rejection, whose materialized request is parked for retry).
+            lines = list(pending)
+            burst = RequestBurst(
+                phys_addrs=[line[0] for line in lines],
+                is_write=[line[1] for line in lines],
+                sizes=CACHE_LINE_BYTES,
+                tenants=[line[2] for line in lines],
+                on_complete=self._on_line_complete,
+            )
+            accepted, requests = self.system.submit_burst(burst)
+            self.memory_requests += accepted
+            for _ in range(accepted):
+                pending.popleft()
+            if pending:
+                rejected = requests[accepted]
+                self._parked = (pending[0], rejected)
+                self.deferred += 1
+                self._register_retry(rejected)
+            return
 
     def _try_issue(self, line: Tuple[int, bool, str]) -> bool:
         parked = self._parked

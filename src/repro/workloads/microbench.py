@@ -140,6 +140,7 @@ def run_transfer_experiment(
     contender_factory: Optional[ContenderFactory] = None,
     scheduling_quantum_ns: Optional[float] = None,
     memctrl_policy: Optional[str] = None,
+    memctrl_kernel: Optional[str] = None,
 ) -> TransferExperiment:
     """Run (and, beyond ``sim_cap_bytes``, extrapolate) one transfer experiment.
 
@@ -147,7 +148,8 @@ def run_transfer_experiment(
     supplied configuration (the Figure 13 contention study scales it down to
     keep the transfer-to-quantum ratio of the paper's much larger transfers);
     ``memctrl_policy`` overrides the memory-scheduler policy spec (see
-    :mod:`repro.memctrl.policies`).
+    :mod:`repro.memctrl.policies`); ``memctrl_kernel`` selects the DRAM
+    service-kernel implementation (``object``/``soa``, bit-identical).
     """
     config = config if config is not None else SystemConfig.paper_baseline()
     if scheduling_quantum_ns is not None:
@@ -157,6 +159,10 @@ def run_transfer_experiment(
     if memctrl_policy is not None:
         config = replace(
             config, memctrl=replace(config.memctrl, policy=memctrl_policy)
+        )
+    if memctrl_kernel is not None:
+        config = replace(
+            config, memctrl=replace(config.memctrl, kernel=memctrl_kernel)
         )
     system = build_system(config=config, design_point=design_point)
     return run_transfer_experiment_on(

@@ -1,0 +1,32 @@
+"""Hypothesis profiles for the differential suite.
+
+Three budgets, selected with the ``REPRO_HYPOTHESIS_PROFILE`` environment
+variable (default ``tier1``):
+
+* ``tier1`` -- the budget that ships inside the repo's tier-1 test run; the
+  whole ``tests/differential`` directory stays under ~10 s.
+* ``ci`` -- the dedicated ``differential`` CI job: 600 generated cases
+  (the acceptance floor is 500+), still well under a minute.
+* ``weekly`` -- the scheduled deep run at ~10x the CI example budget.
+
+Reproducibility: the CI jobs pass a fixed ``--hypothesis-seed`` (the
+Hypothesis pytest plugin consumes it), so a red run can be replayed locally
+with the same seed and profile.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    deadline=None,  # wall-clock deadlines are noise on shared CI runners
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+settings.register_profile("tier1", max_examples=50, **_COMMON)
+settings.register_profile("ci", max_examples=600, **_COMMON)
+settings.register_profile("weekly", max_examples=6000, **_COMMON)
+
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "tier1"))

@@ -320,3 +320,107 @@ def test_sweep_resume_serves_journal(tmp_path, capsys):
     second = capsys.readouterr().out
     assert "simulations executed: 0" in second
     assert "journal hits: 1" in second
+
+
+# ---------------------------------------------------------------------------
+# The --compare-kernels gate (deterministic: run_bench is stubbed)
+# ---------------------------------------------------------------------------
+
+
+def _stub_kernel_bench(monkeypatch, walls, events=None):
+    """Replace ``run_bench`` with a scripted fake.
+
+    ``walls`` maps kernel name to the wall-clock each successive call should
+    report (popped front-to-back); ``events`` optionally overrides the event
+    count per kernel.  Returns the list of kernels in call order, so tests
+    can assert the measurement really is paired (object/soa alternating)
+    rather than phase-separated.
+    """
+    import repro.exp.bench as bench_mod
+
+    calls = []
+
+    def fake_run_bench(quick=False, names=None, repeats=None, kernel="object"):
+        calls.append(kernel)
+        wall = walls[kernel].pop(0)
+        count = (events or {}).get(kernel, 1000)
+        metrics = {
+            "wall_s": wall,
+            "events": count,
+            "events_per_sec": round(count / wall, 1),
+            "wall_spread_pct": 0.0,
+        }
+        return {
+            "quick": quick,
+            "repeats": repeats,
+            "kernel": kernel,
+            "workloads": {"w": metrics},
+            "aggregate": {
+                "wall_s": wall,
+                "events": count,
+                "events_per_sec": round(count / wall, 1),
+            },
+        }
+
+    monkeypatch.setattr(bench_mod, "run_bench", fake_run_bench)
+    return calls
+
+
+def test_compare_kernels_paired_rounds_pass(monkeypatch, capsys):
+    calls = _stub_kernel_bench(
+        monkeypatch,
+        walls={"object": [1.0, 1.1, 1.2], "soa": [0.9, 1.0, 1.1]},
+    )
+    assert main(["bench", "--quick", "--compare-kernels", "--no-write"]) == 0
+    # Three paired rounds, kernels alternating inside each round.
+    assert calls == ["object", "soa"] * 3
+    out = capsys.readouterr().out
+    assert "kernel gate: soa beats object" in out
+    assert "noise relief" not in out
+
+
+def test_compare_kernels_relief_rounds_rescue(monkeypatch, capsys):
+    # SoA loses the first three rounds, then wins in the relief rounds:
+    # fastest-per-workload across all five rounds decides the gate.
+    calls = _stub_kernel_bench(
+        monkeypatch,
+        walls={
+            "object": [1.0, 1.0, 1.0, 1.0, 1.0],
+            "soa": [1.2, 1.2, 1.2, 0.8, 1.2],
+        },
+    )
+    assert main(["bench", "--quick", "--compare-kernels", "--no-write"]) == 0
+    assert calls == ["object", "soa"] * 5
+    out = capsys.readouterr().out
+    assert "noise relief" in out
+    assert "kernel gate: soa beats object" in out
+
+
+def test_compare_kernels_fails_when_soa_stays_slower(monkeypatch, capsys):
+    _stub_kernel_bench(
+        monkeypatch,
+        walls={"object": [1.0] * 5, "soa": [1.3] * 5},
+    )
+    assert main(["bench", "--quick", "--compare-kernels", "--no-write"]) == 1
+    captured = capsys.readouterr()
+    assert "KERNEL GATE" in captured.err
+
+
+def test_compare_kernels_event_mismatch_is_a_correctness_failure(
+    monkeypatch, capsys
+):
+    # A faster SoA run must still fail if the event counts diverge: the
+    # kernels are bit-identical by construction, so a mismatch is a bug.
+    _stub_kernel_bench(
+        monkeypatch,
+        walls={"object": [1.0] * 3, "soa": [0.5] * 3},
+        events={"object": 1000, "soa": 999},
+    )
+    assert main(["bench", "--quick", "--compare-kernels", "--no-write"]) == 1
+    captured = capsys.readouterr()
+    assert "KERNEL MISMATCH" in captured.err
+
+
+def test_compare_kernels_rejects_check_combination(capsys):
+    assert main(["bench", "--compare-kernels", "--check", "--no-write"]) == 2
+    assert "--compare-kernels is its own gate" in capsys.readouterr().err

@@ -1,0 +1,181 @@
+"""``RunResult`` v2 ``request_records`` through the fleet layer.
+
+The journal pickles whatever a spec's ``run`` returns; the shard partition
+splits the spec list across jobs.  Neither layer knows (or should know)
+about the v2 request-record payload -- but the LLM serving family depends on
+both carrying it faithfully: SLO tables are derived from the records of
+results that routinely arrive via ``--resume`` after a killed driver, or via
+an N-way CI shard fan-in.  These tests pin that path: a serving
+``RunResult`` full of :class:`~repro.api.results.RequestRecord` rows must
+come back **byte-identical** (same serialized form, not merely equal) from
+
+* a journal written by one run and resumed by another,
+* an interrupted journal (torn trailing line) resumed to completion, and
+* a 2-way shard split merged back together,
+
+always matching an undisturbed serial reference run.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+from repro.api import RunResult, Session
+from repro.fleet import FleetJournal, FleetRunner, Shard, shard_items
+from repro.workloads.llm import LlmTenantSpec, ModelSpec
+
+KIB = 1024
+
+
+class ServeSpec:
+    """Picklable fleet spec that returns a ``RunResult`` with records."""
+
+    KIND = "serve-records"
+
+    def __init__(self, token: str, seed: int) -> None:
+        self.token = token
+        self.seed = seed
+
+    def __repr__(self) -> str:
+        return f"ServeSpec({self.token!r}, seed={self.seed})"
+
+    def __hash__(self) -> int:
+        return hash((self.KIND, self.token, self.seed))
+
+    def __eq__(self, other) -> bool:
+        return (
+            type(other) is type(self)
+            and other.token == self.token
+            and other.seed == self.seed
+        )
+
+    def run(self, config) -> RunResult:
+        # Deliberately tiny token counts: prefill cost scales with
+        # prompt_tokens x weight bytes, and these tests need many runs.
+        tenants = (
+            LlmTenantSpec.open_loop(
+                "interactive",
+                num_requests=4,
+                mean_gap_ns=4_000.0,
+                prompt_tokens=(4, 8),
+                output_tokens=(2, 4),
+                seed=self.seed,
+            ),
+            LlmTenantSpec.closed_loop(
+                "batch",
+                num_requests=2,
+                clients=1,
+                prompt_tokens=(8, 12),
+                output_tokens=(2, 3),
+                think_ns=500.0,
+                seed=self.seed + 1,
+            ),
+        )
+        with Session.open(config=config) as session:
+            return session.serve_llm(
+                ModelSpec.tiny(),
+                tenants,
+                max_batch_size=4,
+                kv_pool_bytes=64 * KIB,
+                name=f"serve-{self.token}",
+            )
+
+
+def spec_grid():
+    return [ServeSpec("a", seed=1), ServeSpec("b", seed=7), ServeSpec("c", seed=13)]
+
+
+def serialized(result: RunResult) -> bytes:
+    """The result's canonical wire form (v2 dict as sorted JSON bytes)."""
+    return json.dumps(result.to_dict(), sort_keys=True).encode()
+
+
+def assert_byte_identical(outcomes, reference, specs) -> None:
+    for spec in specs:
+        result = outcomes[spec]
+        expected = reference[spec]
+        assert result.schema_version == 2
+        assert result.request_records, f"{spec!r} lost its request records"
+        assert result.request_records == expected.request_records
+        assert serialized(result) == serialized(expected)
+
+
+def test_request_records_survive_journal_resume(tmp_path, small_config):
+    specs = spec_grid()
+    reference = FleetRunner(jobs=1).run(small_config, specs)
+
+    journal = FleetJournal(tmp_path, small_config)
+    first = FleetRunner(jobs=2, journal=journal)
+    assert_byte_identical(first.run(small_config, specs), reference, specs)
+    journal.close()
+
+    resumed_journal = FleetJournal(tmp_path, small_config, resume=True)
+    second = FleetRunner(jobs=2, journal=resumed_journal)
+    outcomes = second.run(small_config, specs)
+    resumed_journal.close()
+    # Everything came back from the journal's pickles, nothing re-ran -- and
+    # the unpickled records are byte-for-byte the live run's.
+    assert second.stats.executed == 0
+    assert second.stats.journal_hits == len(specs)
+    assert_byte_identical(outcomes, reference, specs)
+
+
+def test_request_records_survive_interrupted_resume(tmp_path, small_config):
+    """Journal torn mid-write at ~50%: the resumed sweep re-runs only the
+    missing specs and still merges to a byte-identical result set."""
+    specs = spec_grid()
+    reference = FleetRunner(jobs=1).run(small_config, specs)
+
+    half = specs[: len(specs) // 2]
+    journal = FleetJournal(tmp_path, small_config)
+    FleetRunner(jobs=1, journal=journal).run(small_config, half)
+    with journal.path.open("a") as handle:
+        handle.write('{"event": "done", "key": "dead", "val')  # SIGKILL tear
+    journal.close()
+
+    resumed_journal = FleetJournal(tmp_path, small_config, resume=True)
+    runner = FleetRunner(jobs=2, journal=resumed_journal)
+    outcomes = runner.run(small_config, specs)
+    resumed_journal.close()
+    assert runner.stats.journal_hits == len(half)
+    assert runner.stats.executed == len(specs) - len(half)
+    assert_byte_identical(outcomes, reference, specs)
+
+
+def test_request_records_survive_shard_merge(small_config):
+    specs = spec_grid()
+    reference = FleetRunner(jobs=1).run(small_config, specs)
+
+    merged = {}
+    for index in (1, 2):
+        mine = shard_items(specs, Shard(index, 2), key=repr)
+        outcomes = FleetRunner(jobs=1).run(small_config, mine)
+        assert not set(outcomes) & set(merged), "shards must be disjoint"
+        merged.update(outcomes)
+    assert set(merged) == set(specs), "shard union must cover the sweep"
+    assert_byte_identical(merged, reference, specs)
+
+
+def test_journal_pickle_layer_preserves_records(tmp_path, small_config):
+    """Unit-level: one v2 result written and re-read through the journal is
+    equal under pickle round-trip semantics, records and all."""
+    spec = ServeSpec("solo", seed=3)
+    result = spec.run(small_config)
+    journal = FleetJournal(tmp_path, small_config)
+    journal.record_done(small_config, spec, result, attempt=1)
+    journal.close()
+    resumed = FleetJournal(tmp_path, small_config, resume=True)
+    loaded = resumed.get(small_config, spec)
+    resumed.close()
+    assert isinstance(loaded, RunResult)
+    assert loaded == result  # dataclass equality (raw excluded by design)
+    assert loaded.request_records == result.request_records
+    assert serialized(loaded) == serialized(result)
+    # The schema-stable wire form is byte-stable under a second pickle
+    # round-trip (``raw`` is deliberately NOT byte-compared: pickle memo
+    # ordering inside the engine-specific outcome is not part of the
+    # contract).
+    again = pickle.loads(pickle.dumps(loaded, protocol=pickle.HIGHEST_PROTOCOL))
+    assert serialized(again) == serialized(result)
+    assert again.request_records == result.request_records
