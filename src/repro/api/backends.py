@@ -140,9 +140,9 @@ class DceBackend:
         return isinstance(work, TransferDescriptor)
 
     def _engine(self, system: "PimSystem"):
-        from repro.core.dce import DataCopyEngine
+        from repro.core.dce import create_dce
 
-        return DataCopyEngine(system, policy=self.policy)
+        return create_dce(system, policy=self.policy)
 
     def execute(
         self,

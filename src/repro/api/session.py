@@ -82,6 +82,7 @@ class Session:
         jobs: int = 1,
         memctrl_policy: Optional[str] = None,
         memctrl_kernel: Optional[str] = None,
+        transfer_pump: Optional[str] = None,
         task_timeout_s: Optional[float] = None,
         retries: Optional[int] = None,
         journal=None,
@@ -103,6 +104,15 @@ class Session:
             kernel_class(memctrl_kernel)  # fail fast on unknown specs
             config = _replace(
                 config, memctrl=_replace(config.memctrl, kernel=memctrl_kernel)
+            )
+        if transfer_pump is not None:
+            from dataclasses import replace as _replace
+
+            from repro.memctrl.pump import validate_pump
+
+            validate_pump(transfer_pump)  # fail fast on unknown specs
+            config = _replace(
+                config, memctrl=_replace(config.memctrl, transfer_pump=transfer_pump)
             )
         self.config = config
         self.design_point = design_point
@@ -132,6 +142,7 @@ class Session:
         jobs: int = 1,
         memctrl_policy: Optional[str] = None,
         memctrl_kernel: Optional[str] = None,
+        transfer_pump: Optional[str] = None,
         task_timeout_s: Optional[float] = None,
         retries: Optional[int] = None,
         journal=None,
@@ -143,7 +154,10 @@ class Session:
         memory-scheduler policy spec (``repro policies`` lists them; the
         default is the config's FR-FCFS); ``memctrl_kernel`` selects the DRAM
         service-kernel implementation (``object`` or ``soa`` -- bit-identical
-        results, different speed); ``cache``/``jobs`` configure the
+        results, different speed); ``transfer_pump`` selects the transfer
+        pump (``object`` or ``burst`` -- likewise bit-identical, the burst
+        pump issues whole in-flight windows as request bursts);
+        ``cache``/``jobs`` configure the
         experiment provider behind :meth:`run_workload`.
         ``task_timeout_s``/``retries``/``journal`` configure the provider's
         fault-tolerant fleet execution (see :mod:`repro.fleet`): hung worker
@@ -158,6 +172,7 @@ class Session:
             jobs=jobs,
             memctrl_policy=memctrl_policy,
             memctrl_kernel=memctrl_kernel,
+            transfer_pump=transfer_pump,
             task_timeout_s=task_timeout_s,
             retries=retries,
             journal=journal,
@@ -674,6 +689,7 @@ class SessionBuilder:
         self._jobs = 1
         self._memctrl_policy: Optional[str] = None
         self._memctrl_kernel: Optional[str] = None
+        self._transfer_pump: Optional[str] = None
         self._task_timeout_s: Optional[float] = None
         self._retries: Optional[int] = None
         self._journal = None
@@ -713,6 +729,11 @@ class SessionBuilder:
     def kernel(self, spec: str) -> "SessionBuilder":
         """Select the DRAM service kernel (``object`` or ``soa``)."""
         self._memctrl_kernel = spec
+        return self
+
+    def pump(self, spec: str) -> "SessionBuilder":
+        """Select the transfer pump (``object`` or ``burst``)."""
+        self._transfer_pump = spec
         return self
 
     def cache(self, cache) -> "SessionBuilder":
@@ -757,6 +778,7 @@ class SessionBuilder:
             jobs=self._jobs,
             memctrl_policy=self._memctrl_policy,
             memctrl_kernel=self._memctrl_kernel,
+            transfer_pump=self._transfer_pump,
             task_timeout_s=self._task_timeout_s,
             retries=self._retries,
             journal=self._journal,

@@ -154,10 +154,7 @@ class DataCopyEngine:
         self._on_complete = on_complete
         self.offsets = {core: 0 for core in descriptor.pim_core_ids}
         self._max_in_flight = self.max_in_flight
-        if self.policy is DcePolicy.PIM_MS:
-            self._iterator = self.scheduler.schedule(descriptor)
-        else:
-            self._iterator = self.scheduler.schedule_serial(descriptor)
+        self._prepare_schedule(descriptor)
 
         start_ns = system.now
         self._baselines = {
@@ -176,6 +173,13 @@ class DataCopyEngine:
         setup_ns = self._descriptor_setup_ns(descriptor)
         system.cpu.record_busy_interval(start_ns, start_ns + setup_ns)
         system.engine.schedule_after(setup_ns, self._pump)
+
+    def _prepare_schedule(self, descriptor: TransferDescriptor) -> None:
+        """Set up the per-transfer issue schedule (overridden by the burst pump)."""
+        if self.policy is DcePolicy.PIM_MS:
+            self._iterator = self.scheduler.schedule(descriptor)
+        else:
+            self._iterator = self.scheduler.schedule_serial(descriptor)
 
     def execute(self, descriptor: TransferDescriptor) -> TransferResult:
         """Run one offloaded transfer to completion and return its result."""
@@ -285,36 +289,43 @@ class DataCopyEngine:
             key in retry_channels or key in full_targets
             for key in self._deferred_keys
         ):
-            if self._in_flight >= max_in_flight:
-                # The pass would stall on its very first entry (the seed's
-                # first loop iteration); the deque is untouched in that case,
-                # so skip the snapshot entirely -- this is the steady-state
-                # common case while the read window is saturated.
-                return
-            entries = list(deferred)
-            kept = []
-            for index, entry in enumerate(entries):
+            # In-place rotation pass: process exactly the entries present at
+            # pass start; skipped (blocked) entries rotate to the back, so at
+            # every point the deque reads [unprocessed tail..., skipped...] --
+            # which is precisely the order a window stall must leave behind
+            # (the seed's snapshot-and-rebuild produced the same sequence,
+            # with two list copies per pump that this avoids).
+            deferred_keys = self._deferred_keys
+            for _ in range(len(deferred)):
                 if self._in_flight >= max_in_flight:
-                    deferred.clear()
-                    deferred.extend(entries[index:])
-                    deferred.extend(kept)
                     return
+                entry = deferred[0]
                 key = entry[1]
                 if key in retry_channels or key in full_targets:
-                    kept.append(entry)
+                    deferred.rotate(-1)
                     continue
                 if self._submit_read(entry[0], request=entry[2]):
-                    count = self._deferred_keys[key] - 1
+                    deferred.popleft()
+                    count = deferred_keys[key] - 1
                     if count:
-                        self._deferred_keys[key] = count
+                        deferred_keys[key] = count
                     else:
-                        del self._deferred_keys[key]
+                        del deferred_keys[key]
                 else:
                     full_targets.add(key)
-                    kept.append(entry)
-            deferred.clear()
-            deferred.extend(kept)
+                    deferred.rotate(-1)
         # 3. Pull new accesses from the PIM-MS schedule.
+        self._pull_new(retry_channels, full_targets)
+
+    def _pull_new(self, retry_channels: set, full_targets: set) -> None:
+        """Pull fresh accesses from the schedule while the window has room.
+
+        The burst pump overrides this with a vectorized window submit; this
+        base implementation is the scalar one-request-per-chunk loop.
+        """
+        max_in_flight = self._max_in_flight
+        system = self.system
+        deferred = self._deferred_reads
         iterator = self._iterator
         while self._in_flight < max_in_flight and len(deferred) < max_in_flight:
             assert iterator is not None
@@ -447,9 +458,12 @@ class DataCopyEngine:
         return True
 
     def _on_write_complete(self, access: ScheduledAccess) -> None:
+        self._complete_chunk(access.pim_core_id)
+
+    def _complete_chunk(self, pim_core_id: int) -> None:
         self._writes_outstanding -= 1
         self._completed_chunks += 1
-        self.offsets[access.pim_core_id] = self.offsets.get(access.pim_core_id, 0) + CACHE_LINE_BYTES
+        self.offsets[pim_core_id] = self.offsets.get(pim_core_id, 0) + CACHE_LINE_BYTES
         if self._completed_chunks >= self._total_chunks:
             self._done = True
             self._finish_ns = self.system.now
@@ -466,4 +480,19 @@ class DataCopyEngine:
         # in that pump provably failed, so it is elided.
 
 
-__all__ = ["DataCopyEngine"]
+def create_dce(system: "PimSystem", policy: DcePolicy = DcePolicy.PIM_MS) -> DataCopyEngine:
+    """Build the DCE variant selected by ``config.memctrl.transfer_pump``.
+
+    ``object`` is the per-chunk engine above; ``burst`` is
+    :class:`repro.core.dce_burst.BurstDataCopyEngine` (imported lazily), which
+    issues whole in-flight windows through ``submit_burst``.  Both are
+    bit-identical at the event level.
+    """
+    if system.config.memctrl.transfer_pump == "burst":
+        from repro.core.dce_burst import BurstDataCopyEngine
+
+        return BurstDataCopyEngine(system, policy=policy)
+    return DataCopyEngine(system, policy=policy)
+
+
+__all__ = ["DataCopyEngine", "create_dce"]

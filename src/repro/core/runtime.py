@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.dce import DataCopyEngine
+from repro.core.dce import create_dce
 from repro.core.driver import PimMmuDevice
 from repro.host.allocator import HostAllocator
 from repro.pim.transpose import transpose_for_pim, transpose_from_pim
@@ -85,7 +85,7 @@ class PimMmuRuntime:
         )
         if self.allocator is None:
             self.allocator = HostAllocator(self.system.partition)
-        dce = DataCopyEngine(self.system, policy=self.policy)
+        dce = create_dce(self.system, policy=self.policy)
         self.device = PimMmuDevice(dce=dce)
 
     # --------------------------------------------------------------- op build

@@ -79,13 +79,42 @@ class BenchResult:
         }
 
 
-def _with_kernel(config: SystemConfig, kernel: str) -> SystemConfig:
-    """``config`` with the DRAM service kernel selected (no-op for default)."""
-    if kernel == config.memctrl.kernel:
+def _with_kernel(
+    config: SystemConfig, kernel: str, pump: str = "object"
+) -> SystemConfig:
+    """``config`` with the service kernel and transfer pump selected."""
+    if kernel == config.memctrl.kernel and pump == config.memctrl.transfer_pump:
         return config
     from dataclasses import replace
 
-    return replace(config, memctrl=replace(config.memctrl, kernel=kernel))
+    return replace(
+        config, memctrl=replace(config.memctrl, kernel=kernel, transfer_pump=pump)
+    )
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Identify the machine a bench entry was measured on.
+
+    Wall-clock baselines are machine-specific; the fingerprint travels with
+    every trajectory entry so cross-entry comparisons can tell "code got
+    slower" apart from "different machine measured this".
+    """
+    import platform
+
+    cpu = platform.processor() or platform.machine()
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    cpu = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "cpu": cpu,
+        "cores": os.cpu_count(),
+        "python": platform.python_version(),
+    }
 
 
 def _served_requests(stats) -> int:
@@ -98,11 +127,13 @@ def _served_requests(stats) -> int:
     )
 
 
-def _bench_transfer_sweep(quick: bool, kernel: str = "object") -> BenchResult:
+def _bench_transfer_sweep(
+    quick: bool, kernel: str = "object", pump: str = "object"
+) -> BenchResult:
     from repro.system import build_system
     from repro.workloads.microbench import run_transfer_experiment_on
 
-    config = _with_kernel(SystemConfig.paper_baseline(), kernel)
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump)
     if quick:
         cases = [(DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM)]
         total_bytes, cap = 256 * KIB, 256 * KIB
@@ -128,11 +159,13 @@ def _bench_transfer_sweep(quick: bool, kernel: str = "object") -> BenchResult:
     return BenchResult("headline-sweep", wall, events, requests)
 
 
-def _bench_scenario_mix(quick: bool, kernel: str = "object") -> BenchResult:
+def _bench_scenario_mix(
+    quick: bool, kernel: str = "object", pump: str = "object"
+) -> BenchResult:
     from repro.scenarios.tenant import TenantSpec, run_scenario
     from repro.system import build_system
 
-    config = _with_kernel(SystemConfig.paper_baseline(), kernel)
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump)
     size = 128 * KIB if quick else 256 * KIB
     tenants = (
         TenantSpec.memcpy("memcpy", total_bytes=size),
@@ -162,11 +195,13 @@ def _bench_scenario_mix(quick: bool, kernel: str = "object") -> BenchResult:
     return BenchResult("scenario-mix", wall, events, requests)
 
 
-def _bench_replay_bursty(quick: bool, kernel: str = "object") -> BenchResult:
+def _bench_replay_bursty(
+    quick: bool, kernel: str = "object", pump: str = "object"
+) -> BenchResult:
     from repro.scenarios.trace import TraceReplayer, synthesize_trace
     from repro.system import build_system
 
-    config = _with_kernel(SystemConfig.paper_baseline(), kernel)
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump)
     size = 128 * KIB if quick else 512 * KIB
     trace = synthesize_trace("bursty", total_bytes=size, mean_gap_ns=4.0)
     system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
@@ -180,7 +215,9 @@ def _bench_replay_bursty(quick: bool, kernel: str = "object") -> BenchResult:
     )
 
 
-def _bench_deep_queue(quick: bool, kernel: str = "object") -> BenchResult:
+def _bench_deep_queue(
+    quick: bool, kernel: str = "object", pump: str = "object"
+) -> BenchResult:
     from repro.dram.channel import DdrChannel
     from repro.mapping.locality import locality_centric_mapping
     from repro.memctrl.controller import ChannelController
@@ -191,7 +228,8 @@ def _bench_deep_queue(quick: bool, kernel: str = "object") -> BenchResult:
     geometry = SystemConfig.paper_baseline().dram
     depth = 1024 if quick else 4096
     memctrl = MemCtrlConfig(
-        read_queue_depth=depth, write_queue_depth=depth, kernel=kernel
+        read_queue_depth=depth, write_queue_depth=depth, kernel=kernel,
+        transfer_pump=pump,
     )
     engine = SimulationEngine()
     stats = StatsRegistry()
@@ -221,7 +259,7 @@ def _bench_deep_queue(quick: bool, kernel: str = "object") -> BenchResult:
     )
 
 
-#: The fixed matrix: name -> callable(quick, kernel) -> BenchResult.
+#: The fixed matrix: name -> callable(quick, kernel, pump) -> BenchResult.
 BENCH_WORKLOADS: Dict[str, Callable[..., BenchResult]] = {
     "headline-sweep": _bench_transfer_sweep,
     "scenario-mix": _bench_scenario_mix,
@@ -248,6 +286,7 @@ def run_bench(
     names: Optional[List[str]] = None,
     repeats: Optional[int] = None,
     kernel: str = "object",
+    transfer_pump: str = "object",
 ) -> Dict:
     """Run the benchmark matrix and return one trajectory entry (a dict).
 
@@ -260,13 +299,19 @@ def run_bench(
     the runner was when a regression gate is being diagnosed.
 
     ``kernel`` selects the DRAM service-kernel implementation for every
-    workload (``object`` or ``soa``; see :mod:`repro.memctrl.kernel`).  The
-    two kernels are bit-identical at the event level, so event counts match
-    across kernels and only the wall clock moves.
+    workload (``object`` or ``soa``; see :mod:`repro.memctrl.kernel`);
+    ``transfer_pump`` selects the transfer pump (``object`` or ``burst``;
+    see :mod:`repro.memctrl.pump`).  Both axes are bit-identical at the
+    event level, so event counts match across all four combinations and
+    only the wall clock moves.
+
+    The entry carries the :func:`machine_fingerprint` of the measuring host.
     """
     from repro.memctrl.kernel import kernel_class
+    from repro.memctrl.pump import validate_pump
 
     kernel_class(kernel)  # fail fast on unknown specs
+    validate_pump(transfer_pump)
     selected = names if names else list(BENCH_WORKLOADS)
     unknown = [name for name in selected if name not in BENCH_WORKLOADS]
     if unknown:
@@ -276,10 +321,10 @@ def run_bench(
         repeats = 2 if quick else 3
     results = {}
     for name in selected:
-        outcome = BENCH_WORKLOADS[name](quick, kernel)
+        outcome = BENCH_WORKLOADS[name](quick, kernel, transfer_pump)
         walls = [outcome.wall_s]
         for _ in range(repeats - 1):
-            candidate = BENCH_WORKLOADS[name](quick, kernel)
+            candidate = BENCH_WORKLOADS[name](quick, kernel, transfer_pump)
             walls.append(candidate.wall_s)
             if candidate.wall_s < outcome.wall_s:
                 outcome = candidate
@@ -294,9 +339,78 @@ def run_bench(
         "quick": quick,
         "repeats": repeats,
         "kernel": kernel,
+        "transfer_pump": transfer_pump,
+        "machine": machine_fingerprint(),
         "workloads": results,
         "aggregate": _aggregate(results),
     }
+
+
+def with_baseline_ratio(entry: Dict, baseline: Dict) -> Dict:
+    """Stamp ``entry`` with its speedup over a same-invocation baseline.
+
+    ``baseline`` is another :func:`run_bench` entry measured in the *same*
+    process (same machine state, interleaved or back-to-back) -- the only
+    protocol under which a committed ratio is meaningful.  The returned copy
+    carries a ``"baseline"`` block: the baseline's kernel/pump coordinates,
+    its aggregate events/sec, and ``ratio`` = entry / baseline.
+    """
+    base_rate = baseline["aggregate"]["events_per_sec"]
+    new_rate = entry["aggregate"]["events_per_sec"]
+    stamped = dict(entry)
+    stamped["baseline"] = {
+        "kernel": baseline.get("kernel", "object"),
+        "transfer_pump": baseline.get("transfer_pump", "object"),
+        "events_per_sec": base_rate,
+        "ratio": round(new_rate / base_rate, 3) if base_rate > 0 else None,
+    }
+    return stamped
+
+
+def profile_bench(
+    quick: bool = False,
+    names: Optional[List[str]] = None,
+    kernel: str = "object",
+    transfer_pump: str = "object",
+    top_n: int = 25,
+) -> str:
+    """Profile each workload once under cProfile; return a text report.
+
+    One section per workload with the ``top_n`` functions by cumulative
+    time.  This is the ``repro bench --profile`` payload: it answers "where
+    does the hot path actually spend its time" next to the wall-clock
+    numbers, and CI uploads it beside the bench artifact.  Profiled runs are
+    much slower than plain ones, so the numbers here are *not* comparable to
+    the trajectory -- only the shape of the profile is meaningful.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.memctrl.kernel import kernel_class
+    from repro.memctrl.pump import validate_pump
+
+    kernel_class(kernel)
+    validate_pump(transfer_pump)
+    selected = names if names else list(BENCH_WORKLOADS)
+    unknown = [name for name in selected if name not in BENCH_WORKLOADS]
+    if unknown:
+        known = ", ".join(BENCH_WORKLOADS)
+        raise KeyError(f"unknown bench workload(s) {unknown}; known: {known}")
+    sections = [
+        f"bench profile: quick={quick} kernel={kernel} "
+        f"transfer_pump={transfer_pump} top={top_n}"
+    ]
+    for name in selected:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        BENCH_WORKLOADS[name](quick, kernel, transfer_pump)
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top_n)
+        sections.append(f"== {name} ==\n{buffer.getvalue().rstrip()}")
+    return "\n\n".join(sections) + "\n"
 
 
 def load_trajectory(path: Path) -> Dict:
@@ -437,7 +551,10 @@ __all__ = [
     "append_entry",
     "check_regression",
     "load_trajectory",
+    "machine_fingerprint",
     "merge_rerun",
+    "profile_bench",
     "regressing_workloads",
     "run_bench",
+    "with_baseline_ratio",
 ]

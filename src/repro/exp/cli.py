@@ -48,7 +48,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.sim.config import DesignPoint, SystemConfig
@@ -296,6 +296,10 @@ def _build_session(args: argparse.Namespace) -> "Session":
         # scenarios the per-spec override applies the same value again,
         # which is a no-op).
         builder.kernel(kernel)
+    pump = getattr(args, "transfer_pump", None)
+    if pump is not None:
+        # Same session-level selection for the transfer pump.
+        builder.pump(pump)
     if not args.no_cache:
         cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
         cache = ResultCache(Path(cache_dir))
@@ -419,6 +423,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical by construction; the committed tables regenerate "
         "byte-for-byte under either)",
     )
+    figures.add_argument(
+        "--transfer-pump",
+        default=None,
+        help="transfer pump the figures run under: object or burst "
+        "(bit-identical by construction; the committed tables regenerate "
+        "byte-for-byte under either)",
+    )
     add_common(figures)
 
     sweep = sub.add_parser(
@@ -473,6 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         default=None,
         help="DRAM service kernel: object or soa (bit-identical; soa is faster)",
+    )
+    sweep.add_argument(
+        "--transfer-pump",
+        default=None,
+        help="transfer pump: object or burst (bit-identical; burst "
+        "vectorizes issue)",
     )
     add_common(sweep)
 
@@ -538,6 +555,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="DRAM service kernel for the ad-hoc --tenants/--trace mix: "
         "object or soa (bit-identical; soa is faster)",
+    )
+    scenarios.add_argument(
+        "--transfer-pump",
+        default=None,
+        help="transfer pump for the ad-hoc --tenants/--trace mix: "
+        "object or burst (bit-identical; burst vectorizes issue)",
     )
     add_common(scenarios)
 
@@ -610,6 +633,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the matrix under BOTH kernels, print both, and fail "
         "(exit 1) unless the soa kernel's aggregate events/sec beats the "
         "object kernel's (implies --no-write)",
+    )
+    bench.add_argument(
+        "--transfer-pump",
+        default="object",
+        help="transfer pump the matrix runs under: object or burst "
+        "(bit-identical events; only the wall clock moves)",
+    )
+    bench.add_argument(
+        "--compare-pumps",
+        action="store_true",
+        help="run the matrix under BOTH transfer pumps, print both, and "
+        "fail (exit 1) unless the burst pump's aggregate events/sec beats "
+        "the object pump's (implies --no-write)",
+    )
+    bench.add_argument(
+        "--baseline-kernel",
+        default=None,
+        help="also measure a baseline configuration with this kernel in the "
+        "same invocation (paired rounds) and record the speedup ratio in "
+        "the trajectory entry (default: the --kernel value)",
+    )
+    bench.add_argument(
+        "--baseline-pump",
+        default=None,
+        help="also measure a baseline configuration with this transfer pump "
+        "in the same invocation (paired rounds) and record the speedup "
+        "ratio in the trajectory entry (default: the --transfer-pump value)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally run each workload once under cProfile and write "
+        "the top-25-by-cumulative tables next to the trajectory file",
     )
     bench.add_argument(
         "--shard",
@@ -721,6 +777,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         from repro.memctrl.kernel import kernel_class
 
         kernel_class(args.kernel)  # fail fast on unknown specs
+    if args.transfer_pump is not None:
+        from repro.memctrl.pump import validate_pump
+
+        validate_pump(args.transfer_pump)  # fail fast on unknown specs
     sweep = Sweep(
         design_points=tuple(args.design_points or DesignPoint),
         directions=_DIRECTION_ALIASES[args.direction],
@@ -730,6 +790,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         scheduling_quantum_ns=args.quantum_ns,
         memctrl_policy=args.policy,
         memctrl_kernel=args.kernel,
+        transfer_pump=args.transfer_pump,
     )
     provider = _build_provider(args)
     started = time.perf_counter()
@@ -846,6 +907,10 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             from repro.memctrl.kernel import kernel_class
 
             kernel_class(args.kernel)  # fail fast on unknown specs
+        if args.transfer_pump is not None:
+            from repro.memctrl.pump import validate_pump
+
+            validate_pump(args.transfer_pump)  # fail fast on unknown specs
         spec = ScenarioSpec(
             name="adhoc",
             design_point=args.design_point,
@@ -853,6 +918,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             include_isolated=not args.no_isolated,
             memctrl_policy=args.policy,
             memctrl_kernel=args.kernel,
+            transfer_pump=args.transfer_pump,
         )
         try:
             provider.prefetch([spec])
@@ -993,49 +1059,96 @@ def cmd_policies(args: argparse.Namespace) -> int:
             title="Registered DRAM service kernels (--kernel)",
         )
     )
+
+    from repro.memctrl.pump import available_pumps
+
+    pump_default = MemCtrlConfig().transfer_pump
+    pump_blurbs = {
+        "object": "per-chunk request submission (PR 2)",
+        "burst": "burst pump: vectorized AGU, whole in-flight windows as "
+        "request bursts (bit-identical to object)",
+    }
+    pump_rows = [
+        {
+            "pump": name,
+            "default": "yes" if name == pump_default else "",
+            "description": pump_blurbs.get(name, ""),
+        }
+        for name in available_pumps()
+    ]
+    print()
+    print(
+        format_table(
+            pump_rows,
+            columns=["pump", "default", "description"],
+            title="Registered transfer pumps (--transfer-pump)",
+        )
+    )
     return 0
 
 
-def _bench_compare_kernels(args, selected, mode, started) -> int:
-    """``repro bench --compare-kernels``: the SoA-beats-object perf gate.
+def _paired_bench(args, selected, variants, rounds):
+    """Measure every variant with paired single-repeat rounds.
 
-    Runs the selected matrix under both service kernels, checks the event
-    counts match exactly (the kernels are bit-identical by construction, so a
-    mismatch is a correctness bug, not noise) and fails unless the SoA
-    kernel's aggregate events/sec beats the object kernel's.
-
-    Measurement is **paired**: the aggregate SoA margin is a few percent,
-    well inside the wall-clock swing a busy runner shows between two
-    multi-second measurement phases, so running all-object-then-all-soa
-    would let machine noise decide the gate.  Instead, single-repeat rounds
-    alternate kernels back to back (same noise window for both), and the
-    fastest measurement per workload across rounds is compared -- the same
-    fastest-wins protocol ``run_bench`` uses for its own repeats.
+    ``variants`` maps a display label to a ``(kernel, pump)`` pair.  The
+    aggregate margins between variants are a few percent, well inside the
+    wall-clock swing a busy runner shows between two multi-second
+    measurement phases, so measuring each variant in its own phase would
+    let machine noise decide any gate built on the result.  Instead,
+    single-repeat rounds alternate the variants back to back (same noise
+    window for all of them), and the fastest measurement per workload
+    across rounds wins -- the same fastest-wins protocol ``run_bench`` uses
+    for its own repeats.
     """
     from repro.exp.bench import merge_rerun, run_bench
 
-    kernels = ("object", "soa")
-    rounds = args.repeats if args.repeats is not None else (2 if args.quick else 3)
-    rounds = max(rounds, 3)
-
     def measure_round():
         return {
-            kernel: run_bench(
-                quick=args.quick, names=selected, repeats=1, kernel=kernel,
+            label: run_bench(
+                quick=args.quick, names=selected, repeats=1,
+                kernel=kernel, transfer_pump=pump,
             )
-            for kernel in kernels
+            for label, (kernel, pump) in variants.items()
         }
 
     def fold(entries, fresh):
-        return {k: merge_rerun(entries[k], fresh[k]) for k in kernels}
+        return {label: merge_rerun(entries[label], fresh[label]) for label in entries}
 
     entries = measure_round()
     for _ in range(rounds - 1):
         entries = fold(entries, measure_round())
-    for kernel in kernels:
+    return entries, measure_round, fold
+
+
+def _bench_compare(args, selected, mode, started, axis) -> int:
+    """``--compare-kernels`` / ``--compare-pumps``: the faster-variant gate.
+
+    Runs the selected matrix under both values of one axis (service kernel
+    or transfer pump), checks the event counts match exactly (both axes are
+    bit-identical by construction, so a mismatch is a correctness bug, not
+    noise) and fails unless the optimized variant's aggregate events/sec
+    beats the baseline variant's.  Measurement is paired; see
+    :func:`_paired_bench`.
+    """
+    if axis == "kernel":
+        base_label, fast_label = "object", "soa"
+        variants = {
+            base_label: ("object", args.transfer_pump),
+            fast_label: ("soa", args.transfer_pump),
+        }
+    else:
+        base_label, fast_label = "object", "burst"
+        variants = {
+            base_label: (args.kernel, "object"),
+            fast_label: (args.kernel, "burst"),
+        }
+    rounds = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    rounds = max(rounds, 3)
+    entries, measure_round, fold = _paired_bench(args, selected, variants, rounds)
+    for label in variants:
         rows = [
             {"workload": name, **metrics}
-            for name, metrics in entries[kernel]["workloads"].items()
+            for name, metrics in entries[label]["workloads"].items()
         ]
         print(
             format_table(
@@ -1046,12 +1159,12 @@ def _bench_compare_kernels(args, selected, mode, started) -> int:
                     "events",
                     "events_per_sec",
                 ],
-                title=f"Hot-path bench ({mode} matrix, kernel={kernel}, "
+                title=f"Hot-path bench ({mode} matrix, {axis}={label}, "
                 f"best of {rounds} paired rounds)",
             )
         )
-    base = entries["object"]
-    fast = entries["soa"]
+    base = entries[base_label]
+    fast = entries[fast_label]
     mismatched = [
         name
         for name, metrics in base["workloads"].items()
@@ -1059,9 +1172,9 @@ def _bench_compare_kernels(args, selected, mode, started) -> int:
     ]
     if mismatched:
         print(
-            "KERNEL MISMATCH: event counts differ between kernels for "
+            f"{axis.upper()} MISMATCH: event counts differ between {axis}s for "
             + ", ".join(mismatched)
-            + " -- the kernels must be bit-identical",
+            + f" -- the {axis}s must be bit-identical",
             file=sys.stderr,
         )
         return 1
@@ -1071,8 +1184,9 @@ def _bench_compare_kernels(args, selected, mode, started) -> int:
         fast_rate = fast["aggregate"]["events_per_sec"]
         speedup = fast_rate / base_rate if base_rate > 0 else 0.0
         print(
-            f"kernel aggregate events/sec{attempt}: object {base_rate:.0f}, "
-            f"soa {fast_rate:.0f} (speedup {speedup:.3f}x); "
+            f"{axis} aggregate events/sec{attempt}: {base_label} "
+            f"{base_rate:.0f}, {fast_label} {fast_rate:.0f} "
+            f"(speedup {speedup:.3f}x); "
             f"measured in {time.perf_counter() - started:.1f}s"
         )
         return speedup
@@ -1081,18 +1195,19 @@ def _bench_compare_kernels(args, selected, mode, started) -> int:
         # Same flake-relief spirit as the --check regression gate: add two
         # more paired rounds and decide on the merged fastest-per-workload
         # numbers before failing.
-        print("kernel gate: adding two paired rounds (noise relief)")
+        print(f"{axis} gate: adding two paired rounds (noise relief)")
         for _ in range(2):
             entries = fold(entries, measure_round())
-        base = entries["object"]
-        fast = entries["soa"]
+        base = entries[base_label]
+        fast = entries[fast_label]
         if report(" (after relief rounds)") <= 1.0:
             print(
-                "KERNEL GATE: the soa kernel did not beat the object kernel",
+                f"{axis.upper()} GATE: the {fast_label} {axis} did not beat "
+                f"the {base_label} {axis}",
                 file=sys.stderr,
             )
             return 1
-    print("kernel gate: soa beats object")
+    print(f"{axis} gate: {fast_label} beats {base_label}")
     return 0
 
 
@@ -1104,8 +1219,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         check_regression,
         load_trajectory,
         merge_rerun,
+        profile_bench,
         regressing_workloads,
         run_bench,
+        with_baseline_ratio,
     )
 
     if args.list:
@@ -1122,10 +1239,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.compare_kernels and args.check:
+    if (args.compare_kernels or args.compare_pumps) and args.check:
         print(
-            "error: --compare-kernels is its own gate; do not combine it "
-            "with --check",
+            "error: --compare-kernels/--compare-pumps are their own gates; "
+            "do not combine them with --check",
+            file=sys.stderr,
+        )
+        return 2
+    if args.compare_kernels and args.compare_pumps:
+        print(
+            "error: compare one axis at a time (--compare-kernels holds the "
+            "pump fixed at --transfer-pump; --compare-pumps holds the kernel "
+            "fixed at --kernel)",
             file=sys.stderr,
         )
         return 2
@@ -1139,13 +1264,67 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 0
     started = time.perf_counter()
     mode = "quick" if args.quick else "full"
-    if args.compare_kernels:
-        return _bench_compare_kernels(args, selected, mode, started)
-    entry = run_bench(
-        quick=args.quick, names=selected, repeats=args.repeats,
-        kernel=args.kernel,
-    )
     path = args.json if args.json is not None else Path(BENCH_FILENAME)
+    if args.profile:
+        report = profile_bench(
+            quick=args.quick, names=selected, kernel=args.kernel,
+            transfer_pump=args.transfer_pump,
+        )
+        profile_name = "BENCH_profile-quick.txt" if args.quick else "BENCH_profile.txt"
+        profile_path = path.parent / profile_name
+        profile_path.write_text(report)
+        print(f"wrote {profile_path}")
+    if args.compare_kernels:
+        return _bench_compare(args, selected, mode, started, "kernel")
+    if args.compare_pumps:
+        return _bench_compare(args, selected, mode, started, "pump")
+    baseline_entry = None
+    if args.baseline_kernel is not None or args.baseline_pump is not None:
+        # Same-invocation baseline: the entry and its baseline configuration
+        # are measured in paired rounds so the recorded ratio reflects code,
+        # not machine drift between two separate bench runs.
+        baseline = (
+            args.baseline_kernel or args.kernel,
+            args.baseline_pump or args.transfer_pump,
+        )
+        variants = {
+            "entry": (args.kernel, args.transfer_pump),
+            "baseline": baseline,
+        }
+        rounds = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+        rounds = max(rounds, 3)
+        entries, _, _ = _paired_bench(args, selected, variants, rounds)
+        entry, baseline_entry = entries["entry"], entries["baseline"]
+        mismatched = [
+            name
+            for name, metrics in entry["workloads"].items()
+            if metrics["events"] != baseline_entry["workloads"][name]["events"]
+        ]
+        if mismatched:
+            print(
+                "BASELINE MISMATCH: event counts differ from the baseline "
+                "configuration for " + ", ".join(mismatched)
+                + " -- kernels and pumps must be bit-identical",
+                file=sys.stderr,
+            )
+            return 1
+        # The paired fold reports best-of-rounds; "reran" is an artifact of
+        # reusing merge_rerun for the fold, not a flake-relief record.
+        entry.pop("reran", None)
+        entry["repeats"] = rounds
+        entry = with_baseline_ratio(entry, baseline_entry)
+        ratio = entry["baseline"]["ratio"]
+        print(
+            f"baseline (kernel={baseline[0]}, pump={baseline[1]}): "
+            f"{baseline_entry['aggregate']['events_per_sec']:.0f} events/sec; "
+            f"entry ratio {ratio:.3f}x" if ratio is not None else
+            "baseline rate was zero; no ratio recorded"
+        )
+    else:
+        entry = run_bench(
+            quick=args.quick, names=selected, repeats=args.repeats,
+            kernel=args.kernel, transfer_pump=args.transfer_pump,
+        )
     if args.check:
         if args.names:
             print(
@@ -1169,7 +1348,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 )
                 rerun = run_bench(
                     quick=args.quick, names=suspects, repeats=1,
-                    kernel=args.kernel,
+                    kernel=args.kernel, transfer_pump=args.transfer_pump,
                 )
                 entry = merge_rerun(entry, rerun)
                 failure = check_regression(document, entry)
@@ -1210,6 +1389,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _orphaned_pycache_dirs(root: Path) -> List[Path]:
+    """``__pycache__`` dirs whose package directory no longer has sources.
+
+    Deleting or renaming a package leaves its ``__pycache__`` behind (git
+    does not track it), and the stale directory keeps the dead package
+    importable on some setups.  A ``__pycache__`` is orphaned when its
+    parent contains no ``.py`` files at all.
+    """
+    orphans = []
+    for pycache in sorted(root.rglob("__pycache__")):
+        if not any(pycache.parent.glob("*.py")):
+            orphans.append(pycache)
+    return orphans
+
+
 def cmd_clean_cache(args: argparse.Namespace) -> int:
     import shutil
 
@@ -1223,6 +1417,17 @@ def cmd_clean_cache(args: argparse.Namespace) -> int:
     if fleet_dir.exists():
         shutil.rmtree(fleet_dir, ignore_errors=True)
         print(f"removed {fleet_dir}")
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    for pycache in _orphaned_pycache_dirs(package_root):
+        shutil.rmtree(pycache, ignore_errors=True)
+        parent = pycache.parent
+        try:
+            parent.rmdir()  # drop the husk of the dead package if now empty
+        except OSError:
+            pass
+        print(f"removed orphaned {pycache}")
     return 0
 
 

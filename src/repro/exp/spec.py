@@ -121,6 +121,9 @@ class TransferSpec(ExperimentSpec):
     #: DRAM service-kernel implementation (``None`` keeps the config's
     #: default; ``object``/``soa`` are bit-identical, ``soa`` is faster).
     memctrl_kernel: Optional[str] = None
+    #: Transfer pump (``None`` keeps the config's default; ``object``/
+    #: ``burst`` are bit-identical, ``burst`` vectorizes issue).
+    transfer_pump: Optional[str] = None
 
     def window(self, config: SystemConfig) -> "TransferSpec":
         """The canonical spec for the steady-state window actually simulated.
@@ -146,6 +149,7 @@ class TransferSpec(ExperimentSpec):
             scheduling_quantum_ns=self.scheduling_quantum_ns,
             memctrl_policy=self.memctrl_policy,
             memctrl_kernel=self.memctrl_kernel,
+            transfer_pump=self.transfer_pump,
         )
 
 
@@ -326,6 +330,7 @@ class Sweep:
     scheduling_quantum_ns: Optional[float] = None
     memctrl_policy: Optional[str] = None
     memctrl_kernel: Optional[str] = None
+    transfer_pump: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "design_points", tuple(self.design_points))
@@ -352,6 +357,7 @@ class Sweep:
                 scheduling_quantum_ns=self.scheduling_quantum_ns,
                 memctrl_policy=self.memctrl_policy,
                 memctrl_kernel=self.memctrl_kernel,
+                transfer_pump=self.transfer_pump,
             )
             for point, direction, size, contention in itertools.product(
                 self.design_points, self.directions, self.sizes, self.contentions

@@ -1,0 +1,36 @@
+"""Transfer-pump registry.
+
+The *pump* is the front half of the hot path: the loop inside the DCE,
+software/memcpy copy threads, and the replay/serving drivers that turns a
+transfer description into memory requests.  ``object`` is the historical
+one-request-per-chunk pump; ``burst`` issues whole in-flight windows as
+:class:`repro.memctrl.burst.RequestBurst` columns through
+``PimSystem.submit_burst``.
+
+Both pumps are bit-identical at the event level -- same finish times, same
+stats, same event ordering.  The differential suite
+(``tests/differential``) replays programs across both pumps x both service
+kernels to enforce it.
+"""
+from __future__ import annotations
+
+__all__ = ["available_pumps", "validate_pump"]
+
+
+def available_pumps() -> tuple:
+    """Names accepted by :data:`MemCtrlConfig.transfer_pump` (``--transfer-pump``)."""
+    return ("object", "burst")
+
+
+def validate_pump(spec: str) -> str:
+    """Validate a pump spec string, returning it unchanged.
+
+    Raises ``ValueError`` with the available names on an unknown spec, the
+    same fail-fast shape as :func:`repro.memctrl.kernel.kernel_class`.
+    """
+    if spec not in available_pumps():
+        raise ValueError(
+            f"unknown transfer pump {spec!r}; available: "
+            + ", ".join(available_pumps())
+        )
+    return spec

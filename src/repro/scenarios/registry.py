@@ -63,6 +63,9 @@ class ScenarioSpec(ExperimentSpec):
     #: DRAM service-kernel implementation (``None`` keeps the config default;
     #: ``object``/``soa`` produce bit-identical results).
     memctrl_kernel: Optional[str] = None
+    #: Transfer pump (``None`` keeps the config default; ``object``/``burst``
+    #: produce bit-identical results).
+    transfer_pump: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
@@ -82,6 +85,13 @@ class ScenarioSpec(ExperimentSpec):
 
             config = replace(
                 config, memctrl=replace(config.memctrl, kernel=self.memctrl_kernel)
+            )
+        if self.transfer_pump is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config,
+                memctrl=replace(config.memctrl, transfer_pump=self.transfer_pump),
             )
         return run_scenario(
             config,

@@ -62,6 +62,7 @@ class ServingSpec(ExperimentSpec):
     iteration_overhead_ns: float = 0.0
     memctrl_policy: Optional[str] = None
     memctrl_kernel: Optional[str] = None
+    transfer_pump: Optional[str] = None
     point_label: str = ""
 
     def __post_init__(self) -> None:
@@ -86,6 +87,13 @@ class ServingSpec(ExperimentSpec):
 
             config = replace(
                 config, memctrl=replace(config.memctrl, kernel=self.memctrl_kernel)
+            )
+        if self.transfer_pump is not None:
+            from dataclasses import replace
+
+            config = replace(
+                config,
+                memctrl=replace(config.memctrl, transfer_pump=self.transfer_pump),
             )
         return run_serving(
             config,

@@ -283,6 +283,13 @@ class MemCtrlConfig:
     #: ``soa`` (struct-of-arrays burst kernel).  Both produce bit-identical
     #: event-level behaviour; the differential suite enforces it.
     kernel: str = "object"
+    #: Transfer-pump implementation used by the DCE / software / memcpy
+    #: engines and the replay/serving drivers: ``object`` issues one
+    #: :class:`MemoryRequest` per chunk, ``burst`` issues whole in-flight
+    #: windows as :class:`RequestBurst` columns via ``submit_burst``.  Both
+    #: are bit-identical at the event level; the differential suite and the
+    #: figure byte-compare enforce it.
+    transfer_pump: str = "object"
 
 
 @dataclass(frozen=True)

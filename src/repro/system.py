@@ -207,6 +207,61 @@ class PimSystem:
         phys, dram_addr = self._heap_fast(affine, pim_core_id, byte_offset)
         return phys, PIM_DOMAIN, dram_addr
 
+    def pim_heap_addrs_batch(self, pim_core_ids, byte_offsets) -> np.ndarray:
+        """Vectorized :meth:`pim_heap_addr` over parallel columns.
+
+        Accepts equal-length sequences of core ids and byte offsets and
+        returns the int64 physical-address column, element-for-element equal
+        to calling :meth:`pim_heap_addr` in a loop.  On affine layouts the
+        whole column is pure integer array math (per-core bases come from the
+        same cache the scalar path fills); otherwise it falls back to the
+        generic per-element walk.
+        """
+        cores = np.ascontiguousarray(pim_core_ids, dtype=np.int64)
+        offsets = np.ascontiguousarray(byte_offsets, dtype=np.int64)
+        n = cores.shape[0]
+        if offsets.shape[0] != n:
+            raise ValueError("pim_core_ids / byte_offsets length mismatch")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        affine = self._heap_affine
+        if affine is None:
+            mapping = self.mapper.mapping_for(PIM_DOMAIN)
+            partition = self.partition
+            return np.fromiter(
+                (
+                    pim_heap_physical_address(partition, mapping, core, offset)
+                    for core, offset in zip(cores.tolist(), offsets.tolist())
+                ),
+                dtype=np.int64,
+                count=n,
+            )
+        row_shift, col_shift, cols_log2, col_mask, bank_capacity, pim_base, mapping = affine
+        low = int(offsets.min())
+        high = int(offsets.max())
+        if low < 0 or high >= bank_capacity:
+            bad = low if low < 0 else high
+            raise ValueError(
+                f"heap offset {bad:#x} outside the per-core MRAM of "
+                f"{bank_capacity:#x} bytes"
+            )
+        cache = self._heap_core_base
+        unique = np.unique(cores)
+        base_column = np.empty(unique.shape[0], dtype=np.int64)
+        for index, core in enumerate(unique.tolist()):
+            cached = cache.get(core)
+            if cached is None:
+                home = pim_core_coordinates(mapping.geometry, core)
+                cached = (mapping.inverse(home) >> 6, home)
+                cache[core] = cached
+            base_column[index] = cached[0]
+        bases = base_column[np.searchsorted(unique, cores)]
+        block_index = offsets >> 6
+        row = block_index >> cols_log2
+        column = block_index & col_mask
+        block = bases | (row << row_shift) | (column << col_shift)
+        return pim_base + (block << 6) + (offsets & 63)
+
     def domain_system(self, domain: str) -> MemorySystem:
         if domain == DRAM_DOMAIN:
             return self.dram
@@ -229,6 +284,26 @@ class PimSystem:
         accepted = self._domain_controllers[request.domain][
             dram_addr.channel
         ].enqueue(request)
+        if accepted and self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(request, self.engine.now)
+        return accepted
+
+    def submit_prepared(
+        self, request: MemoryRequest, bank_key: int, row: int
+    ) -> bool:
+        """:meth:`submit` for a pre-decoded request with ``(bank_key, row)`` known.
+
+        The caller guarantees ``request.domain`` / ``request.dram_addr`` are
+        already set and supplies the flat bank key and row it computed
+        column-wise (the burst transfer pump pre-decodes whole schedule
+        columns up front).  Dispatch, admission and trace hooks match
+        :meth:`submit` exactly; only the per-request key derivation is
+        skipped.
+        """
+        accepted = self._domain_controllers[request.domain][
+            request.dram_addr.channel
+        ].enqueue_prepared(request, bank_key, row)
         if accepted and self._trace_hooks:
             for hook in self._trace_hooks:
                 hook(request, self.engine.now)
@@ -329,6 +404,11 @@ class PimSystem:
         stream = burst.stream
         source_id = burst.source_id
         on_complete = burst.on_complete
+        cores = getattr(burst, "pim_core_ids", None)
+        if cores is None or isinstance(cores, int):
+            core_scalar, core_list = cores, None
+        else:
+            core_scalar, core_list = None, cores.tolist()
         controllers_by_domain = self._domain_controllers
         trace_hooks = self._trace_hooks
         now = self.engine.now
@@ -343,6 +423,7 @@ class PimSystem:
                 size_bytes=sizes[i],
                 stream=stream,
                 source_id=source_id,
+                pim_core_id=core_scalar if core_list is None else core_list[i],
                 tenant=table[codes[i]],
                 on_complete=on_complete,
             )

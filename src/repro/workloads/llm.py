@@ -736,6 +736,7 @@ class ServingDriver:
         self._pending_lines: Deque[Tuple[int, bool, str]] = deque()
         self._parked: Optional[Tuple[Tuple[int, bool, str], MemoryRequest]] = None
         self._retry_registered = False
+        self._use_burst = system.config.memctrl.transfer_pump == "burst"
 
         self.iterations = 0
         self.memory_requests = 0
@@ -927,8 +928,13 @@ class ServingDriver:
 
     def _drain_pending(self) -> None:
         pending = self._pending_lines
+        use_burst = self._use_burst
         while pending:
-            if self._parked is not None or len(pending) < self._BURST_MIN:
+            if (
+                not use_burst
+                or self._parked is not None
+                or len(pending) < self._BURST_MIN
+            ):
                 if not self._try_issue(pending[0]):
                     return
                 pending.popleft()

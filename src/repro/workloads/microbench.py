@@ -141,6 +141,7 @@ def run_transfer_experiment(
     scheduling_quantum_ns: Optional[float] = None,
     memctrl_policy: Optional[str] = None,
     memctrl_kernel: Optional[str] = None,
+    transfer_pump: Optional[str] = None,
 ) -> TransferExperiment:
     """Run (and, beyond ``sim_cap_bytes``, extrapolate) one transfer experiment.
 
@@ -149,7 +150,9 @@ def run_transfer_experiment(
     keep the transfer-to-quantum ratio of the paper's much larger transfers);
     ``memctrl_policy`` overrides the memory-scheduler policy spec (see
     :mod:`repro.memctrl.policies`); ``memctrl_kernel`` selects the DRAM
-    service-kernel implementation (``object``/``soa``, bit-identical).
+    service-kernel implementation (``object``/``soa``, bit-identical);
+    ``transfer_pump`` selects the transfer pump (``object``/``burst``,
+    likewise bit-identical).
     """
     config = config if config is not None else SystemConfig.paper_baseline()
     if scheduling_quantum_ns is not None:
@@ -163,6 +166,10 @@ def run_transfer_experiment(
     if memctrl_kernel is not None:
         config = replace(
             config, memctrl=replace(config.memctrl, kernel=memctrl_kernel)
+        )
+    if transfer_pump is not None:
+        config = replace(
+            config, memctrl=replace(config.memctrl, transfer_pump=transfer_pump)
         )
     system = build_system(config=config, design_point=design_point)
     return run_transfer_experiment_on(

@@ -1,0 +1,268 @@
+"""Property-based differential testing: burst pump == object pump.
+
+The transfer-program sibling of ``test_kernel_diff.py``: Hypothesis
+generates random *transfer programs* -- a DCE policy, shrunken controller
+queue depths (to provoke parked-write retry storms), and a sequence of
+transfer descriptors with mixed directions, in-flight-window boundary
+sizes and core/base layouts that split descriptors across channels -- and
+each program is executed on four identical systems, one per service kernel
+x transfer pump combination.  All four outcomes must be **exactly** equal:
+the full trace-hook stream (with request ids normalized per run -- the
+pumps legitimately consume different amounts of the global sequence
+counter), per-transfer finish times and progress offsets, the full stats
+snapshot and the engine's event count.
+
+A failing program prints as a JSON object; paste it into
+``tests/differential/pump_corpus.jsonl`` to pin it as a permanent
+regression case (the corpus test replays every line).
+
+Budgets/seeds are configured in ``conftest.py`` (profiles ``tier1`` /
+``ci`` / ``weekly`` via ``REPRO_HYPOTHESIS_PROFILE``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Optional, Tuple
+
+import pytest
+from hypothesis import given, note
+from hypothesis import strategies as st
+from hypothesis.errors import InvalidArgument
+
+from repro.core.dce import create_dce
+from repro.sim.config import DcePolicy, DesignPoint, SystemConfig
+from repro.system import build_system
+from repro.transfer.descriptor import TransferDescriptor, TransferDirection
+
+CORPUS_PATH = Path(__file__).with_name("pump_corpus.jsonl")
+
+_CONFIG = SystemConfig.small_test()
+
+#: The two in-flight windows of the small test system: the PIM-MS data
+#: buffer and the conventional-DMA serial window.  Transfer sizes are
+#: biased to land on/around these boundaries, where the burst pump's
+#: window slicing and the object pump's one-at-a-time issue must agree on
+#: exactly which chunk is the first to not fit.
+PIM_MS_WINDOW = _CONFIG.pim_mmu.data_buffer_entries
+SERIAL_WINDOW = _CONFIG.pim_mmu.serial_outstanding
+
+NUM_CORES = _CONFIG.num_pim_cores
+
+TENANTS = (None, "a", "b")
+
+POLICIES = ("pim_ms", "serial")
+
+DESIGN_POINTS = ("base_d", "base_dhp")
+
+_POLICY = {"pim_ms": DcePolicy.PIM_MS, "serial": DcePolicy.SERIAL_PER_CORE}
+_POINT = {"base_d": DesignPoint.BASE_D, "base_dhp": DesignPoint.BASE_DHP}
+
+KERNELS = ("object", "soa")
+PUMPS = ("object", "burst")
+
+
+@dataclass(frozen=True)
+class TransferProgram:
+    """One pump-differential test case (JSON-serializable for the corpus)."""
+
+    policy: str
+    design_point: str
+    read_depth: int
+    write_depth: int
+    high_watermark: int
+    low_watermark: int
+    #: (direction, first_core, core_count, core_stride, chunks_per_core,
+    #:  dram_base_lines, tenant) per transfer, executed back to back.
+    transfers: Tuple[
+        Tuple[str, int, int, int, int, int, Optional[str]], ...
+    ]
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransferProgram":
+        return cls(
+            policy=data["policy"],
+            design_point=data["design_point"],
+            read_depth=data["read_depth"],
+            write_depth=data["write_depth"],
+            high_watermark=data["high_watermark"],
+            low_watermark=data["low_watermark"],
+            transfers=tuple(
+                (str(d), int(f), int(n), int(s), int(c), int(b), t)
+                for d, f, n, s, c, b, t in data["transfers"]
+            ),
+        )
+
+    def descriptors(self):
+        for direction, first, count, stride, chunks, base_lines, tenant in (
+            self.transfers
+        ):
+            cores = [
+                (first + index * stride) % NUM_CORES for index in range(count)
+            ]
+            yield TransferDescriptor.contiguous(
+                direction=(
+                    TransferDirection.DRAM_TO_PIM
+                    if direction == "d2p"
+                    else TransferDirection.PIM_TO_DRAM
+                ),
+                dram_base=base_lines * 64,
+                size_per_core_bytes=chunks * 64,
+                pim_core_ids=cores,
+                tenant=tenant,
+            )
+
+
+@st.composite
+def transfer_programs(draw) -> TransferProgram:
+    policy = draw(st.sampled_from(POLICIES))
+    window = PIM_MS_WINDOW if policy == "pim_ms" else SERIAL_WINDOW
+    write_depth = draw(st.integers(2, 10))
+    high = draw(st.integers(1, write_depth))
+    count = draw(st.integers(1, 3))
+    transfers = []
+    for _ in range(count):
+        # Core sets that split the descriptor across channels: contiguous
+        # runs, strided picks (every other / every fourth core), wrapped
+        # ranges starting mid-array.
+        core_count = draw(st.integers(1, 6))
+        chunks = draw(
+            st.one_of(
+                # Small transfers: parked-write churn dominates.
+                st.integers(1, 12),
+                # Window-boundary sizes: total chunks land on/around the
+                # in-flight window so the last burst slice is 0/1 chunk.
+                st.sampled_from(
+                    sorted(
+                        {
+                            max(1, window // core_count - 1),
+                            max(1, window // core_count),
+                            window // core_count + 1,
+                        }
+                    )
+                ),
+            )
+        )
+        transfers.append(
+            (
+                draw(st.sampled_from(("d2p", "p2d"))),
+                draw(st.integers(0, NUM_CORES - 1)),
+                core_count,
+                draw(st.sampled_from((1, 2, 4))),
+                chunks,
+                draw(st.integers(0, 256)),
+                draw(st.sampled_from(TENANTS)),
+            )
+        )
+    return TransferProgram(
+        policy=policy,
+        design_point=draw(st.sampled_from(DESIGN_POINTS)),
+        # Shallow queues: reads/writes park and retry constantly, which is
+        # where the pumps' ordering obligations actually bite.
+        read_depth=draw(st.integers(2, 10)),
+        write_depth=write_depth,
+        high_watermark=high,
+        low_watermark=draw(st.integers(0, high - 1)),
+        transfers=tuple(transfers),
+    )
+
+
+def run_transfer_program(kernel: str, pump: str, program: TransferProgram) -> dict:
+    """Execute ``program`` under one kernel x pump combo; return the outcome."""
+    config = replace(
+        _CONFIG,
+        memctrl=replace(
+            _CONFIG.memctrl,
+            read_queue_depth=program.read_depth,
+            write_queue_depth=program.write_depth,
+            write_high_watermark=program.high_watermark,
+            write_low_watermark=program.low_watermark,
+            kernel=kernel,
+            transfer_pump=pump,
+        ),
+    )
+    system = build_system(
+        config=config, design_point=_POINT[program.design_point]
+    )
+    stream = []
+
+    def hook(request, time_ns):
+        stream.append(
+            (
+                time_ns,
+                request.phys_addr,
+                request.is_write,
+                request.tenant,
+                request.pim_core_id,
+                request.stream.name,
+                request.request_id,
+            )
+        )
+
+    system.attach_trace_hook(hook)
+    dce = create_dce(system, policy=_POLICY[program.policy])
+    ends = []
+    offsets = []
+    for descriptor in program.descriptors():
+        result = dce.execute(descriptor)
+        ends.append(result.end_ns)
+        offsets.append(dict(dce.offsets))
+    # Request ids are normalized per run: the burst pump provably consumes
+    # fewer engine sequence numbers (coalesced transpose events), so the
+    # absolute ids diverge while the relative order stays identical.
+    base = min(row[6] for row in stream) if stream else 0
+    return {
+        "stream": [row[:6] + (row[6] - base,) for row in stream],
+        "ends": ends,
+        "offsets": offsets,
+        "stats": system.stats.snapshot(),
+        "events_fired": system.engine.events_fired,
+    }
+
+
+def assert_pumps_agree(program: TransferProgram) -> None:
+    try:
+        note(f"program: {program.to_json()}")
+    except InvalidArgument:
+        pass  # corpus replay runs outside a Hypothesis build context
+    baseline = run_transfer_program("object", "object", program)
+    for kernel in KERNELS:
+        for pump in PUMPS:
+            if (kernel, pump) == ("object", "object"):
+                continue
+            candidate = run_transfer_program(kernel, pump, program)
+            assert candidate == baseline, (
+                f"kernel={kernel} pump={pump} diverged from the "
+                "object/object baseline on program (add to "
+                f"pump_corpus.jsonl): {program.to_json()}"
+            )
+
+
+@given(transfer_programs())
+def test_burst_pump_matches_object(program: TransferProgram) -> None:
+    assert_pumps_agree(program)
+
+
+def _corpus():
+    cases = []
+    with open(CORPUS_PATH) as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                cases.append(TransferProgram.from_dict(json.loads(line)))
+    return cases
+
+
+@pytest.mark.parametrize(
+    "program",
+    _corpus(),
+    ids=lambda p: f"{p.policy}-{p.design_point}-{len(p.transfers)}xfer",
+)
+def test_pump_corpus_cases(program: TransferProgram) -> None:
+    """Replay the committed corpus of previously-interesting programs."""
+    assert_pumps_agree(program)

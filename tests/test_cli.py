@@ -327,23 +327,29 @@ def test_sweep_resume_serves_journal(tmp_path, capsys):
 # ---------------------------------------------------------------------------
 
 
-def _stub_kernel_bench(monkeypatch, walls, events=None):
+def _stub_paired_bench(monkeypatch, walls, events=None, axis="kernel"):
     """Replace ``run_bench`` with a scripted fake.
 
-    ``walls`` maps kernel name to the wall-clock each successive call should
+    ``walls`` maps variant label -- the kernel name for ``--compare-kernels``
+    (``axis="kernel"``), the pump name for ``--compare-pumps``
+    (``axis="pump"``) -- to the wall-clock each successive call should
     report (popped front-to-back); ``events`` optionally overrides the event
-    count per kernel.  Returns the list of kernels in call order, so tests
-    can assert the measurement really is paired (object/soa alternating)
-    rather than phase-separated.
+    count per variant.  Returns the list of variants in call order, so tests
+    can assert the measurement really is paired (baseline/optimized
+    alternating) rather than phase-separated.
     """
     import repro.exp.bench as bench_mod
 
     calls = []
 
-    def fake_run_bench(quick=False, names=None, repeats=None, kernel="object"):
-        calls.append(kernel)
-        wall = walls[kernel].pop(0)
-        count = (events or {}).get(kernel, 1000)
+    def fake_run_bench(
+        quick=False, names=None, repeats=None, kernel="object",
+        transfer_pump="object",
+    ):
+        label = kernel if axis == "kernel" else transfer_pump
+        calls.append(label)
+        wall = walls[label].pop(0)
+        count = (events or {}).get(label, 1000)
         metrics = {
             "wall_s": wall,
             "events": count,
@@ -354,6 +360,7 @@ def _stub_kernel_bench(monkeypatch, walls, events=None):
             "quick": quick,
             "repeats": repeats,
             "kernel": kernel,
+            "transfer_pump": transfer_pump,
             "workloads": {"w": metrics},
             "aggregate": {
                 "wall_s": wall,
@@ -367,7 +374,7 @@ def _stub_kernel_bench(monkeypatch, walls, events=None):
 
 
 def test_compare_kernels_paired_rounds_pass(monkeypatch, capsys):
-    calls = _stub_kernel_bench(
+    calls = _stub_paired_bench(
         monkeypatch,
         walls={"object": [1.0, 1.1, 1.2], "soa": [0.9, 1.0, 1.1]},
     )
@@ -382,7 +389,7 @@ def test_compare_kernels_paired_rounds_pass(monkeypatch, capsys):
 def test_compare_kernels_relief_rounds_rescue(monkeypatch, capsys):
     # SoA loses the first three rounds, then wins in the relief rounds:
     # fastest-per-workload across all five rounds decides the gate.
-    calls = _stub_kernel_bench(
+    calls = _stub_paired_bench(
         monkeypatch,
         walls={
             "object": [1.0, 1.0, 1.0, 1.0, 1.0],
@@ -397,7 +404,7 @@ def test_compare_kernels_relief_rounds_rescue(monkeypatch, capsys):
 
 
 def test_compare_kernels_fails_when_soa_stays_slower(monkeypatch, capsys):
-    _stub_kernel_bench(
+    _stub_paired_bench(
         monkeypatch,
         walls={"object": [1.0] * 5, "soa": [1.3] * 5},
     )
@@ -411,7 +418,7 @@ def test_compare_kernels_event_mismatch_is_a_correctness_failure(
 ):
     # A faster SoA run must still fail if the event counts diverge: the
     # kernels are bit-identical by construction, so a mismatch is a bug.
-    _stub_kernel_bench(
+    _stub_paired_bench(
         monkeypatch,
         walls={"object": [1.0] * 3, "soa": [0.5] * 3},
         events={"object": 1000, "soa": 999},
@@ -423,4 +430,51 @@ def test_compare_kernels_event_mismatch_is_a_correctness_failure(
 
 def test_compare_kernels_rejects_check_combination(capsys):
     assert main(["bench", "--compare-kernels", "--check", "--no-write"]) == 2
-    assert "--compare-kernels is its own gate" in capsys.readouterr().err
+    assert "their own gates" in capsys.readouterr().err
+
+
+def test_compare_pumps_paired_rounds_pass(monkeypatch, capsys):
+    calls = _stub_paired_bench(
+        monkeypatch,
+        walls={"object": [1.0, 1.1, 1.2], "burst": [0.9, 1.0, 1.1]},
+        axis="pump",
+    )
+    assert main(["bench", "--quick", "--compare-pumps", "--no-write"]) == 0
+    # Three paired rounds, pumps alternating inside each round.
+    assert calls == ["object", "burst"] * 3
+    out = capsys.readouterr().out
+    assert "pump gate: burst beats object" in out
+    assert "noise relief" not in out
+
+
+def test_compare_pumps_event_mismatch_is_a_correctness_failure(
+    monkeypatch, capsys
+):
+    # The pumps are bit-identical by construction: a faster burst run must
+    # still fail the gate if the event counts diverge.
+    _stub_paired_bench(
+        monkeypatch,
+        walls={"object": [1.0] * 3, "burst": [0.5] * 3},
+        events={"object": 1000, "burst": 999},
+        axis="pump",
+    )
+    assert main(["bench", "--quick", "--compare-pumps", "--no-write"]) == 1
+    captured = capsys.readouterr()
+    assert "PUMP MISMATCH" in captured.err
+
+
+def test_compare_pumps_fails_when_burst_stays_slower(monkeypatch, capsys):
+    _stub_paired_bench(
+        monkeypatch,
+        walls={"object": [1.0] * 5, "burst": [1.3] * 5},
+        axis="pump",
+    )
+    assert main(["bench", "--quick", "--compare-pumps", "--no-write"]) == 1
+    assert "PUMP GATE" in capsys.readouterr().err
+
+
+def test_compare_axes_are_mutually_exclusive(capsys):
+    assert main(
+        ["bench", "--compare-kernels", "--compare-pumps", "--no-write"]
+    ) == 2
+    assert "one axis at a time" in capsys.readouterr().err
