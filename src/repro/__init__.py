@@ -49,7 +49,11 @@ from repro.api import (
     default_backend_name,
     register_backend,
 )
+from repro.fabric import available_fabrics, register_fabric
+from repro.memctrl.kernel import available_kernels
 from repro.memctrl.policies import available_policies, register_policy
+from repro.memctrl.pump import available_pumps
+from repro.registry import VariantRegistry, Variants
 from repro.sim.config import (
     CpuConfig,
     DcePolicy,
@@ -67,7 +71,7 @@ from repro.transfer import TransferDescriptor, TransferDirection, TransferResult
 from repro.scenarios import ScenarioSpec, ServingSpec, TenantSpec
 from repro.workloads import LlmTenantSpec, ModelSpec
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def build_system(
@@ -117,11 +121,17 @@ __all__ = [
     "TransferDescriptor",
     "TransferDirection",
     "TransferResult",
+    "VariantRegistry",
+    "Variants",
     "__version__",
     "available_backends",
+    "available_fabrics",
+    "available_kernels",
     "available_policies",
+    "available_pumps",
     "build_system",
     "default_backend_name",
     "register_backend",
+    "register_fabric",
     "register_policy",
 ]

@@ -32,19 +32,25 @@ from repro.api.backends import (
 )
 from repro.api.results import (
     RUN_RESULT_SCHEMA_VERSION,
+    FabricLink,
+    FabricSummary,
     RequestRecord,
     RunResult,
     TenantBreakdown,
     tenant_breakdown_from_result,
 )
 from repro.api.session import DEFAULT_SIM_CAP_BYTES, Session, SessionBuilder
+from repro.registry import Variants
 
 __all__ = [
     "DEFAULT_SIM_CAP_BYTES",
     "RUN_RESULT_SCHEMA_VERSION",
     "CopySpan",
+    "FabricLink",
+    "FabricSummary",
     "RequestRecord",
     "RunResult",
+    "Variants",
     "Session",
     "SessionBuilder",
     "TenantBreakdown",

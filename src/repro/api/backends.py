@@ -38,6 +38,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.registry import VariantRegistry
 from repro.sim.config import DcePolicy, DesignPoint
 from repro.transfer.descriptor import TransferDescriptor
 from repro.transfer.result import TransferResult
@@ -266,42 +267,61 @@ class MemcpyBackend:
 # Registry
 # ---------------------------------------------------------------------------
 
-_REGISTRY: Dict[str, Callable[[], TransferBackend]] = {}
+#: The transfer-backend axis on the shared variant-registry mechanism.
+#: Backend specs are exact names with no ``:args`` suffix; listings are
+#: sorted (the historical ``available_backends`` contract).
+BACKENDS = VariantRegistry(
+    "backend",
+    error=KeyError,
+    known_label="registered",
+    dup_label="backend",
+    normalize_names=False,
+    parse_specs=False,
+    sort_names=True,
+)
 
 
 def register_backend(
-    name: str, factory: Callable[[], TransferBackend], replace: bool = False
+    name: str,
+    factory: Callable[[], TransferBackend],
+    replace: bool = False,
+    description: str = "",
 ) -> None:
     """Register a backend factory under ``name`` (``replace=True`` to override)."""
-    if not replace and name in _REGISTRY:
-        raise ValueError(f"backend {name!r} is already registered")
-    _REGISTRY[name] = factory
+    BACKENDS.register(name, factory, description, replace=replace)
 
 
 def unregister_backend(name: str) -> None:
     """Remove a registered backend (primarily for tests)."""
-    _REGISTRY.pop(name, None)
+    BACKENDS.unregister(name)
 
 
 def available_backends() -> Tuple[str, ...]:
     """The registered backend names, sorted."""
-    return tuple(sorted(_REGISTRY))
+    return tuple(BACKENDS.names())
 
 
 def create_backend(name: str) -> TransferBackend:
     """Instantiate the backend registered under ``name``."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(available_backends())
-        raise KeyError(f"unknown backend {name!r}; registered: {known}") from None
-    return factory()
+    return BACKENDS.create(name)
 
 
-register_backend(DceBackend.name, DceBackend)
-register_backend(DceSerialBackend.name, DceSerialBackend)
-register_backend(SoftwareBackend.name, SoftwareBackend)
-register_backend(MemcpyBackend.name, MemcpyBackend)
+register_backend(
+    DceBackend.name, DceBackend,
+    description="full PIM-MMU: DCE offload with PIM-MS descriptor scheduling",
+)
+register_backend(
+    DceSerialBackend.name, DceSerialBackend,
+    description="DCE offload with serial descriptor processing (Base+D/+DH)",
+)
+register_backend(
+    SoftwareBackend.name, SoftwareBackend,
+    description="host-software copy loop (baseline design point)",
+)
+register_backend(
+    MemcpyBackend.name, MemcpyBackend,
+    description="host memcpy reference (no PIM interaction)",
+)
 
 
 # The single place the design-point -> default-backend rule lives.  Base+D
@@ -328,6 +348,7 @@ def resolve_backend(
 
 
 __all__ = [
+    "BACKENDS",
     "CopySpan",
     "DceBackend",
     "DceSerialBackend",

@@ -125,6 +125,47 @@ class TenantBreakdown:
         return cls(**payload)
 
 
+@dataclass(frozen=True)
+class FabricLink:
+    """Occupancy of one directed fabric link over a run."""
+
+    link: str
+    flits: int
+    stalls: int
+
+    @property
+    def stall_rate(self) -> float:
+        """Credit stalls per traversal attempt on this link."""
+        attempts = self.flits + self.stalls
+        if attempts == 0:
+            return 0.0
+        return self.stalls / attempts
+
+
+@dataclass(frozen=True)
+class FabricSummary:
+    """Interconnect-fabric section of a run (mesh runs only).
+
+    Derived from the run's stats snapshot (``fabric/...`` counters and the
+    queuing-delay histogram), so it survives serialization and the result
+    cache without a schema change.  ``links`` is sorted by flit count,
+    busiest first -- the hotspot scan the fabric scenarios report on.
+    """
+
+    injected: int
+    delivered: int
+    total_hops: int
+    mean_hops: float
+    wait_mean_ns: float
+    wait_p50_ns: float
+    wait_p99_ns: float
+    links: Tuple[FabricLink, ...] = ()
+
+    @property
+    def busiest_link(self) -> Optional[FabricLink]:
+        return self.links[0] if self.links else None
+
+
 @dataclass
 class RunResult:
     """Typed, versioned summary of one :class:`repro.api.Session` run.
@@ -174,6 +215,42 @@ class RunResult:
     def per_tenant(self) -> Dict[str, TenantBreakdown]:
         """The tenant breakdown keyed by tenant name."""
         return {tenant.name: tenant for tenant in self.tenants}
+
+    @property
+    def fabric(self) -> Optional[FabricSummary]:
+        """The interconnect-fabric section, or ``None`` for direct-path runs.
+
+        Present exactly when the run was built with a real fabric
+        (``fabric="mesh:..."``); ``fabric="none"`` registers no fabric stats,
+        so the section is absent rather than zero-filled.
+        """
+        stats = self.stats
+        injected = stats.get("counter/fabric/injected")
+        if injected is None:
+            return None
+        delivered = int(stats.get("counter/fabric/delivered", 0.0))
+        total_hops = int(stats.get("counter/fabric/hops", 0.0))
+        links = []
+        prefix = "counter/fabric/link/"
+        for key, value in stats.items():
+            if key.startswith(prefix) and key.endswith("/flits"):
+                label = key[len(prefix):-len("/flits")]
+                flits = int(value)
+                if flits == 0:
+                    continue
+                stalls = int(stats.get(f"{prefix}{label}/stalls", 0.0))
+                links.append(FabricLink(link=label, flits=flits, stalls=stalls))
+        links.sort(key=lambda item: (-item.flits, item.link))
+        return FabricSummary(
+            injected=int(injected),
+            delivered=delivered,
+            total_hops=total_hops,
+            mean_hops=(total_hops / delivered) if delivered else 0.0,
+            wait_mean_ns=stats.get("hist/fabric/wait_ns/mean", 0.0),
+            wait_p50_ns=stats.get("hist/fabric/wait_ns/p50", 0.0),
+            wait_p99_ns=stats.get("hist/fabric/wait_ns/p99", 0.0),
+            links=tuple(links),
+        )
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run was than ``other`` (same payload)."""
@@ -259,6 +336,8 @@ def tenant_breakdown_from_result(result) -> TenantBreakdown:
 
 __all__ = [
     "RUN_RESULT_SCHEMA_VERSION",
+    "FabricLink",
+    "FabricSummary",
     "RequestRecord",
     "RunResult",
     "TenantBreakdown",

@@ -40,9 +40,11 @@ Open a session directly, as a context manager, or through the fluent
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Dict, Iterable, Optional
 
+from repro.registry import Variants
 from repro.sim.config import DesignPoint, SystemConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.stats import StatsRegistry
@@ -58,6 +60,35 @@ from repro.api.backends import (
 from repro.api.results import RunResult, tenant_breakdown_from_result
 
 KIB = 1024
+
+
+def _legacy_variants(
+    memctrl_policy: Optional[str],
+    memctrl_kernel: Optional[str],
+    transfer_pump: Optional[str],
+) -> Optional[Variants]:
+    """Warn-and-forward the pre-``Variants`` keyword trio (deprecation shim)."""
+    used = {
+        name: value
+        for name, value in (
+            ("memctrl_policy", memctrl_policy),
+            ("memctrl_kernel", memctrl_kernel),
+            ("transfer_pump", transfer_pump),
+        )
+        if value is not None
+    }
+    if not used:
+        return None
+    warnings.warn(
+        f"the {', '.join(sorted(used))} keyword(s) are deprecated; pass "
+        "variants=Variants(policy=..., kernel=..., pump=..., fabric=...) "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return Variants(
+        policy=memctrl_policy, kernel=memctrl_kernel, pump=transfer_pump
+    )
 
 #: Bytes simulated per transfer before extrapolation.  This is the single
 #: source of truth; :mod:`repro.exp.spec` re-exports it so the declarative
@@ -80,6 +111,7 @@ class Session:
         backend: Optional[str] = None,
         cache=None,
         jobs: int = 1,
+        variants: Optional[Variants] = None,
         memctrl_policy: Optional[str] = None,
         memctrl_kernel: Optional[str] = None,
         transfer_pump: Optional[str] = None,
@@ -87,33 +119,16 @@ class Session:
         retries: Optional[int] = None,
         journal=None,
     ) -> None:
-        if memctrl_policy is not None:
-            from dataclasses import replace as _replace
-
-            from repro.memctrl.policies import create_policy
-
-            create_policy(memctrl_policy)  # fail fast on unknown specs
-            config = _replace(
-                config, memctrl=_replace(config.memctrl, policy=memctrl_policy)
-            )
-        if memctrl_kernel is not None:
-            from dataclasses import replace as _replace
-
-            from repro.memctrl.kernel import kernel_class
-
-            kernel_class(memctrl_kernel)  # fail fast on unknown specs
-            config = _replace(
-                config, memctrl=_replace(config.memctrl, kernel=memctrl_kernel)
-            )
-        if transfer_pump is not None:
-            from dataclasses import replace as _replace
-
-            from repro.memctrl.pump import validate_pump
-
-            validate_pump(transfer_pump)  # fail fast on unknown specs
-            config = _replace(
-                config, memctrl=_replace(config.memctrl, transfer_pump=transfer_pump)
-            )
+        legacy = _legacy_variants(memctrl_policy, memctrl_kernel, transfer_pump)
+        if variants is not None:
+            variants = variants.merged_over(legacy)
+        else:
+            variants = legacy
+        if variants is not None:
+            # apply() validates every spec first, preserving the historical
+            # fail-fast-at-open behaviour (and its exact error types).
+            config = variants.apply(config)
+        self.variants = variants if variants is not None else Variants()
         self.config = config
         self.design_point = design_point
         self._backend_name = backend
@@ -140,6 +155,7 @@ class Session:
         backend: Optional[str] = None,
         cache=None,
         jobs: int = 1,
+        variants: Optional[Variants] = None,
         memctrl_policy: Optional[str] = None,
         memctrl_kernel: Optional[str] = None,
         transfer_pump: Optional[str] = None,
@@ -150,14 +166,16 @@ class Session:
         """Open a session on ``config`` (Table I by default) and a design point.
 
         ``backend`` overrides the design point's default transfer backend for
-        :meth:`transfer`; ``memctrl_policy`` selects a registered
-        memory-scheduler policy spec (``repro policies`` lists them; the
-        default is the config's FR-FCFS); ``memctrl_kernel`` selects the DRAM
-        service-kernel implementation (``object`` or ``soa`` -- bit-identical
-        results, different speed); ``transfer_pump`` selects the transfer
-        pump (``object`` or ``burst`` -- likewise bit-identical, the burst
-        pump issues whole in-flight windows as request bursts);
-        ``cache``/``jobs`` configure the
+        :meth:`transfer`; ``variants`` is a typed
+        :class:`~repro.registry.Variants` bundle selecting one spec per
+        pluggable axis -- scheduler policy, service kernel (``object``/
+        ``soa``), transfer pump (``object``/``burst``) and interconnect
+        fabric (``none``/``mesh:WxH``); ``repro variants`` lists every
+        registered spec.  Kernel, pump and ``fabric="none"`` choices are
+        bit-identical at the event level; policies and real fabrics change
+        scheduling.  The ``memctrl_policy``/``memctrl_kernel``/
+        ``transfer_pump`` keywords are deprecated shims that warn and forward
+        into ``variants``.  ``cache``/``jobs`` configure the
         experiment provider behind :meth:`run_workload`.
         ``task_timeout_s``/``retries``/``journal`` configure the provider's
         fault-tolerant fleet execution (see :mod:`repro.fleet`): hung worker
@@ -170,6 +188,7 @@ class Session:
             backend=backend,
             cache=cache,
             jobs=jobs,
+            variants=variants,
             memctrl_policy=memctrl_policy,
             memctrl_kernel=memctrl_kernel,
             transfer_pump=transfer_pump,
@@ -687,9 +706,7 @@ class SessionBuilder:
         self._backend: Optional[str] = None
         self._cache = None
         self._jobs = 1
-        self._memctrl_policy: Optional[str] = None
-        self._memctrl_kernel: Optional[str] = None
-        self._transfer_pump: Optional[str] = None
+        self._variants = Variants()
         self._task_timeout_s: Optional[float] = None
         self._retries: Optional[int] = None
         self._journal = None
@@ -721,20 +738,26 @@ class SessionBuilder:
         self._backend = name
         return self
 
-    def policy(self, spec: str) -> "SessionBuilder":
-        """Select a registered memory-scheduler policy (``repro policies``)."""
-        self._memctrl_policy = spec
+    def variants(self, variants: Variants) -> "SessionBuilder":
+        """Select variant specs in one typed bundle (merged over prior picks)."""
+        self._variants = variants.merged_over(self._variants)
         return self
+
+    def policy(self, spec: str) -> "SessionBuilder":
+        """Select a registered memory-scheduler policy (``repro variants``)."""
+        return self.variants(Variants(policy=spec))
 
     def kernel(self, spec: str) -> "SessionBuilder":
         """Select the DRAM service kernel (``object`` or ``soa``)."""
-        self._memctrl_kernel = spec
-        return self
+        return self.variants(Variants(kernel=spec))
 
     def pump(self, spec: str) -> "SessionBuilder":
         """Select the transfer pump (``object`` or ``burst``)."""
-        self._transfer_pump = spec
-        return self
+        return self.variants(Variants(pump=spec))
+
+    def fabric(self, spec: str) -> "SessionBuilder":
+        """Select the interconnect fabric (``none`` or ``mesh:WxH``)."""
+        return self.variants(Variants(fabric=spec))
 
     def cache(self, cache) -> "SessionBuilder":
         """Attach a :class:`~repro.exp.cache.ResultCache` (or a root path)."""
@@ -776,9 +799,7 @@ class SessionBuilder:
             backend=self._backend,
             cache=self._cache,
             jobs=self._jobs,
-            memctrl_policy=self._memctrl_policy,
-            memctrl_kernel=self._memctrl_kernel,
-            transfer_pump=self._transfer_pump,
+            variants=self._variants if not self._variants.empty else None,
             task_timeout_s=self._task_timeout_s,
             retries=self._retries,
             journal=self._journal,

@@ -80,15 +80,22 @@ class BenchResult:
 
 
 def _with_kernel(
-    config: SystemConfig, kernel: str, pump: str = "object"
+    config: SystemConfig, kernel: str, pump: str = "object", fabric: str = "none"
 ) -> SystemConfig:
-    """``config`` with the service kernel and transfer pump selected."""
-    if kernel == config.memctrl.kernel and pump == config.memctrl.transfer_pump:
+    """``config`` with the service kernel, transfer pump and fabric selected."""
+    if (
+        kernel == config.memctrl.kernel
+        and pump == config.memctrl.transfer_pump
+        and fabric == config.memctrl.fabric
+    ):
         return config
     from dataclasses import replace
 
     return replace(
-        config, memctrl=replace(config.memctrl, kernel=kernel, transfer_pump=pump)
+        config,
+        memctrl=replace(
+            config.memctrl, kernel=kernel, transfer_pump=pump, fabric=fabric
+        ),
     )
 
 
@@ -128,12 +135,12 @@ def _served_requests(stats) -> int:
 
 
 def _bench_transfer_sweep(
-    quick: bool, kernel: str = "object", pump: str = "object"
+    quick: bool, kernel: str = "object", pump: str = "object", fabric: str = "none"
 ) -> BenchResult:
     from repro.system import build_system
     from repro.workloads.microbench import run_transfer_experiment_on
 
-    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump)
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump, fabric)
     if quick:
         cases = [(DesignPoint.BASE_DHP, TransferDirection.DRAM_TO_PIM)]
         total_bytes, cap = 256 * KIB, 256 * KIB
@@ -160,12 +167,12 @@ def _bench_transfer_sweep(
 
 
 def _bench_scenario_mix(
-    quick: bool, kernel: str = "object", pump: str = "object"
+    quick: bool, kernel: str = "object", pump: str = "object", fabric: str = "none"
 ) -> BenchResult:
     from repro.scenarios.tenant import TenantSpec, run_scenario
     from repro.system import build_system
 
-    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump)
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump, fabric)
     size = 128 * KIB if quick else 256 * KIB
     tenants = (
         TenantSpec.memcpy("memcpy", total_bytes=size),
@@ -196,12 +203,12 @@ def _bench_scenario_mix(
 
 
 def _bench_replay_bursty(
-    quick: bool, kernel: str = "object", pump: str = "object"
+    quick: bool, kernel: str = "object", pump: str = "object", fabric: str = "none"
 ) -> BenchResult:
     from repro.scenarios.trace import TraceReplayer, synthesize_trace
     from repro.system import build_system
 
-    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump)
+    config = _with_kernel(SystemConfig.paper_baseline(), kernel, pump, fabric)
     size = 128 * KIB if quick else 512 * KIB
     trace = synthesize_trace("bursty", total_bytes=size, mean_gap_ns=4.0)
     system = build_system(config=config, design_point=DesignPoint.BASE_DHP)
@@ -216,8 +223,11 @@ def _bench_replay_bursty(
 
 
 def _bench_deep_queue(
-    quick: bool, kernel: str = "object", pump: str = "object"
+    quick: bool, kernel: str = "object", pump: str = "object", fabric: str = "none"
 ) -> BenchResult:
+    # ``fabric`` is accepted for matrix uniformity but has nothing to
+    # interpose on here: this workload drives a bare ChannelController, and
+    # the fabric sits above the controllers (in PimSystem).
     from repro.dram.channel import DdrChannel
     from repro.mapping.locality import locality_centric_mapping
     from repro.memctrl.controller import ChannelController
@@ -259,7 +269,7 @@ def _bench_deep_queue(
     )
 
 
-#: The fixed matrix: name -> callable(quick, kernel, pump) -> BenchResult.
+#: The fixed matrix: name -> callable(quick, kernel, pump, fabric) -> BenchResult.
 BENCH_WORKLOADS: Dict[str, Callable[..., BenchResult]] = {
     "headline-sweep": _bench_transfer_sweep,
     "scenario-mix": _bench_scenario_mix,
@@ -287,6 +297,7 @@ def run_bench(
     repeats: Optional[int] = None,
     kernel: str = "object",
     transfer_pump: str = "object",
+    fabric: str = "none",
 ) -> Dict:
     """Run the benchmark matrix and return one trajectory entry (a dict).
 
@@ -303,15 +314,19 @@ def run_bench(
     ``transfer_pump`` selects the transfer pump (``object`` or ``burst``;
     see :mod:`repro.memctrl.pump`).  Both axes are bit-identical at the
     event level, so event counts match across all four combinations and
-    only the wall clock moves.
+    only the wall clock moves.  ``fabric`` selects the interconnect fabric
+    (:mod:`repro.fabric`); only ``none`` keeps the matrix comparable to the
+    committed trajectory -- a mesh changes the event stream.
 
     The entry carries the :func:`machine_fingerprint` of the measuring host.
     """
+    from repro.fabric import validate_fabric
     from repro.memctrl.kernel import kernel_class
     from repro.memctrl.pump import validate_pump
 
     kernel_class(kernel)  # fail fast on unknown specs
     validate_pump(transfer_pump)
+    validate_fabric(fabric)
     selected = names if names else list(BENCH_WORKLOADS)
     unknown = [name for name in selected if name not in BENCH_WORKLOADS]
     if unknown:
@@ -321,10 +336,10 @@ def run_bench(
         repeats = 2 if quick else 3
     results = {}
     for name in selected:
-        outcome = BENCH_WORKLOADS[name](quick, kernel, transfer_pump)
+        outcome = BENCH_WORKLOADS[name](quick, kernel, transfer_pump, fabric)
         walls = [outcome.wall_s]
         for _ in range(repeats - 1):
-            candidate = BENCH_WORKLOADS[name](quick, kernel, transfer_pump)
+            candidate = BENCH_WORKLOADS[name](quick, kernel, transfer_pump, fabric)
             walls.append(candidate.wall_s)
             if candidate.wall_s < outcome.wall_s:
                 outcome = candidate
@@ -340,6 +355,7 @@ def run_bench(
         "repeats": repeats,
         "kernel": kernel,
         "transfer_pump": transfer_pump,
+        "fabric": fabric,
         "machine": machine_fingerprint(),
         "workloads": results,
         "aggregate": _aggregate(results),
@@ -361,6 +377,7 @@ def with_baseline_ratio(entry: Dict, baseline: Dict) -> Dict:
     stamped["baseline"] = {
         "kernel": baseline.get("kernel", "object"),
         "transfer_pump": baseline.get("transfer_pump", "object"),
+        "fabric": baseline.get("fabric", "none"),
         "events_per_sec": base_rate,
         "ratio": round(new_rate / base_rate, 3) if base_rate > 0 else None,
     }
@@ -372,6 +389,7 @@ def profile_bench(
     names: Optional[List[str]] = None,
     kernel: str = "object",
     transfer_pump: str = "object",
+    fabric: str = "none",
     top_n: int = 25,
 ) -> str:
     """Profile each workload once under cProfile; return a text report.
@@ -387,11 +405,13 @@ def profile_bench(
     import io
     import pstats
 
+    from repro.fabric import validate_fabric
     from repro.memctrl.kernel import kernel_class
     from repro.memctrl.pump import validate_pump
 
     kernel_class(kernel)
     validate_pump(transfer_pump)
+    validate_fabric(fabric)
     selected = names if names else list(BENCH_WORKLOADS)
     unknown = [name for name in selected if name not in BENCH_WORKLOADS]
     if unknown:
@@ -399,12 +419,12 @@ def profile_bench(
         raise KeyError(f"unknown bench workload(s) {unknown}; known: {known}")
     sections = [
         f"bench profile: quick={quick} kernel={kernel} "
-        f"transfer_pump={transfer_pump} top={top_n}"
+        f"transfer_pump={transfer_pump} fabric={fabric} top={top_n}"
     ]
     for name in selected:
         profiler = cProfile.Profile()
         profiler.enable()
-        BENCH_WORKLOADS[name](quick, kernel, transfer_pump)
+        BENCH_WORKLOADS[name](quick, kernel, transfer_pump, fabric)
         profiler.disable()
         buffer = io.StringIO()
         stats = pstats.Stats(profiler, stream=buffer)

@@ -23,17 +23,22 @@ non-zero naming the failed spec.
 ``repro backends``
     List the registered transfer backends and which design point each one is
     the default for.
+``repro variants``
+    List every registered variant axis -- memory-scheduler policies
+    (``--policy`` / ``Variants(policy=...)``), DRAM service kernels
+    (``--kernel``), transfer pumps (``--transfer-pump``), transfer backends
+    and interconnect fabrics (``--fabric`` / :mod:`repro.fabric`).  Every
+    listed spec round-trips through :class:`repro.registry.Variants`.
 ``repro policies``
-    List the registered memory-scheduler policies (select one with
-    ``--policy`` on ``sweep``/``scenarios``, ``Session.open(memctrl_policy=...)``
-    or ``SystemConfig.memctrl.policy``) and the registered DRAM service
-    kernels (``--kernel`` / ``Session.open(memctrl_kernel=...)``; ``object``
-    and ``soa`` are bit-identical, ``soa`` is the fast struct-of-arrays path).
+    Deprecated alias: the policy/kernel/pump subset of ``repro variants``,
+    kept with byte-identical output for scripts that parse it.
 ``repro bench``
     Run the fixed hot-path benchmark matrix (events/sec + wall-clock) and
     append the result to the committed ``BENCH_hotpath.json`` trajectory;
-    ``--quick --check`` is the CI perf-smoke gate and ``--compare-kernels``
-    asserts the SoA kernel beats the object kernel on the same matrix.
+    ``--quick --check`` is the CI perf-smoke gate, ``--compare-kernels``
+    asserts the SoA kernel beats the object kernel on the same matrix, and
+    ``--compare-fabric`` asserts the ``fabric=none`` pass-through stays
+    within 2% of the default configuration.
 ``repro clean-cache``
     Delete the on-disk experiment cache (``results/.cache``) and the fleet
     journals (``results/.fleet``).
@@ -300,6 +305,10 @@ def _build_session(args: argparse.Namespace) -> "Session":
     if pump is not None:
         # Same session-level selection for the transfer pump.
         builder.pump(pump)
+    fabric = getattr(args, "fabric", None)
+    if fabric is not None:
+        # Same session-level selection for the interconnect fabric.
+        builder.fabric(fabric)
     if not args.no_cache:
         cache_dir = args.cache_dir or (args.results_dir / CACHE_DIR_NAME)
         cache = ResultCache(Path(cache_dir))
@@ -430,6 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(bit-identical by construction; the committed tables regenerate "
         "byte-for-byte under either)",
     )
+    figures.add_argument(
+        "--fabric",
+        default=None,
+        help="interconnect fabric the figures run under (see `repro variants`); "
+        "`none` is the default direct path and regenerates the committed "
+        "tables byte-for-byte",
+    )
     add_common(figures)
 
     sweep = sub.add_parser(
@@ -490,6 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="transfer pump: object or burst (bit-identical; burst "
         "vectorizes issue)",
+    )
+    sweep.add_argument(
+        "--fabric",
+        default=None,
+        help="interconnect fabric: none or mesh:WxH[,hop_ns=..,credits=..] "
+        "(see `repro variants`)",
     )
     add_common(sweep)
 
@@ -562,6 +584,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="transfer pump for the ad-hoc --tenants/--trace mix: "
         "object or burst (bit-identical; burst vectorizes issue)",
     )
+    scenarios.add_argument(
+        "--fabric",
+        default=None,
+        help="interconnect fabric for the ad-hoc --tenants/--trace mix: "
+        "none or mesh:WxH (registered scenarios carry their own)",
+    )
     add_common(scenarios)
 
     sub.add_parser(
@@ -570,8 +598,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser(
+        "variants",
+        help="list every registered variant axis: scheduler policies, DRAM "
+        "service kernels, transfer pumps, transfer backends and fabrics",
+    )
+
+    sub.add_parser(
         "policies",
-        help="list the registered memory-scheduler policies",
+        help="list the policy/kernel/pump axes (deprecated alias; "
+        "`repro variants` lists all five axes)",
     )
 
     bench = sub.add_parser(
@@ -646,6 +681,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the matrix under BOTH transfer pumps, print both, and "
         "fail (exit 1) unless the burst pump's aggregate events/sec beats "
         "the object pump's (implies --no-write)",
+    )
+    bench.add_argument(
+        "--fabric",
+        default="none",
+        help="interconnect fabric the matrix runs under (default: none; a "
+        "mesh changes the event stream, so it cannot be combined with "
+        "--check or the compare gates)",
+    )
+    bench.add_argument(
+        "--compare-fabric",
+        action="store_true",
+        help="run the matrix with the fabric layer explicitly selected off "
+        "(fabric=none) against the default configuration in paired rounds "
+        "and fail (exit 1) if the fabric=none session falls below 98%% of "
+        "the default's aggregate events/sec (implies --no-write)",
     )
     bench.add_argument(
         "--baseline-kernel",
@@ -750,6 +800,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.fabric not in (None, "none") and args.results_dir == Path("results"):
+        # Same guard: only the direct path regenerates the committed tables
+        # byte-for-byte; a mesh changes the numbers.
+        print(
+            "error: --fabric other than `none` would overwrite the committed "
+            "direct-path tables in results/; pass an explicit --results-dir",
+            file=sys.stderr,
+        )
+        return 2
     provider = _build_provider(args)
     started = time.perf_counter()
     try:
@@ -781,6 +840,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         from repro.memctrl.pump import validate_pump
 
         validate_pump(args.transfer_pump)  # fail fast on unknown specs
+    if args.fabric is not None:
+        from repro.fabric import validate_fabric
+
+        validate_fabric(args.fabric)  # fail fast on unknown specs
     sweep = Sweep(
         design_points=tuple(args.design_points or DesignPoint),
         directions=_DIRECTION_ALIASES[args.direction],
@@ -791,6 +854,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         memctrl_policy=args.policy,
         memctrl_kernel=args.kernel,
         transfer_pump=args.transfer_pump,
+        fabric=args.fabric,
     )
     provider = _build_provider(args)
     started = time.perf_counter()
@@ -911,6 +975,10 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             from repro.memctrl.pump import validate_pump
 
             validate_pump(args.transfer_pump)  # fail fast on unknown specs
+        if args.fabric is not None:
+            from repro.fabric import validate_fabric
+
+            validate_fabric(args.fabric)  # fail fast on unknown specs
         spec = ScenarioSpec(
             name="adhoc",
             design_point=args.design_point,
@@ -919,6 +987,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
             memctrl_policy=args.policy,
             memctrl_kernel=args.kernel,
             transfer_pump=args.transfer_pump,
+            fabric=args.fabric,
         )
         try:
             provider.prefetch([spec])
@@ -966,6 +1035,14 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.fabric not in (None, "none") and args.results_dir == Path("results"):
+            print(
+                "error: --fabric other than `none` would overwrite the "
+                "committed direct-path tables in results/; pass an explicit "
+                "--results-dir",
+                file=sys.stderr,
+            )
+            return 2
         try:
             paths = generate_scenarios(provider, selected, args.results_dir)
         except FleetError as error:
@@ -982,7 +1059,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_backends(args: argparse.Namespace) -> int:
+def _backend_table() -> str:
     from repro.api.backends import available_backends, create_backend, default_backend_name
 
     rows = []
@@ -1000,17 +1077,20 @@ def cmd_backends(args: argparse.Namespace) -> int:
                 "description": backend.description,
             }
         )
-    print(
-        format_table(
-            rows,
-            columns=["backend", "default for", "description"],
-            title="Registered transfer backends",
-        )
+    return format_table(
+        rows,
+        columns=["backend", "default for", "description"],
+        title="Registered transfer backends",
     )
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    print(_backend_table())
     return 0
 
 
-def cmd_policies(args: argparse.Namespace) -> int:
+def _policy_axis_tables() -> List[str]:
+    """The policy/kernel/pump axis tables (the historical ``policies`` output)."""
     from repro.memctrl.policies import (
         available_policies,
         normalize_policy_name,
@@ -1027,13 +1107,13 @@ def cmd_policies(args: argparse.Namespace) -> int:
         }
         for name in available_policies()
     ]
-    print(
+    tables = [
         format_table(
             rows,
             columns=["policy", "default", "description"],
             title="Registered memory-scheduler policies",
         )
-    )
+    ]
 
     from repro.memctrl.kernel import available_kernels
 
@@ -1051,8 +1131,7 @@ def cmd_policies(args: argparse.Namespace) -> int:
         }
         for name in available_kernels()
     ]
-    print()
-    print(
+    tables.append(
         format_table(
             kernel_rows,
             columns=["kernel", "default", "description"],
@@ -1076,21 +1155,54 @@ def cmd_policies(args: argparse.Namespace) -> int:
         }
         for name in available_pumps()
     ]
-    print()
-    print(
+    tables.append(
         format_table(
             pump_rows,
             columns=["pump", "default", "description"],
             title="Registered transfer pumps (--transfer-pump)",
         )
     )
+    return tables
+
+
+def _fabric_table() -> str:
+    from repro.fabric import available_fabrics, fabric_description
+    from repro.sim.config import MemCtrlConfig
+
+    default = MemCtrlConfig().fabric
+    rows = [
+        {
+            "fabric": name,
+            "default": "yes" if name == default else "",
+            "description": fabric_description(name),
+        }
+        for name in available_fabrics()
+    ]
+    return format_table(
+        rows,
+        columns=["fabric", "default", "description"],
+        title="Registered interconnect fabrics (--fabric)",
+    )
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    # Deprecated alias of `repro variants`, kept with byte-identical output
+    # (scripts parse it); the parser help is the only place that says so.
+    print("\n\n".join(_policy_axis_tables()))
+    return 0
+
+
+def cmd_variants(args: argparse.Namespace) -> int:
+    """All five variant axes: policies, kernels, pumps, backends, fabrics."""
+    tables = _policy_axis_tables() + [_backend_table(), _fabric_table()]
+    print("\n\n".join(tables))
     return 0
 
 
 def _paired_bench(args, selected, variants, rounds):
     """Measure every variant with paired single-repeat rounds.
 
-    ``variants`` maps a display label to a ``(kernel, pump)`` pair.  The
+    ``variants`` maps a display label to a ``(kernel, pump, fabric)`` triple.  The
     aggregate margins between variants are a few percent, well inside the
     wall-clock swing a busy runner shows between two multi-second
     measurement phases, so measuring each variant in its own phase would
@@ -1106,9 +1218,9 @@ def _paired_bench(args, selected, variants, rounds):
         return {
             label: run_bench(
                 quick=args.quick, names=selected, repeats=1,
-                kernel=kernel, transfer_pump=pump,
+                kernel=kernel, transfer_pump=pump, fabric=fabric,
             )
-            for label, (kernel, pump) in variants.items()
+            for label, (kernel, pump, fabric) in variants.items()
         }
 
     def fold(entries, fresh):
@@ -1133,14 +1245,14 @@ def _bench_compare(args, selected, mode, started, axis) -> int:
     if axis == "kernel":
         base_label, fast_label = "object", "soa"
         variants = {
-            base_label: ("object", args.transfer_pump),
-            fast_label: ("soa", args.transfer_pump),
+            base_label: ("object", args.transfer_pump, "none"),
+            fast_label: ("soa", args.transfer_pump, "none"),
         }
     else:
         base_label, fast_label = "object", "burst"
         variants = {
-            base_label: (args.kernel, "object"),
-            fast_label: (args.kernel, "burst"),
+            base_label: (args.kernel, "object", "none"),
+            fast_label: (args.kernel, "burst", "none"),
         }
     rounds = args.repeats if args.repeats is not None else (2 if args.quick else 3)
     rounds = max(rounds, 3)
@@ -1211,6 +1323,82 @@ def _bench_compare(args, selected, mode, started, axis) -> int:
     return 0
 
 
+def _bench_compare_fabric(args, selected, mode, started) -> int:
+    """``--compare-fabric``: the ``fabric=none`` pass-through overhead gate.
+
+    ``fabric="none"`` builds no fabric object -- every hot-path interposition
+    is a single ``is not None`` branch -- so a session that selects ``none``
+    explicitly runs the same code as the default configuration *by
+    construction* (see docs/performance.md).  The gate measures both in
+    paired rounds anyway: event counts must match exactly, and the
+    explicit-none aggregate events/sec must stay within 2% of the default's.
+    That bounds the interposition overhead empirically instead of taking the
+    by-construction argument on faith.
+    """
+    base_label, none_label = "default", "fabric-none"
+    variants = {
+        base_label: (args.kernel, args.transfer_pump, "none"),
+        none_label: (args.kernel, args.transfer_pump, "none"),
+    }
+    rounds = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+    rounds = max(rounds, 3)
+    entries, measure_round, fold = _paired_bench(args, selected, variants, rounds)
+    for label in variants:
+        rows = [
+            {"workload": name, **metrics}
+            for name, metrics in entries[label]["workloads"].items()
+        ]
+        print(
+            format_table(
+                rows,
+                columns=["workload", "wall_s", "events", "events_per_sec"],
+                title=f"Hot-path bench ({mode} matrix, {label}, "
+                f"best of {rounds} paired rounds)",
+            )
+        )
+    base, explicit = entries[base_label], entries[none_label]
+    mismatched = [
+        name
+        for name, metrics in base["workloads"].items()
+        if metrics["events"] != explicit["workloads"][name]["events"]
+    ]
+    if mismatched:
+        print(
+            "FABRIC MISMATCH: event counts differ between the default and "
+            "fabric=none configurations for " + ", ".join(mismatched)
+            + " -- fabric=none must be bit-identical to the direct path",
+            file=sys.stderr,
+        )
+        return 1
+
+    def report(attempt: str) -> float:
+        base_rate = base["aggregate"]["events_per_sec"]
+        none_rate = explicit["aggregate"]["events_per_sec"]
+        ratio = none_rate / base_rate if base_rate > 0 else 0.0
+        print(
+            f"fabric aggregate events/sec{attempt}: {base_label} "
+            f"{base_rate:.0f}, {none_label} {none_rate:.0f} "
+            f"(ratio {ratio:.3f}); "
+            f"measured in {time.perf_counter() - started:.1f}s"
+        )
+        return ratio
+
+    if report("") < 0.98:
+        print("fabric gate: adding two paired rounds (noise relief)")
+        for _ in range(2):
+            entries = fold(entries, measure_round())
+        base, explicit = entries[base_label], entries[none_label]
+        if report(" (after relief rounds)") < 0.98:
+            print(
+                "FABRIC GATE: the fabric=none session fell below 98% of the "
+                "default configuration's aggregate events/sec",
+                file=sys.stderr,
+            )
+            return 1
+    print("fabric gate: fabric=none is within 2% of the default path")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.exp.bench import (
         BENCH_FILENAME,
@@ -1239,18 +1427,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if (args.compare_kernels or args.compare_pumps) and args.check:
+    compares = [args.compare_kernels, args.compare_pumps, args.compare_fabric]
+    if any(compares) and args.check:
         print(
-            "error: --compare-kernels/--compare-pumps are their own gates; "
-            "do not combine them with --check",
+            "error: --compare-kernels/--compare-pumps/--compare-fabric are "
+            "their own gates; do not combine them with --check",
             file=sys.stderr,
         )
         return 2
-    if args.compare_kernels and args.compare_pumps:
+    if sum(compares) > 1:
         print(
             "error: compare one axis at a time (--compare-kernels holds the "
             "pump fixed at --transfer-pump; --compare-pumps holds the kernel "
-            "fixed at --kernel)",
+            "fixed at --kernel; --compare-fabric holds both fixed)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fabric != "none" and (any(compares) or args.check):
+        # A mesh changes the event stream, so neither the committed-trajectory
+        # regression gate nor the bit-identical compare gates apply under it.
+        print(
+            "error: --fabric other than `none` cannot be combined with "
+            "--check or the compare gates",
             file=sys.stderr,
         )
         return 2
@@ -1268,7 +1466,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.profile:
         report = profile_bench(
             quick=args.quick, names=selected, kernel=args.kernel,
-            transfer_pump=args.transfer_pump,
+            transfer_pump=args.transfer_pump, fabric=args.fabric,
         )
         profile_name = "BENCH_profile-quick.txt" if args.quick else "BENCH_profile.txt"
         profile_path = path.parent / profile_name
@@ -1278,6 +1476,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return _bench_compare(args, selected, mode, started, "kernel")
     if args.compare_pumps:
         return _bench_compare(args, selected, mode, started, "pump")
+    if args.compare_fabric:
+        return _bench_compare_fabric(args, selected, mode, started)
     baseline_entry = None
     if args.baseline_kernel is not None or args.baseline_pump is not None:
         # Same-invocation baseline: the entry and its baseline configuration
@@ -1286,9 +1486,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         baseline = (
             args.baseline_kernel or args.kernel,
             args.baseline_pump or args.transfer_pump,
+            args.fabric,
         )
         variants = {
-            "entry": (args.kernel, args.transfer_pump),
+            "entry": (args.kernel, args.transfer_pump, args.fabric),
             "baseline": baseline,
         }
         rounds = args.repeats if args.repeats is not None else (2 if args.quick else 3)
@@ -1324,6 +1525,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         entry = run_bench(
             quick=args.quick, names=selected, repeats=args.repeats,
             kernel=args.kernel, transfer_pump=args.transfer_pump,
+            fabric=args.fabric,
         )
     if args.check:
         if args.names:
@@ -1440,6 +1642,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scenarios": cmd_scenarios,
         "backends": cmd_backends,
         "policies": cmd_policies,
+        "variants": cmd_variants,
         "bench": cmd_bench,
         "clean-cache": cmd_clean_cache,
     }

@@ -26,6 +26,7 @@ import itertools
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.registry import Variants
 from repro.sim.config import DcePolicy, DesignPoint, SystemConfig
 from repro.system import build_system
 from repro.transfer.descriptor import TransferDescriptor, TransferDirection
@@ -45,6 +46,30 @@ MIB = 1024 * 1024
 #: hybrid methodology applies to PIM kernels).  Re-exported from the facade
 #: so Session.transfer and TransferSpec share one default.
 from repro.api.session import DEFAULT_SIM_CAP_BYTES  # noqa: E402
+
+
+def _expand_variants(spec) -> None:
+    """Expand a spec's ``variants`` bundle into its per-axis fields.
+
+    Frozen specs accept either style -- individual ``memctrl_policy=``/
+    ``memctrl_kernel=``/``transfer_pump=``/``fabric=`` fields or one
+    ``variants=Variants(...)`` -- and normalise to the per-axis fields, with
+    ``variants`` cleared back to ``None``.  A canonical form means two specs
+    describing the same run have the same repr, hash and cache key.  Bundle
+    fields win over individually-passed fields.
+    """
+    bundle = getattr(spec, "variants", None)
+    if bundle is None:
+        return
+    if bundle.policy is not None:
+        object.__setattr__(spec, "memctrl_policy", bundle.policy)
+    if bundle.kernel is not None:
+        object.__setattr__(spec, "memctrl_kernel", bundle.kernel)
+    if bundle.pump is not None:
+        object.__setattr__(spec, "transfer_pump", bundle.pump)
+    if bundle.fabric is not None:
+        object.__setattr__(spec, "fabric", bundle.fabric)
+    object.__setattr__(spec, "variants", None)
 
 
 @dataclass(frozen=True)
@@ -124,6 +149,16 @@ class TransferSpec(ExperimentSpec):
     #: Transfer pump (``None`` keeps the config's default; ``object``/
     #: ``burst`` are bit-identical, ``burst`` vectorizes issue).
     transfer_pump: Optional[str] = None
+    #: Interconnect fabric spec (``None`` keeps the config's default,
+    #: ``none``).  See :mod:`repro.fabric` / ``repro variants``.
+    fabric: Optional[str] = None
+    #: Typed variant bundle (:class:`repro.registry.Variants`); expanded into
+    #: the per-axis fields at construction so the spec's repr (and therefore
+    #: its cache key) has one canonical form regardless of input style.
+    variants: Optional[Variants] = None
+
+    def __post_init__(self) -> None:
+        _expand_variants(self)
 
     def window(self, config: SystemConfig) -> "TransferSpec":
         """The canonical spec for the steady-state window actually simulated.
@@ -150,6 +185,7 @@ class TransferSpec(ExperimentSpec):
             memctrl_policy=self.memctrl_policy,
             memctrl_kernel=self.memctrl_kernel,
             transfer_pump=self.transfer_pump,
+            fabric=self.fabric,
         )
 
 
@@ -331,12 +367,15 @@ class Sweep:
     memctrl_policy: Optional[str] = None
     memctrl_kernel: Optional[str] = None
     transfer_pump: Optional[str] = None
+    fabric: Optional[str] = None
+    variants: Optional[Variants] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "design_points", tuple(self.design_points))
         object.__setattr__(self, "directions", tuple(self.directions))
         object.__setattr__(self, "sizes", tuple(self.sizes))
         object.__setattr__(self, "contentions", tuple(self.contentions))
+        _expand_variants(self)
 
     def __len__(self) -> int:
         return (
@@ -358,6 +397,7 @@ class Sweep:
                 memctrl_policy=self.memctrl_policy,
                 memctrl_kernel=self.memctrl_kernel,
                 transfer_pump=self.transfer_pump,
+                fabric=self.fabric,
             )
             for point, direction, size, contention in itertools.product(
                 self.design_points, self.directions, self.sizes, self.contentions

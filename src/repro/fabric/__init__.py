@@ -1,0 +1,142 @@
+"""``repro.fabric`` -- pluggable interconnect fabrics behind a variant registry.
+
+The fabric axis selects what sits between the traffic engines and the
+per-channel memory controllers (see :mod:`repro.fabric.topology`):
+
+* ``"none"`` (default) -- **no** fabric object at all: requests go straight
+  to their channel controller, exactly the pre-fabric hot path.  The
+  pass-through is bit-identical by construction (nothing is interposed) and
+  the committed ``results/`` byte-compares enforce it.
+* ``"mesh:WxH"`` -- a 2-D mesh of slotted routers with per-hop pipeline
+  latency and credit-based flow control
+  (:class:`~repro.fabric.mesh.MeshTopology`).  Optional typed arguments:
+  ``mesh:4x4,hop_ns=2.0,credits=4,ingress=1``.
+
+Specs live in :data:`MemCtrlConfig.fabric
+<repro.sim.config.MemCtrlConfig.fabric>` and thread through
+:class:`repro.registry.Variants`, the Session facade, experiment specs and
+the CLI (``--fabric``); ``repro variants`` lists the registered fabrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.fabric.mesh import MeshTopology
+from repro.fabric.topology import Topology
+from repro.registry import VariantRegistry, parse_typed_kv
+
+#: The fabric variant registry (``repro variants`` lists it).
+FABRICS = VariantRegistry(
+    "fabric",
+    error=ValueError,
+    known_label="available",
+    dup_label="fabric",
+)
+
+
+@dataclass(frozen=True)
+class MeshBuilder:
+    """Parsed ``mesh:WxH[,key=val...]`` spec, buildable against any system."""
+
+    width: int
+    height: int
+    hop_ns: float = 2.0
+    credits: int = 4
+    ingress: int = 1
+
+    @classmethod
+    def parse(cls, args: Optional[str]) -> "MeshBuilder":
+        if not args:
+            raise ValueError(
+                "fabric 'mesh' needs a grid size, e.g. 'mesh:4x4' "
+                "(optional: ,hop_ns=<float>,credits=<int>,ingress=<int>)"
+            )
+        head, _, rest = args.partition(",")
+        size_w, sep, size_h = head.partition("x")
+        try:
+            if not sep:
+                raise ValueError
+            width, height = int(size_w), int(size_h)
+        except ValueError:
+            raise ValueError(
+                f"cannot parse mesh grid size {head!r}; expected '<W>x<H>', "
+                "e.g. 'mesh:4x4'"
+            ) from None
+        kv = parse_typed_kv(
+            rest if rest else None,
+            {"hop_ns": float, "credits": int, "ingress": int},
+            "mesh",
+        )
+        return cls(width=width, height=height, **kv)
+
+    def build(self, system) -> MeshTopology:
+        return MeshTopology(
+            system,
+            width=self.width,
+            height=self.height,
+            hop_latency_ns=self.hop_ns,
+            link_credits=self.credits,
+            num_ingress=self.ingress,
+        )
+
+
+def _none_builder(args: Optional[str]) -> None:
+    if args:
+        raise ValueError(f"fabric 'none' takes no arguments, got {args!r}")
+    return None
+
+
+FABRICS.register(
+    "none",
+    _none_builder,
+    "direct submit, zero overhead: no fabric object is built (default)",
+)
+FABRICS.register(
+    "mesh",
+    MeshBuilder.parse,
+    "2-D mesh NoC (mesh:WxH[,hop_ns=F,credits=N,ingress=N]): X-Y routing, "
+    "per-hop latency, credit-based flow control",
+)
+
+
+def register_fabric(name: str, builder, description: str = "") -> None:
+    """Register a fabric spec builder (``builder(args) -> Optional[builder]``)."""
+    FABRICS.register(name, builder, description)
+
+
+def available_fabrics() -> Tuple[str, ...]:
+    """Registered fabric names, in registration order (``none`` first)."""
+    return tuple(FABRICS.names())
+
+
+def fabric_description(name: str) -> str:
+    return FABRICS.description(name)
+
+
+def validate_fabric(spec: str) -> str:
+    """Fail fast on an unknown/malformed fabric spec; returns it unchanged."""
+    FABRICS.create(spec)  # parses grid/typed args too, not just the name
+    return spec
+
+
+def create_fabric(spec: str, system) -> Optional[Topology]:
+    """Build the fabric a spec describes against ``system`` (``None`` = direct)."""
+    builder = FABRICS.create(spec)
+    if builder is None:
+        return None
+    return builder.build(system)
+
+
+__all__ = [
+    "FABRICS",
+    "MeshBuilder",
+    "MeshTopology",
+    "Topology",
+    "available_fabrics",
+    "create_fabric",
+    "fabric_description",
+    "register_fabric",
+    "validate_fabric",
+]

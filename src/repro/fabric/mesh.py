@@ -1,0 +1,319 @@
+"""2-D mesh interconnect: slotted routers, X-Y routing, credit flow control.
+
+The mesh places every traffic endpoint on a ``width x height`` grid of
+router nodes, row-major: first the ingress node(s) (hosts and the DCE inject
+here), then one node per DRAM channel controller, then one per PIM channel
+controller.  A request decoded to ``(domain, channel)`` is carried from its
+ingress node to the channel's node in fixed-latency hops under deterministic
+dimension-ordered X-Y routing (all X movement first, then Y), which is
+provably deadlock-free on a mesh -- the only cycles in the channel
+dependency graph would need a Y->X turn that X-Y routing never makes.
+
+Flow control is credit-based, one credit pool per directed link: a flit
+(one request) occupies a downstream buffer slot for the whole time it sits
+on or waits at that link, and the credit returns upstream only when the
+flit moves on (or is delivered into a controller queue).  Backpressure
+therefore propagates hop by hop all the way to the injection port, where
+``inject`` returns ``False`` and the producer parks -- the same
+park-and-retry contract the channel controllers use, so every existing
+engine works against a meshed system unchanged.
+
+Per-link flit/stall counters, hop counters and a queueing-delay histogram
+land in the run's :class:`~repro.sim.stats.StatsRegistry` under
+``fabric/...`` names and travel inside every ``RunResult`` snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.fabric.topology import Topology
+from repro.memctrl.request import MemoryRequest
+
+Coord = Tuple[int, int]
+
+
+class _Flit:
+    """One request crossing the mesh (plus its prepared-path coordinates)."""
+
+    __slots__ = ("request", "bank_key", "row", "dest", "coord", "link", "hops", "inject_ns")
+
+    def __init__(self, request, bank_key, row, dest, coord, link, inject_ns) -> None:
+        self.request = request
+        self.bank_key = bank_key
+        self.row = row
+        self.dest = dest
+        self.coord = coord
+        self.link = link
+        self.hops = 0
+        self.inject_ns = inject_ns
+
+
+class _Link:
+    """One directed router-to-router link with a credit pool."""
+
+    __slots__ = ("src", "dst", "credits", "capacity", "waiting", "listeners", "flits", "stalls")
+
+    def __init__(self, src: Coord, dst: Coord, capacity: int, flits, stalls) -> None:
+        self.src = src
+        self.dst = dst
+        self.credits = capacity
+        self.capacity = capacity
+        #: Flits parked at ``src`` waiting for a credit on this link (FIFO).
+        self.waiting: deque = deque()
+        #: One-shot injection listeners (producers parked at ``src``).
+        self.listeners: List[Callable[[], None]] = []
+        self.flits = flits
+        self.stalls = stalls
+
+
+class MeshTopology(Topology):
+    """Credit-flow-controlled 2-D mesh between engines and channel controllers."""
+
+    name = "mesh"
+
+    def __init__(
+        self,
+        system,
+        width: int,
+        height: int,
+        hop_latency_ns: float = 2.0,
+        link_credits: int = 4,
+        num_ingress: int = 1,
+    ) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"mesh grid must be at least 1x1, got {width}x{height}")
+        if link_credits < 1:
+            raise ValueError(f"mesh link credits must be >= 1, got {link_credits}")
+        if num_ingress < 1:
+            raise ValueError(f"mesh needs at least one ingress node, got {num_ingress}")
+        dram_channels = system.config.dram.channels
+        pim_channels = system.config.pim.channels
+        endpoints = num_ingress + dram_channels + pim_channels
+        if endpoints > width * height:
+            raise ValueError(
+                f"mesh {width}x{height} has {width * height} nodes but the system "
+                f"needs {endpoints} ({num_ingress} ingress + {dram_channels} dram "
+                f"+ {pim_channels} pim channel endpoints); use a larger grid"
+            )
+        self.width = width
+        self.height = height
+        self.hop_latency_ns = hop_latency_ns
+        self.link_credits = link_credits
+        self.engine = system.engine
+        self.stats = system.stats
+        self._deliver = system._fabric_deliver
+        self._park_delivery = system._fabric_park_delivery
+
+        # Row-major endpoint placement: ingress nodes first, then DRAM
+        # channels, then PIM channels.  Deterministic, so routes (and the
+        # per-request hop counts) are a pure function of the config.
+        self._ingress: List[Coord] = [self._coord(i) for i in range(num_ingress)]
+        self._endpoint: Dict[Tuple[str, int], Coord] = {}
+        offset = num_ingress
+        for channel in range(dram_channels):
+            self._endpoint[("dram", channel)] = self._coord(offset + channel)
+        offset += dram_channels
+        for channel in range(pim_channels):
+            self._endpoint[("pim", channel)] = self._coord(offset + channel)
+
+        self._links: Dict[Tuple[Coord, Coord], _Link] = {}
+        stats = self.stats
+        for y in range(height):
+            for x in range(width):
+                for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                    if 0 <= nx < width and 0 <= ny < height:
+                        src, dst = (x, y), (nx, ny)
+                        label = f"fabric/link/{x},{y}->{nx},{ny}"
+                        self._links[(src, dst)] = _Link(
+                            src,
+                            dst,
+                            link_credits,
+                            stats.counter(f"{label}/flits"),
+                            stats.counter(f"{label}/stalls"),
+                        )
+        self._injected = stats.counter("fabric/injected")
+        self._delivered = stats.counter("fabric/delivered")
+        self._hops = stats.counter("fabric/hops")
+        self._wait_hist = stats.histogram("fabric/wait_ns")
+        self._in_flight = 0
+
+    # ------------------------------------------------------------- placement
+    def _coord(self, index: int) -> Coord:
+        return (index % self.width, index // self.width)
+
+    def ingress_coord(self, source_id: int) -> Coord:
+        """The grid node requests from ``source_id`` inject at."""
+        return self._ingress[source_id % len(self._ingress)]
+
+    def endpoint_coord(self, domain: str, channel: int) -> Coord:
+        """The grid node hosting one channel controller's endpoint."""
+        return self._endpoint[(domain, channel)]
+
+    @staticmethod
+    def hop_distance(src: Coord, dest: Coord) -> int:
+        """Manhattan distance -- the exact hop count of the X-Y route."""
+        return abs(src[0] - dest[0]) + abs(src[1] - dest[1])
+
+    @staticmethod
+    def _next_hop(coord: Coord, dest: Coord) -> Coord:
+        x, y = coord
+        if x < dest[0]:
+            return (x + 1, y)
+        if x > dest[0]:
+            return (x - 1, y)
+        if y < dest[1]:
+            return (x, y + 1)
+        return (x, y - 1)
+
+    def planned_hops(self, request: MemoryRequest) -> int:
+        return self.hop_distance(
+            self.ingress_coord(request.source_id),
+            self._endpoint[(request.domain, request.dram_addr.channel)],
+        )
+
+    # ---------------------------------------------------------------- traffic
+    def inject(self, request: MemoryRequest, bank_key=None, row=None) -> bool:
+        """Consume the first-hop credit and start the request across the mesh."""
+        src = self._ingress[request.source_id % len(self._ingress)]
+        dest = self._endpoint[(request.domain, request.dram_addr.channel)]
+        now = self.engine.now
+        if src == dest:
+            # Degenerate placement (1x1 grids in tests): deliver in place.
+            flit = _Flit(request, bank_key, row, dest, src, None, now)
+            self._in_flight += 1
+            self._injected.add(1)
+            self._try_deliver(flit)
+            return True
+        link = self._links[(src, self._next_hop(src, dest))]
+        if link.credits == 0:
+            link.stalls.add(1)
+            return False
+        link.credits -= 1
+        link.flits.add(1)
+        flit = _Flit(request, bank_key, row, dest, src, link, now)
+        self._in_flight += 1
+        self._injected.add(1)
+        self.engine.schedule_callback(
+            now + self.hop_latency_ns, partial(self._arrive, flit)
+        )
+        return True
+
+    def add_slot_listener(
+        self, request: MemoryRequest, callback: Callable[[], None]
+    ) -> None:
+        """Park a producer on the request's first-hop link until a credit frees."""
+        src = self._ingress[request.source_id % len(self._ingress)]
+        dest = self._endpoint[(request.domain, request.dram_addr.channel)]
+        if src == dest:
+            # inject() never fails on the degenerate route; fire on the next
+            # engine step so the producer retries in event order.
+            self.engine.schedule_callback(self.engine.now, callback)
+            return
+        self._links[(src, self._next_hop(src, dest))].listeners.append(callback)
+
+    # ------------------------------------------------------------ flit motion
+    def _arrive(self, flit: _Flit) -> None:
+        flit.coord = flit.link.dst
+        flit.hops += 1
+        self._advance(flit)
+
+    def _advance(self, flit: _Flit) -> None:
+        if flit.coord == flit.dest:
+            self._try_deliver(flit)
+            return
+        next_link = self._links[(flit.coord, self._next_hop(flit.coord, flit.dest))]
+        if next_link.credits > 0:
+            self._forward(flit, next_link)
+        else:
+            # Hold the current buffer slot; the credit-return of next_link
+            # will pick this flit up FIFO.  Head-of-line blocking is the
+            # modelled behaviour of a slotted router.
+            next_link.stalls.add(1)
+            next_link.waiting.append(flit)
+
+    def _forward(self, flit: _Flit, next_link: _Link) -> None:
+        next_link.credits -= 1
+        next_link.flits.add(1)
+        released = flit.link
+        flit.link = next_link
+        self.engine.schedule_callback(
+            self.engine.now + self.hop_latency_ns, partial(self._arrive, flit)
+        )
+        if released is not None:
+            self._release(released)
+
+    def _try_deliver(self, flit: _Flit) -> None:
+        if self._deliver(flit.request, flit.bank_key, flit.row):
+            self._finish(flit)
+        else:
+            # Target controller queue is full: keep holding the last buffer
+            # slot (backpressure into the mesh) and retry when the controller
+            # drains a slot -- the same one-shot listener idiom producers use.
+            self._park_delivery(flit.request, partial(self._try_deliver, flit))
+
+    def _finish(self, flit: _Flit) -> None:
+        request = flit.request
+        now = self.engine.now
+        request.fabric_hops = flit.hops
+        wait_ns = (now - flit.inject_ns) - flit.hops * self.hop_latency_ns
+        # Engine times are tick-quantized floats; an uncontended route can
+        # come out a few ulps below zero.  Queueing delay is never negative.
+        request.fabric_wait_ns = wait_ns if wait_ns > 0.0 else 0.0
+        # Latency histograms (controller and per-tenant) measure from
+        # ``arrival_ns``; re-stamp it to the injection time so observed
+        # latency is end-to-end (fabric traversal + queueing + service),
+        # not admission-to-completion.  The direct path never runs this.
+        request.arrival_ns = flit.inject_ns
+        self._delivered.add(1)
+        self._hops.add(flit.hops)
+        self._wait_hist.add(request.fabric_wait_ns)
+        self._in_flight -= 1
+        if flit.link is not None:
+            self._release(flit.link)
+
+    def _release(self, link: _Link) -> None:
+        """Return one credit; wake the next waiting flit or parked producers."""
+        link.credits += 1
+        if link.waiting:
+            # FIFO across the link preserves per-link ordering (the deque
+            # rotation proof from the burst pump: admission order equals
+            # submission order as long as every wait queue is FIFO).
+            self._forward(link.waiting.popleft(), link)
+            return
+        if link.listeners:
+            listeners, link.listeners = link.listeners, []
+            for callback in listeners:
+                callback()
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def is_idle(self) -> bool:
+        return self._in_flight == 0
+
+    def reset(self) -> None:
+        if self._in_flight:
+            raise RuntimeError("cannot reset a mesh fabric with flits in flight")
+        for link in self._links.values():
+            link.credits = link.capacity
+            link.waiting.clear()
+            link.listeners.clear()
+
+    def check_invariants(self) -> None:
+        """Assert credit conservation (used by the differential suite)."""
+        for link in self._links.values():
+            if not 0 <= link.credits <= link.capacity:
+                raise AssertionError(
+                    f"link {link.src}->{link.dst} credits {link.credits} outside "
+                    f"[0, {link.capacity}]"
+                )
+        if self._in_flight < 0:
+            raise AssertionError(f"negative in-flight count {self._in_flight}")
+
+
+__all__ = ["MeshTopology"]

@@ -48,6 +48,7 @@ class RequestBurst:
         "tenant_codes",
         "tenant_table",
         "arrival_ticks",
+        "fabric_hops",
         "stream",
         "source_id",
         "on_complete",
@@ -109,6 +110,10 @@ class RequestBurst:
         #: Filled by ``submit_burst`` for the accepted prefix (integer
         #: picoseconds -- the engine's ``now_ps`` view, which fits an int64).
         self.arrival_ticks = np.zeros(n, dtype=np.int64)
+        #: Per-row fabric hop counts, stamped at injection when a fabric is
+        #: active (zeros under the default direct path -- X-Y routes are
+        #: deterministic, so the count is known before the flit moves).
+        self.fabric_hops = np.zeros(n, dtype=np.int64)
         self.stream = stream
         self.source_id = source_id
         self.on_complete = on_complete

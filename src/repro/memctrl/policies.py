@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
 from repro.memctrl.queues import IndexedQueue
 from repro.memctrl.request import MemoryRequest
+from repro.registry import VariantRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.dram.channel import DdrChannel
@@ -188,9 +189,14 @@ class QosPriorityPolicy(SchedulerPolicy):
 # Registry
 # ---------------------------------------------------------------------------
 
-#: name -> factory(args_string_or_None) -> SchedulerPolicy
-_REGISTRY: Dict[str, Callable[[Optional[str]], SchedulerPolicy]] = {}
-_DESCRIPTIONS: Dict[str, str] = {}
+#: The scheduler-policy axis on the shared variant-registry mechanism
+#: (``repro variants`` lists it alongside kernels, pumps, backends, fabrics).
+POLICIES = VariantRegistry(
+    "scheduler policy",
+    error=KeyError,
+    known_label="registered",
+    dup_label="policy",
+)
 
 
 def register_policy(
@@ -198,11 +204,8 @@ def register_policy(
     factory: Callable[[Optional[str]], SchedulerPolicy],
     description: str,
 ) -> None:
-    """Register a scheduler policy under ``name`` (listed by ``repro policies``)."""
-    if name in _REGISTRY:
-        raise ValueError(f"policy {name!r} is already registered")
-    _REGISTRY[name] = factory
-    _DESCRIPTIONS[name] = description
+    """Register a scheduler policy under ``name`` (listed by ``repro variants``)."""
+    POLICIES.register(name, factory, description)
 
 
 def normalize_policy_name(name: str) -> str:
@@ -211,32 +214,27 @@ def normalize_policy_name(name: str) -> str:
     ``FR-FCFS`` (the Table I spelling used by ``MemCtrlConfig``) normalises
     to ``frfcfs``.
     """
-    return name.strip().lower().replace("-", "")
+    return POLICIES.normalize(name)
 
 
 def parse_policy_spec(spec: str) -> tuple:
     """Split ``name[:args]`` into ``(canonical_name, args_or_None)``."""
-    name, _, args = spec.partition(":")
-    return normalize_policy_name(name), (args if args else None)
+    return POLICIES.parse(spec)
 
 
 def available_policies() -> List[str]:
     """Registered policy names, in registration order."""
-    return list(_REGISTRY)
+    return POLICIES.names()
 
 
 def policy_description(name: str) -> str:
-    return _DESCRIPTIONS[name]
+    return POLICIES.description(name)
 
 
 def create_policy(spec: str) -> SchedulerPolicy:
     """Instantiate a policy from a ``name[:args]`` spec string."""
-    name, args = parse_policy_spec(spec)
-    if name not in _REGISTRY:
-        known = ", ".join(_REGISTRY)
-        raise KeyError(f"unknown scheduler policy {spec!r}; registered: {known}")
-    policy = _REGISTRY[name](args)
-    policy.name = name
+    policy = POLICIES.create(spec)
+    policy.name, _ = POLICIES.parse(spec)
     return policy
 
 
@@ -293,6 +291,7 @@ register_policy("qos_priority", _qos_priority_factory, QosPriorityPolicy.descrip
 
 
 __all__ = [
+    "POLICIES",
     "FcfsPolicy",
     "FrFcfsCapPolicy",
     "FrFcfsPolicy",

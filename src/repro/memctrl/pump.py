@@ -14,12 +14,34 @@ kernels to enforce it.
 """
 from __future__ import annotations
 
-__all__ = ["available_pumps", "validate_pump"]
+from repro.registry import VariantRegistry
+
+__all__ = ["PUMPS", "available_pumps", "validate_pump"]
+
+#: The transfer-pump axis on the shared variant-registry mechanism.  Pump
+#: specs are exact names with no ``:args`` suffix; the pump is threaded as a
+#: plain string into the engines, so the factories are identity markers.
+PUMPS = VariantRegistry(
+    "transfer pump",
+    error=ValueError,
+    known_label="available",
+    dup_label="pump",
+    normalize_names=False,
+    parse_specs=False,
+)
+PUMPS.register(
+    "object", lambda: "object", "one MemoryRequest per chunk (default)"
+)
+PUMPS.register(
+    "burst",
+    lambda: "burst",
+    "whole in-flight windows as RequestBurst columns (bit-identical)",
+)
 
 
 def available_pumps() -> tuple:
     """Names accepted by :data:`MemCtrlConfig.transfer_pump` (``--transfer-pump``)."""
-    return ("object", "burst")
+    return tuple(PUMPS.names())
 
 
 def validate_pump(spec: str) -> str:
@@ -28,9 +50,4 @@ def validate_pump(spec: str) -> str:
     Raises ``ValueError`` with the available names on an unknown spec, the
     same fail-fast shape as :func:`repro.memctrl.kernel.kernel_class`.
     """
-    if spec not in available_pumps():
-        raise ValueError(
-            f"unknown transfer pump {spec!r}; available: "
-            + ", ".join(available_pumps())
-        )
-    return spec
+    return PUMPS.require(spec)

@@ -60,6 +60,12 @@ class MemoryRequest:
     completion_ns: Optional[float] = None
     row_state: Optional[str] = None
 
+    # Filled by an interconnect fabric at delivery (``None`` under the
+    # default ``fabric="none"`` direct path): hop count of the X-Y route and
+    # time spent waiting for link credits on top of the pure hop latency.
+    fabric_hops: Optional[int] = None
+    fabric_wait_ns: Optional[float] = None
+
     # Queue bookkeeping stamped by the controller front-end (admission order
     # and (bank, row) coordinates), consumed by the indexed queues and the
     # scheduler policies.  Not part of the request's public surface.

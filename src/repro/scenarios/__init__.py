@@ -60,10 +60,12 @@ from repro.scenarios.trace import (
     synthesize_trace,
 )
 
-# Importing the package registers the built-in mixes and the LLM serving
-# sweeps (registration order fixes the --list order: mixes first).
+# Importing the package registers the built-in mixes, the LLM serving
+# sweeps and the fabric sweeps (registration order fixes the --list order:
+# mixes first).
 from repro.scenarios import mixes as _mixes  # noqa: F401
 from repro.scenarios import llm as _llm  # noqa: F401
+from repro.scenarios import fabric as _fabric  # noqa: F401
 
 __all__ = [
     "SCENARIOS",

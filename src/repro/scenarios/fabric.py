@@ -1,0 +1,162 @@
+"""Interconnect-fabric hotspot scenarios (family ``"fabric"``).
+
+These scenarios sweep the fabric axis (:mod:`repro.fabric`) across the same
+multi-tenant workload: each registered scenario is a *sweep* whose factory
+returns one :class:`~repro.scenarios.registry.ScenarioSpec` per fabric point,
+and :func:`render_fabric_table` folds the outcomes into a single comparison
+table -- per-tenant p50/p99 transfer latency and throughput versus the fabric
+(and, on the hotspot sweep, the scheduler policy).  Those tables are the
+committed ``results/scenario_fabric_*.txt`` artifacts.
+
+* **fabric-hotspot** -- the skewed hot-row tenant mix of ``skewed-tenants``
+  under the direct path (``none``), a 4x4 mesh, a deliberately starved
+  3x3 mesh (slow hops, single link credit: injection backpressure throttles
+  the tenants and stretches the makespan) and the 4x4 mesh combined with a
+  QoS scheduler point.  The mesh adds per-hop pipeline latency and credit
+  queuing on top of bank contention, so its p50/p99 sit visibly above the
+  ``none`` point.
+* **fabric-uniform** -- a uniform streaming control for the tenant-skew
+  axis: the same fabric points without the hot-row contention, isolating
+  the fabric's own latency floor from hotspot queuing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.sim.config import DesignPoint
+
+from repro.scenarios.registry import ScenarioSpec, register_scenario
+from repro.scenarios.tenant import ScenarioOutcome, TenantSpec
+
+KIB = 1024
+
+#: Column order of the fabric comparison tables written under ``results/``.
+FABRIC_TABLE_COLUMNS = (
+    "point",
+    "fabric",
+    "policy",
+    "tenant",
+    "makespan_us",
+    "throughput_gbps",
+    "p50_lat_ns",
+    "p99_lat_ns",
+    "slowdown",
+)
+
+
+def _hotspot_tenants() -> Tuple[TenantSpec, ...]:
+    """The skewed hot-row mix of the ``skewed-tenants`` scenario."""
+    return (
+        TenantSpec.synthetic(
+            "skew-a", "skewed", total_bytes=128 * KIB, mean_gap_ns=6.0, seed=1
+        ),
+        TenantSpec.synthetic(
+            "skew-b", "skewed", total_bytes=128 * KIB, mean_gap_ns=6.0, seed=2
+        ),
+        TenantSpec.synthetic(
+            "skew-w", "skewed", total_bytes=128 * KIB, mean_gap_ns=6.0,
+            write_fraction=0.5, seed=3,
+        ),
+    )
+
+
+def _uniform_tenants() -> Tuple[TenantSpec, ...]:
+    return (
+        TenantSpec.synthetic(
+            "uni-a", "uniform", total_bytes=128 * KIB, mean_gap_ns=6.0, seed=1
+        ),
+        TenantSpec.synthetic(
+            "uni-b", "uniform", total_bytes=128 * KIB, mean_gap_ns=6.0, seed=2
+        ),
+    )
+
+
+def _point(
+    name: str,
+    fabric: Optional[str] = None,
+    policy: Optional[str] = None,
+    tenants: Optional[Tuple[TenantSpec, ...]] = None,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        design_point=DesignPoint.BASE_DHP,
+        tenants=tenants if tenants is not None else _hotspot_tenants(),
+        memctrl_policy=policy,
+        fabric=fabric,
+    )
+
+
+def render_fabric_table(scenario, outcomes: Sequence[ScenarioOutcome]) -> str:
+    """Fold a fabric sweep's outcomes into one comparison text table.
+
+    One row per (fabric point, tenant), in sweep order -- the ``none`` point
+    first, so every mesh row reads as a delta against the direct path.
+    """
+    specs = scenario.specs
+    first: ScenarioOutcome = outcomes[0]
+    title = (
+        f"Fabric sweep '{scenario.name}' on {first.design_label} "
+        f"({first.num_pim_cores} PIM cores): {len(outcomes)} fabric point(s), "
+        f"{len(first.tenants)} tenant(s) each"
+    )
+    rows = []
+    for spec, outcome in zip(specs, outcomes):
+        point = spec.name.rsplit("/", 1)[-1]
+        for row in outcome.rows():
+            rows.append(
+                {
+                    "point": point,
+                    "fabric": spec.fabric or "none",
+                    "policy": spec.memctrl_policy or "frfcfs",
+                    "tenant": row["tenant"],
+                    "makespan_us": outcome.makespan_ns / 1e3,
+                    "throughput_gbps": row["throughput_gbps"],
+                    "p50_lat_ns": row["p50_lat_ns"],
+                    "p99_lat_ns": row["p99_lat_ns"],
+                    "slowdown": row["slowdown"],
+                }
+            )
+    return format_table(
+        rows, columns=list(FABRIC_TABLE_COLUMNS), title=title, float_format="{:.2f}"
+    )
+
+
+@register_scenario(
+    "fabric-hotspot",
+    "skewed hot-row tenants: direct path vs 2-D mesh (x credits, x QoS policy)",
+    family="fabric",
+    renderer=render_fabric_table,
+)
+def _fabric_hotspot() -> Tuple[ScenarioSpec, ...]:
+    return (
+        _point("fabric-hotspot/none"),
+        _point("fabric-hotspot/mesh", fabric="mesh:4x4"),
+        _point("fabric-hotspot/mesh-tight", fabric="mesh:3x3,hop_ns=4,credits=1"),
+        _point(
+            "fabric-hotspot/mesh-qos",
+            fabric="mesh:4x4",
+            policy="qos_priority:skew-a=1",
+        ),
+    )
+
+
+@register_scenario(
+    "fabric-uniform",
+    "uniform streaming control: the mesh's latency floor without hotspots",
+    family="fabric",
+    renderer=render_fabric_table,
+)
+def _fabric_uniform() -> Tuple[ScenarioSpec, ...]:
+    tenants = _uniform_tenants()
+    return (
+        _point("fabric-uniform/none", tenants=tenants),
+        _point("fabric-uniform/mesh", fabric="mesh:4x4", tenants=tenants),
+    )
+
+
+__all__ = [
+    "FABRIC_TABLE_COLUMNS",
+    "render_fabric_table",
+]

@@ -37,7 +37,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.report import format_tenant_table
 from repro.exp.runner import ExperimentProvider
-from repro.exp.spec import ExperimentSpec
+from repro.exp.spec import ExperimentSpec, _expand_variants
+from repro.registry import Variants
 from repro.sim.config import DesignPoint, SystemConfig
 
 from repro.scenarios.tenant import ScenarioOutcome, TenantSpec, run_scenario
@@ -66,33 +67,27 @@ class ScenarioSpec(ExperimentSpec):
     #: Transfer pump (``None`` keeps the config default; ``object``/``burst``
     #: produce bit-identical results).
     transfer_pump: Optional[str] = None
+    #: Interconnect fabric spec (``None`` keeps the config default,
+    #: ``none``).  See :mod:`repro.fabric` / ``repro variants``.
+    fabric: Optional[str] = None
+    #: Typed variant bundle; expanded into the per-axis fields at
+    #: construction (see :func:`repro.exp.spec._expand_variants`).
+    variants: Optional[Variants] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
         if not self.tenants:
             raise ValueError("a scenario needs at least one tenant")
+        _expand_variants(self)
 
     def run(self, config: SystemConfig) -> ScenarioOutcome:
         """Execute the scenario (shared run + isolated baselines) on ``config``."""
-        if self.memctrl_policy is not None:
-            from dataclasses import replace
-
-            config = replace(
-                config, memctrl=replace(config.memctrl, policy=self.memctrl_policy)
-            )
-        if self.memctrl_kernel is not None:
-            from dataclasses import replace
-
-            config = replace(
-                config, memctrl=replace(config.memctrl, kernel=self.memctrl_kernel)
-            )
-        if self.transfer_pump is not None:
-            from dataclasses import replace
-
-            config = replace(
-                config,
-                memctrl=replace(config.memctrl, transfer_pump=self.transfer_pump),
-            )
+        config = Variants(
+            policy=self.memctrl_policy,
+            kernel=self.memctrl_kernel,
+            pump=self.transfer_pump,
+            fabric=self.fabric,
+        ).apply(config)
         return run_scenario(
             config,
             self.design_point,

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
-from repro.exp.spec import ExperimentSpec
+from repro.exp.spec import ExperimentSpec, _expand_variants
+from repro.registry import Variants
 from repro.sim.config import DesignPoint, SystemConfig
 from repro.workloads.llm import LlmTenantSpec, ModelSpec, ServingOutcome, run_serving
 
@@ -63,12 +64,15 @@ class ServingSpec(ExperimentSpec):
     memctrl_policy: Optional[str] = None
     memctrl_kernel: Optional[str] = None
     transfer_pump: Optional[str] = None
+    fabric: Optional[str] = None
+    variants: Optional[Variants] = None
     point_label: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
         if not self.tenants:
             raise ValueError("a serving spec needs at least one tenant")
+        _expand_variants(self)
 
     @property
     def label(self) -> str:
@@ -76,25 +80,12 @@ class ServingSpec(ExperimentSpec):
 
     def run(self, config: SystemConfig) -> ServingOutcome:
         """Execute the serving run on ``config`` (with the policy applied)."""
-        if self.memctrl_policy is not None:
-            from dataclasses import replace
-
-            config = replace(
-                config, memctrl=replace(config.memctrl, policy=self.memctrl_policy)
-            )
-        if self.memctrl_kernel is not None:
-            from dataclasses import replace
-
-            config = replace(
-                config, memctrl=replace(config.memctrl, kernel=self.memctrl_kernel)
-            )
-        if self.transfer_pump is not None:
-            from dataclasses import replace
-
-            config = replace(
-                config,
-                memctrl=replace(config.memctrl, transfer_pump=self.transfer_pump),
-            )
+        config = Variants(
+            policy=self.memctrl_policy,
+            kernel=self.memctrl_kernel,
+            pump=self.transfer_pump,
+            fabric=self.fabric,
+        ).apply(config)
         return run_serving(
             config,
             self.design_point,

@@ -290,6 +290,12 @@ class MemCtrlConfig:
     #: are bit-identical at the event level; the differential suite and the
     #: figure byte-compare enforce it.
     transfer_pump: str = "object"
+    #: Interconnect fabric between engines and the channel controllers
+    #: (:mod:`repro.fabric`).  ``none`` keeps the direct-submit path (no
+    #: fabric object is built -- bit-identical to the pre-fabric hot path);
+    #: ``mesh:WxH`` interposes a 2-D mesh with per-hop latency and
+    #: credit-based flow control.
+    fabric: str = "none"
 
 
 @dataclass(frozen=True)

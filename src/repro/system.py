@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.hetmap import HeterogeneousMapper
+from repro.fabric import create_fabric
 from repro.host.cpu import HostCpu
 from repro.host.llc import LastLevelCache
 from repro.host.os_scheduler import RoundRobinScheduler
@@ -102,6 +103,11 @@ class PimSystem:
         # the provably-affine layout description (None -> generic path).
         self._heap_core_base: dict = {}
         self._heap_affine = self._probe_heap_affine()
+        # Interconnect fabric between engines and the controllers.  ``none``
+        # builds no object at all: every submit path keeps its original
+        # direct-dispatch code behind a single ``is not None`` check, which
+        # is how the pass-through stays bit-identical by construction.
+        self.fabric = self._fabric = create_fabric(config.memctrl.fabric, self)
 
     def _probe_heap_affine(self):
         """Precompute the PIM-heap address layout when it is provably affine.
@@ -281,6 +287,8 @@ class PimSystem:
             domain, dram_addr = self.mapper.decode(request.phys_addr)
             request.domain = domain
             request.dram_addr = dram_addr
+        if self._fabric is not None:
+            return self._fabric.inject(request)
         accepted = self._domain_controllers[request.domain][
             dram_addr.channel
         ].enqueue(request)
@@ -301,6 +309,8 @@ class PimSystem:
         :meth:`submit` exactly; only the per-request key derivation is
         skipped.
         """
+        if self._fabric is not None:
+            return self._fabric.inject(request, bank_key, row)
         accepted = self._domain_controllers[request.domain][
             request.dram_addr.channel
         ].enqueue_prepared(request, bank_key, row)
@@ -411,6 +421,7 @@ class PimSystem:
             core_scalar, core_list = None, cores.tolist()
         controllers_by_domain = self._domain_controllers
         trace_hooks = self._trace_hooks
+        fabric = self._fabric
         now = self.engine.now
 
         requests: List[MemoryRequest] = []
@@ -432,6 +443,14 @@ class PimSystem:
                 channels[i], ranks[i], bankgroups[i], banks[i], rows[i], columns[i]
             )
             requests.append(request)
+            if fabric is not None:
+                # X-Y routes are deterministic, so the hop count is known at
+                # injection time; trace hooks fire at delivery instead.
+                burst.fabric_hops[i] = fabric.planned_hops(request)
+                if not fabric.inject(request, keys[i], rows[i]):
+                    break
+                accepted += 1
+                continue
             controller = controllers_by_domain[domain][channels[i]]
             if not controller.enqueue_prepared(request, keys[i], rows[i]):
                 break
@@ -481,6 +500,41 @@ class PimSystem:
             domain, dram_addr = self.decode(request.phys_addr)
             request.domain = domain
             request.dram_addr = dram_addr
+        if self._fabric is not None:
+            self._fabric.add_slot_listener(request, callback)
+            return
+        self.domain_system(request.domain).add_slot_listener(request, callback)
+
+    # ----------------------------------------------------- fabric integration
+    def _fabric_deliver(
+        self, request: MemoryRequest, bank_key=None, row=None
+    ) -> bool:
+        """Admit a fabric-delivered request into its channel controller.
+
+        This is the back half of the direct submit path: controller admission
+        plus the trace hooks, which observe *accepted* requests and therefore
+        fire at delivery time (not injection time) under a fabric.  Returns
+        ``False`` when the controller queue is full, in which case the fabric
+        keeps holding its last buffer slot and parks the delivery via
+        :meth:`_fabric_park_delivery` -- backpressure into the mesh.
+        """
+        if bank_key is None:
+            accepted = self._domain_controllers[request.domain][
+                request.dram_addr.channel
+            ].enqueue(request)
+        else:
+            accepted = self._domain_controllers[request.domain][
+                request.dram_addr.channel
+            ].enqueue_prepared(request, bank_key, row)
+        if accepted and self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(request, self.engine.now)
+        return accepted
+
+    def _fabric_park_delivery(
+        self, request: MemoryRequest, callback: Callable[[], None]
+    ) -> None:
+        """Re-attempt a parked fabric delivery when the controller drains."""
         self.domain_system(request.domain).add_slot_listener(request, callback)
 
     # ------------------------------------------------------------- simulation
@@ -492,6 +546,8 @@ class PimSystem:
         return self.engine.run(until=until, max_events=max_events)
 
     def is_memory_idle(self) -> bool:
+        if self._fabric is not None and not self._fabric.is_idle():
+            return False
         return self.dram.is_idle() and self.pim.is_idle()
 
     def reset_state(self) -> None:
@@ -517,6 +573,8 @@ class PimSystem:
         self.pim.reset()
         self.cpu.reset()
         self.llc.reset()
+        if self._fabric is not None:
+            self._fabric.reset()
         self.stats.reset()
 
 

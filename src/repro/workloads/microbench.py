@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.energy.system import EnergyBreakdown, SystemEnergyModel
 from repro.host.os_scheduler import SchedulableThread
+from repro.registry import Variants
 from repro.sim.config import (
     CACHE_LINE_BYTES,
     DesignPoint,
@@ -142,6 +143,7 @@ def run_transfer_experiment(
     memctrl_policy: Optional[str] = None,
     memctrl_kernel: Optional[str] = None,
     transfer_pump: Optional[str] = None,
+    fabric: Optional[str] = None,
 ) -> TransferExperiment:
     """Run (and, beyond ``sim_cap_bytes``, extrapolate) one transfer experiment.
 
@@ -152,25 +154,20 @@ def run_transfer_experiment(
     :mod:`repro.memctrl.policies`); ``memctrl_kernel`` selects the DRAM
     service-kernel implementation (``object``/``soa``, bit-identical);
     ``transfer_pump`` selects the transfer pump (``object``/``burst``,
-    likewise bit-identical).
+    likewise bit-identical); ``fabric`` selects the interconnect fabric
+    (``none``/``mesh:WxH``, see :mod:`repro.fabric`).
     """
     config = config if config is not None else SystemConfig.paper_baseline()
     if scheduling_quantum_ns is not None:
         config = replace(
             config, os=replace(config.os, scheduling_quantum_ns=scheduling_quantum_ns)
         )
-    if memctrl_policy is not None:
-        config = replace(
-            config, memctrl=replace(config.memctrl, policy=memctrl_policy)
-        )
-    if memctrl_kernel is not None:
-        config = replace(
-            config, memctrl=replace(config.memctrl, kernel=memctrl_kernel)
-        )
-    if transfer_pump is not None:
-        config = replace(
-            config, memctrl=replace(config.memctrl, transfer_pump=transfer_pump)
-        )
+    config = Variants(
+        policy=memctrl_policy,
+        kernel=memctrl_kernel,
+        pump=transfer_pump,
+        fabric=fabric,
+    ).apply(config)
     system = build_system(config=config, design_point=design_point)
     return run_transfer_experiment_on(
         system,

@@ -1,0 +1,237 @@
+"""Property-based differential testing for the interconnect fabric.
+
+Two families of properties over the same random transfer programs the pump
+differential uses (``test_pump_diff.py``):
+
+* **Pass-through identity** -- ``fabric="none"`` spelled explicitly must be
+  **exactly** the object/object baseline outcome for every service kernel x
+  transfer pump combination: full normalized trace stream, per-transfer
+  finish times, progress offsets, stats snapshot and engine event count.
+  The direct path builds no fabric object at all, so this pins the
+  by-construction claim the committed ``results/`` tables rely on.
+* **Mesh invariants** -- under random ``mesh:WxH`` specs (grid shape, hop
+  latency, link credits, ingress count) every injected request must be
+  delivered (conservation / deadlock freedom: the program produces exactly
+  as many admissions as the direct-path run), every delivered request's
+  ``fabric_hops`` must equal the Manhattan distance of its deterministic
+  X-Y route, queueing delays are non-negative, and after the run the mesh
+  is idle with every link credit pool restored to capacity.
+
+A failing case prints as a JSON object; paste it into
+``tests/differential/fabric_corpus.jsonl`` to pin it as a permanent
+regression case (the corpus test replays every line against both property
+families).  Budgets/seeds come from ``conftest.py`` (profiles ``tier1`` /
+``ci`` / ``weekly`` via ``REPRO_HYPOTHESIS_PROFILE``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, note
+from hypothesis import strategies as st
+from hypothesis.errors import InvalidArgument
+
+from repro.core.dce import create_dce
+from repro.system import build_system
+
+from test_pump_diff import (
+    _CONFIG,
+    _POINT,
+    _POLICY,
+    KERNELS,
+    PUMPS,
+    TransferProgram,
+    run_transfer_program,
+    transfer_programs,
+)
+
+CORPUS_PATH = Path(__file__).with_name("fabric_corpus.jsonl")
+
+#: Small-test endpoint demand: ingress node(s) + 2 DRAM + 2 PIM channels.
+_CHANNEL_ENDPOINTS = _CONFIG.dram.channels + _CONFIG.pim.channels
+
+#: Grid shapes that fit the small-test system with at least one ingress.
+_GRIDS = ((2, 3), (3, 2), (3, 3), (4, 2))
+
+
+@st.composite
+def mesh_specs(draw) -> str:
+    width, height = draw(st.sampled_from(_GRIDS))
+    max_ingress = width * height - _CHANNEL_ENDPOINTS
+    ingress = draw(st.integers(1, min(2, max_ingress)))
+    credits = draw(st.integers(1, 4))
+    hop_ns = draw(st.sampled_from(("1.0", "2.0", "4.0")))
+    return (
+        f"mesh:{width}x{height},hop_ns={hop_ns},"
+        f"credits={credits},ingress={ingress}"
+    )
+
+
+def run_fabric_program(
+    kernel: str, pump: str, fabric: str, program: TransferProgram
+) -> dict:
+    """Execute ``program`` under one kernel x pump x fabric combo.
+
+    Returns the same outcome dict as
+    :func:`test_pump_diff.run_transfer_program` plus the delivered request
+    objects and the live system (for fabric-invariant checks).
+    """
+    config = replace(
+        _CONFIG,
+        memctrl=replace(
+            _CONFIG.memctrl,
+            read_queue_depth=program.read_depth,
+            write_queue_depth=program.write_depth,
+            write_high_watermark=program.high_watermark,
+            write_low_watermark=program.low_watermark,
+            kernel=kernel,
+            transfer_pump=pump,
+            fabric=fabric,
+        ),
+    )
+    system = build_system(
+        config=config, design_point=_POINT[program.design_point]
+    )
+    stream = []
+    requests = []
+
+    def hook(request, time_ns):
+        requests.append(request)
+        stream.append(
+            (
+                time_ns,
+                request.phys_addr,
+                request.is_write,
+                request.tenant,
+                request.pim_core_id,
+                request.stream.name,
+                request.request_id,
+            )
+        )
+
+    system.attach_trace_hook(hook)
+    dce = create_dce(system, policy=_POLICY[program.policy])
+    ends = []
+    offsets = []
+    for descriptor in program.descriptors():
+        result = dce.execute(descriptor)
+        ends.append(result.end_ns)
+        offsets.append(dict(dce.offsets))
+    base = min(row[6] for row in stream) if stream else 0
+    return {
+        "stream": [row[:6] + (row[6] - base,) for row in stream],
+        "ends": ends,
+        "offsets": offsets,
+        "stats": system.stats.snapshot(),
+        "events_fired": system.engine.events_fired,
+        "requests": requests,
+        "system": system,
+    }
+
+
+def _note(message: str) -> None:
+    try:
+        note(message)
+    except InvalidArgument:
+        pass  # corpus replay runs outside a Hypothesis build context
+
+
+def assert_none_is_identity(program: TransferProgram) -> None:
+    """``fabric="none"`` == the direct-path baseline, bit for bit."""
+    _note(f"program: {program.to_json()}")
+    baseline = run_transfer_program("object", "object", program)
+    for kernel in KERNELS:
+        for pump in PUMPS:
+            candidate = run_fabric_program(kernel, pump, "none", program)
+            stripped = {
+                key: value
+                for key, value in candidate.items()
+                if key not in ("requests", "system")
+            }
+            assert stripped == baseline, (
+                f"kernel={kernel} pump={pump} fabric=none diverged from the "
+                "direct-path baseline on program (add to "
+                f"fabric_corpus.jsonl): {program.to_json()}"
+            )
+
+
+def assert_mesh_invariants(fabric: str, program: TransferProgram) -> None:
+    """Conservation, X-Y hop counts and credit restoration under a mesh."""
+    _note(f"fabric: {fabric} program: {program.to_json()}")
+    baseline = run_transfer_program("object", "object", program)
+    outcome = run_fabric_program("object", "object", fabric, program)
+    mesh = outcome["system"].fabric
+    requests = outcome["requests"]
+    case = f"(fabric={fabric}, program={program.to_json()})"
+
+    # Conservation / deadlock freedom: the meshed run admits exactly the
+    # requests the direct run does, and none of them is stuck in a router.
+    assert len(requests) == len(baseline["stream"]), case
+    snapshot = outcome["stats"]
+    assert snapshot["counter/fabric/injected"] == len(requests), case
+    assert snapshot["counter/fabric/delivered"] == len(requests), case
+    assert mesh.is_idle(), case
+    mesh.check_invariants()
+
+    # Deterministic routing: delivered hop counts equal the X-Y Manhattan
+    # distance of each request's route, and the global hop counter is their
+    # sum.  Queueing delay on top of pure hop latency is never negative.
+    for request in requests:
+        assert request.fabric_hops == mesh.planned_hops(request), case
+        assert request.fabric_wait_ns >= 0.0, case
+    assert snapshot["counter/fabric/hops"] == sum(
+        r.fabric_hops for r in requests
+    ), case
+
+    # Every credit a flit consumed was returned: all pools back at capacity,
+    # no waiter and no parked producer left behind.
+    for link in mesh._links.values():
+        assert link.credits == link.capacity, case
+        assert not link.waiting and not link.listeners, case
+
+    # The transfers themselves ran to completion (same final offsets).
+    assert outcome["offsets"] == baseline["offsets"], case
+
+
+@given(transfer_programs())
+def test_fabric_none_is_bit_identical(program: TransferProgram) -> None:
+    assert_none_is_identity(program)
+
+
+@given(mesh_specs(), transfer_programs())
+def test_mesh_conserves_requests_and_routes_xy(
+    fabric: str, program: TransferProgram
+) -> None:
+    assert_mesh_invariants(fabric, program)
+
+
+def _corpus():
+    cases = []
+    with open(CORPUS_PATH) as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                data = json.loads(line)
+                cases.append(
+                    (data["fabric"], TransferProgram.from_dict(data["program"]))
+                )
+    return cases
+
+
+@pytest.mark.parametrize(
+    "fabric, program",
+    _corpus(),
+    ids=lambda value: (
+        value.replace("mesh:", "mesh").replace(",", "-")
+        if isinstance(value, str)
+        else f"{value.policy}-{len(value.transfers)}xfer"
+    ),
+)
+def test_fabric_corpus_cases(fabric: str, program: TransferProgram) -> None:
+    """Replay the committed corpus against both property families."""
+    assert_none_is_identity(program)
+    assert_mesh_invariants(fabric, program)

@@ -344,7 +344,7 @@ def _stub_paired_bench(monkeypatch, walls, events=None, axis="kernel"):
 
     def fake_run_bench(
         quick=False, names=None, repeats=None, kernel="object",
-        transfer_pump="object",
+        transfer_pump="object", fabric="none",
     ):
         label = kernel if axis == "kernel" else transfer_pump
         calls.append(label)
@@ -361,6 +361,7 @@ def _stub_paired_bench(monkeypatch, walls, events=None, axis="kernel"):
             "repeats": repeats,
             "kernel": kernel,
             "transfer_pump": transfer_pump,
+            "fabric": fabric,
             "workloads": {"w": metrics},
             "aggregate": {
                 "wall_s": wall,
